@@ -1,0 +1,130 @@
+//! Ablation benchmarks for the design choices called out in DESIGN.md §6:
+//!
+//! * caching policy (functional vs exact vs LRU vs none) — measured as the
+//!   simulated mean latency each policy achieves on the same workload, with
+//!   the simulation run inside the benchmark so `cargo bench` both times the
+//!   pipeline and prints the latency ablation;
+//! * scheduling rule (optimized probabilistic vs load-oblivious uniform);
+//! * integer-rounding strategy (one file at a time vs fractional batches).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sprout::optimizer::{OptimizerConfig, RoundingStrategy};
+use sprout::sim::policy::SchedulingRule;
+use sprout::sim::{CacheScheme, SimConfig};
+use sprout::{CachePolicyChoice, SproutSystem, SystemSpec};
+
+fn system() -> SproutSystem {
+    let spec = SystemSpec::builder()
+        .node_service_rates(&[0.55, 0.55, 0.45, 0.45, 0.35, 0.35])
+        .uniform_files(12, 2, 4, 0.045)
+        .cache_capacity_chunks(8)
+        .seed(77)
+        .build()
+        .unwrap();
+    SproutSystem::new(spec).unwrap()
+}
+
+fn ablation_policies(c: &mut Criterion) {
+    let system = system();
+    let plan = system.optimize().unwrap();
+    let horizon = 20_000.0;
+
+    // Print the latency ablation once so the bench output doubles as a table.
+    let cmp = system.compare_policies(&plan, horizon, 5);
+    println!("# ablation_policies: simulated mean latency (s)");
+    println!("#   functional = {:.3}", cmp.functional.overall.mean);
+    println!("#   exact      = {:.3}", cmp.exact.overall.mean);
+    println!("#   lru        = {:.3}", cmp.lru.overall.mean);
+    println!("#   no cache   = {:.3}", cmp.no_cache.overall.mean);
+
+    let mut group = c.benchmark_group("ablation_policies");
+    group.sample_size(10);
+    for (name, policy) in [
+        ("functional", CachePolicyChoice::Functional),
+        ("exact", CachePolicyChoice::Exact),
+        ("lru", CachePolicyChoice::LruReplicated),
+        ("no_cache", CachePolicyChoice::NoCache),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let plan_ref = matches!(
+                    policy,
+                    CachePolicyChoice::Functional | CachePolicyChoice::Exact
+                )
+                .then_some(&plan);
+                system.simulate(policy, plan_ref, 5_000.0, 3)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn ablation_scheduling(c: &mut Criterion) {
+    let system = system();
+    let plan = system.optimize().unwrap();
+    let config = SimConfig::new(20_000.0, 9);
+
+    let probabilistic = system.simulate_with_config(
+        CachePolicyChoice::Functional,
+        Some(&plan),
+        config,
+    );
+    // Re-run with the load-oblivious rule by constructing the scheme manually.
+    let scheme = CacheScheme::Functional {
+        cached_chunks: plan.cached_chunks.clone(),
+        scheduling: plan.scheduling.clone(),
+        rule: SchedulingRule::Uniform,
+    };
+    let uniform = {
+        let files: Vec<sprout::sim::SimFile> = system
+            .spec()
+            .files
+            .iter()
+            .zip(system.placements())
+            .map(|(f, p)| sprout::sim::SimFile::new(f.arrival_rate, f.k, p.clone()))
+            .collect();
+        sprout::sim::Simulation::new(system.spec().node_services.clone(), files, scheme, config)
+            .run()
+    };
+    println!("# ablation_scheduling: probabilistic = {:.3} s, uniform = {:.3} s",
+        probabilistic.overall.mean, uniform.overall.mean);
+
+    let mut group = c.benchmark_group("ablation_scheduling");
+    group.sample_size(10);
+    group.bench_function("probabilistic", |b| {
+        b.iter(|| system.simulate(CachePolicyChoice::Functional, Some(&plan), 5_000.0, 3));
+    });
+    group.finish();
+}
+
+fn ablation_rounding(c: &mut Criterion) {
+    let system = system();
+    let mut group = c.benchmark_group("ablation_rounding");
+    group.sample_size(10);
+    for (name, strategy) in [
+        ("one_at_a_time", RoundingStrategy::OneAtATime),
+        ("fraction_30pct", RoundingStrategy::Fraction(0.3)),
+        ("fraction_100pct", RoundingStrategy::Fraction(1.0)),
+    ] {
+        let config = OptimizerConfig {
+            rounding: strategy,
+            ..OptimizerConfig::default()
+        };
+        let plan = system.optimize_with(&config).unwrap();
+        println!(
+            "# ablation_rounding: {name} -> objective {:.4} s, {} rounding rounds",
+            plan.objective, plan.trace.rounding_rounds
+        );
+        group.bench_function(name, |b| {
+            b.iter(|| system.optimize_with(&config).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = ablation_policies, ablation_scheduling, ablation_rounding
+}
+criterion_main!(benches);

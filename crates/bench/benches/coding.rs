@@ -1,0 +1,54 @@
+//! Criterion micro-benchmarks for the coding layer: Reed–Solomon encoding,
+//! decoding from mixed cache/storage chunk sets, and functional cache-chunk
+//! construction (the per-request computational overhead the paper calls
+//! "very minimal").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sprout::erasure::{CodeParams, FunctionalCacheCodec};
+
+fn coding_benches(c: &mut Criterion) {
+    let sizes = [64 * 1024usize, 1024 * 1024];
+    let codec = FunctionalCacheCodec::new(CodeParams::new(7, 4).unwrap()).unwrap();
+
+    let mut group = c.benchmark_group("rs_encode_7_4");
+    for &size in &sizes {
+        let data: Vec<u8> = (0..size).map(|i| i as u8).collect();
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &data, |b, data| {
+            b.iter(|| codec.encode(data).unwrap());
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("functional_cache_chunks_7_4_d2");
+    for &size in &sizes {
+        let data: Vec<u8> = (0..size).map(|i| (i * 7) as u8).collect();
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &data, |b, data| {
+            b.iter(|| codec.cache_chunks(data, 2).unwrap());
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("decode_from_cache_plus_storage");
+    for &size in &sizes {
+        let data: Vec<u8> = (0..size).map(|i| (i * 13) as u8).collect();
+        let stored = codec.encode(&data).unwrap();
+        let cached = codec.cache_chunks(&data, 2).unwrap();
+        let mut have = cached;
+        have.push(stored.chunks()[5].clone());
+        have.push(stored.chunks()[6].clone());
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &have, |b, have| {
+            b.iter(|| codec.decode(have, size).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = coding_benches
+}
+criterion_main!(benches);

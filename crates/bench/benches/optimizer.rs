@@ -1,0 +1,75 @@
+//! Criterion benchmarks for the cache-placement optimizer: how long one
+//! Algorithm 1 run takes as the file population grows, and the cost of a
+//! single objective/gradient evaluation (the inner-loop primitive).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sprout::optimizer::{objective, optimize, FileModel, OptimizerConfig, StorageModel};
+use sprout::queueing::dist::ServiceDistribution;
+
+fn build_model(files: usize) -> StorageModel {
+    let rates = sprout::workload::spec::paper_server_service_rates();
+    let nodes: Vec<_> = rates
+        .iter()
+        .map(|&mu| ServiceDistribution::exponential(mu).moments())
+        .collect();
+    let per_file_rates = sprout::workload::spec::paper_simulation_rates(files);
+    let scale = 1000.0 / files as f64;
+    let models = per_file_rates
+        .iter()
+        .enumerate()
+        .map(|(i, &r)| {
+            let placement: Vec<usize> = (0..7).map(|j| (i * 5 + j) % 12).collect();
+            FileModel::new(r * scale, 4, placement)
+        })
+        .collect();
+    StorageModel::new(nodes, models).unwrap()
+}
+
+fn optimizer_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("algorithm1_full_run");
+    group.sample_size(10);
+    for &files in &[20usize, 50, 100] {
+        let model = build_model(files);
+        let cache = files; // one chunk per file on average
+        group.bench_with_input(BenchmarkId::from_parameter(files), &model, |b, model| {
+            b.iter(|| optimize(model, cache, &OptimizerConfig::fast()).unwrap());
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("objective_and_gradient_eval");
+    for &files in &[100usize, 500, 1000] {
+        let model = build_model(files);
+        let pi: Vec<Vec<f64>> = model
+            .files()
+            .iter()
+            .map(|f| {
+                let mut row = vec![0.0; model.num_nodes()];
+                for &j in &f.placement {
+                    row[j] = f.k as f64 / f.placement.len() as f64;
+                }
+                row
+            })
+            .collect();
+        let z = vec![0.0; files];
+        group.bench_with_input(
+            BenchmarkId::from_parameter(files),
+            &(model, pi, z),
+            |b, (model, pi, z)| {
+                b.iter(|| {
+                    let f = objective::evaluate(model, pi, z).unwrap().total;
+                    let g = objective::gradient_pi(model, pi, z).unwrap();
+                    (f, g)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = optimizer_benches
+}
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Table I + Fig. 5 — Evolution of cache content across three time bins.
+//!
+//! Ten files whose arrival rates follow Table I of the paper; the cache plan
+//! is recomputed at every bin and the per-file cache occupancy is reported.
+//! The paper observes that the files whose rates rise gain cache chunks and
+//! the files whose rates drop lose them.
+//!
+//! Output: one line per (bin, file) with the arrival rate and cached chunks.
+
+use sprout::optimizer::OptimizerConfig;
+use sprout::workload::timebins::{table_i_schedule, RateSchedule, TimeBin};
+use sprout::{SproutSystem, SystemSpec, TimeBinManager};
+use sprout_bench::header;
+
+fn main() {
+    // The paper's 10-file experiment: (7,4) code on the 12 measured servers.
+    // The published per-file rates (~1.5e-4/s) put negligible load on the
+    // servers when only 10 files exist, so — as in our EXPERIMENTS.md note —
+    // we scale the rates by 60x to recreate realistic contention while
+    // keeping the *relative* Table I structure intact.
+    let rate_boost = 60.0;
+    let cache_chunks = 12;
+
+    let spec = SystemSpec::builder()
+        .node_service_rates(&sprout::workload::spec::paper_server_service_rates())
+        .uniform_files(10, 4, 7, 0.000_15)
+        .cache_capacity_chunks(cache_chunks)
+        .seed(5)
+        .build()
+        .expect("valid spec");
+    let system = SproutSystem::new(spec).expect("valid system");
+
+    let schedule = RateSchedule::new(
+        table_i_schedule(100.0)
+            .bins()
+            .iter()
+            .map(|b| TimeBin::new(b.duration, b.rates.iter().map(|r| r * rate_boost).collect()))
+            .collect(),
+    );
+
+    let manager = TimeBinManager::new(system, OptimizerConfig::default());
+    let outcomes = manager.run(&schedule).expect("stable system");
+
+    header(
+        "Fig. 5 / Table I: cache content per file in each time bin",
+        &["bin", "file", "arrival_rate_paper", "cached_chunks"],
+    );
+    for outcome in &outcomes {
+        for (file, (&rate, &chunks)) in outcome
+            .rates
+            .iter()
+            .zip(&outcome.plan.cached_chunks)
+            .enumerate()
+        {
+            println!(
+                "{}\t{}\t{:.6}\t{}",
+                outcome.bin + 1,
+                file + 1,
+                rate / rate_boost,
+                chunks
+            );
+        }
+        println!(
+            "# bin {}: cache used {}/{} chunks, latency bound {:.2} s, {} chunks evicted, {} added",
+            outcome.bin + 1,
+            outcome.plan.cache_chunks_used(),
+            cache_chunks,
+            outcome.plan.objective,
+            outcome.chunks_removed(),
+            outcome.chunks_added()
+        );
+    }
+    println!("# paper shape: bin 1 favours files 4 & 9; bin 2 favours 1, 2, 6, 7; bin 3 favours 2, 7 (and 9)");
+}

@@ -1,0 +1,101 @@
+//! Fig. 10 — Average access latency versus object size: optimized functional
+//! caching vs Ceph's LRU cache-tier baseline vs the analytical bound.
+//!
+//! The paper stores 1000 objects of each Table III size class on its (7,4)
+//! Ceph pool with a 10 GB cache, replays the trace-derived arrival rates for
+//! 1800 s, and reports the mean access latency of (i) optimal functional
+//! caching, (ii) the LRU replicated cache tier, and (iii) the analytical
+//! bound. Latency grows with object size and functional caching wins at every
+//! size (26 % on average).
+
+use sprout::queueing::dist::ServiceDistribution;
+use sprout::sim::SimConfig;
+use sprout::{CachePolicyChoice, FileConfig, SproutSystem, SystemSpec};
+use sprout_bench::{experiment_config, header, paper_scale};
+
+/// Paper-reported mean access latency (milliseconds) per object size for
+/// optimized caching and the Ceph cache-tier baseline.
+const PAPER_MS: [(&str, f64, f64); 5] = [
+    ("4MB", 8.0, 10.0),
+    ("16MB", 384.0, 430.0),
+    ("64MB", 2182.0, 2833.0),
+    ("256MB", 7901.0, 11163.0),
+    ("1GB", 21516.0, 39021.0),
+];
+
+fn main() {
+    let objects = if paper_scale() { 1000 } else { 100 };
+    let population_scale = 1000.0 / objects as f64;
+    // The paper's testbed is driven hard enough that queueing dominates (its
+    // reported latencies are 3-20x the bare chunk service time). The Table III
+    // trace rates alone leave a 12-node cluster nearly idle, so each size
+    // class is scaled to a common no-cache storage utilization (~70 %), which
+    // recreates the paper's operating regime while preserving the class's
+    // relative popularity within the trace.
+    let target_utilization = 0.70;
+    let cache_bytes = 10.0 * 1e9 / population_scale;
+    let horizon = 1800.0;
+
+    header(
+        "Fig. 10: mean access latency (ms) by object size",
+        &[
+            "object_size",
+            "functional_ms",
+            "lru_baseline_ms",
+            "analytic_bound_ms",
+            "paper_functional_ms",
+            "paper_lru_ms",
+        ],
+    );
+
+    let mut improvements = Vec::new();
+    for (class, (label, paper_opt, paper_lru)) in sprout::workload::spec::table_iii_object_classes()
+        .into_iter()
+        .zip(PAPER_MS)
+    {
+        assert_eq!(class.label, label);
+        let chunk_bytes = class.size_bytes.div_ceil(4);
+        let hdd = sprout::cluster::DeviceModel::hdd().service_moments(chunk_bytes);
+        let ssd = sprout::cluster::DeviceModel::ssd().mean_service_time(chunk_bytes);
+        let node_service = ServiceDistribution::from_mean_variance(hdd.mean, hdd.variance());
+        let cache_chunks = ((cache_bytes / chunk_bytes as f64) as usize).max(1);
+        // Scale this class's per-object rate so that, without any cache, the
+        // 12 nodes run at the target utilization.
+        let rate =
+            target_utilization * 12.0 / (4.0 * hdd.mean * objects as f64);
+        let _ = class.arrival_rate;
+
+        let mut builder = SystemSpec::builder();
+        builder
+            .node_services(vec![node_service; 12])
+            .cache_capacity_chunks(cache_chunks)
+            .seed(10);
+        for _ in 0..objects {
+            builder.file(FileConfig::new(rate, 7, 4, class.size_bytes));
+        }
+        let system = SproutSystem::new(builder.build().expect("valid spec")).expect("valid system");
+        // Latencies span milliseconds to seconds across the size classes, so
+        // tighten the convergence tolerance relative to the paper's 0.01 s.
+        let mut opt_config = experiment_config();
+        opt_config.tolerance = 1e-4;
+        let plan = system.optimize_with(&opt_config).expect("stable system");
+
+        let config = SimConfig::new(horizon, 10).with_cache_latency(ssd);
+        let functional =
+            system.simulate_with_config(CachePolicyChoice::Functional, Some(&plan), config);
+        let lru = system.simulate_with_config(CachePolicyChoice::LruReplicated, None, config);
+
+        let functional_ms = functional.overall.mean * 1e3;
+        let lru_ms = lru.overall.mean * 1e3;
+        println!(
+            "{label}\t{functional_ms:.1}\t{lru_ms:.1}\t{:.1}\t{paper_opt:.0}\t{paper_lru:.0}",
+            plan.objective * 1e3
+        );
+        if lru_ms > 0.0 {
+            improvements.push(1.0 - functional_ms / lru_ms);
+        }
+    }
+    let avg = improvements.iter().sum::<f64>() / improvements.len().max(1) as f64;
+    println!("# paper shape: latency grows with object size; optimal caching beats the LRU cache tier");
+    println!("# at every size (26% average improvement). Measured average improvement: {:.1}%", avg * 100.0);
+}

@@ -1,0 +1,86 @@
+//! Fig. 11 — Average access latency versus workload intensity.
+//!
+//! The paper fixes 64 MB objects (1000 of them, 10 GB cache) and sweeps the
+//! aggregate read request arrival rate over {0.5, 1, 2, 4, 8} requests/second.
+//! Latency grows steeply with load and optimal functional caching beats the
+//! LRU cache tier at every intensity (23.86 % average reduction).
+
+use sprout::queueing::dist::ServiceDistribution;
+use sprout::sim::SimConfig;
+use sprout::{CachePolicyChoice, FileConfig, SproutSystem, SystemSpec};
+use sprout_bench::{experiment_config, header, paper_scale};
+
+/// Paper-reported mean latency (ms): (aggregate rate, optimized, LRU baseline).
+const PAPER_MS: [(f64, f64, f64); 5] = [
+    (0.5, 2055.0, 2800.0),
+    (1.0, 4730.0, 6510.0),
+    (2.0, 18379.0, 24179.0),
+    (4.0, 44679.0, 58917.0),
+    (8.0, 112172.0, 135468.0),
+];
+
+fn main() {
+    let objects = if paper_scale() { 1000 } else { 100 };
+    let population_scale = 1000.0 / objects as f64;
+    let object_bytes = 64 * sprout::workload::spec::MB;
+    let chunk_bytes = object_bytes / 4;
+    let hdd = sprout::cluster::DeviceModel::hdd().service_moments(chunk_bytes);
+    let ssd = sprout::cluster::DeviceModel::ssd().mean_service_time(chunk_bytes);
+    let node_service = ServiceDistribution::from_mean_variance(hdd.mean, hdd.variance());
+    let cache_chunks = ((10.0 * 1e9 / population_scale / chunk_bytes as f64) as usize).max(1);
+    let horizon = 1800.0;
+
+    header(
+        "Fig. 11: mean access latency (ms) of 64 MB objects vs aggregate arrival rate",
+        &[
+            "aggregate_rate",
+            "functional_ms",
+            "lru_baseline_ms",
+            "analytic_bound_ms",
+            "paper_functional_ms",
+            "paper_lru_ms",
+        ],
+    );
+
+    let mut improvements = Vec::new();
+    // The paper's testbed saturates well below an aggregate rate of 8 req/s
+    // (its latencies reach 100+ seconds); our 12-node model with the Table IV
+    // service times only reaches ~40 % utilization at that rate, so the sweep
+    // is scaled by a constant factor that places its top point at ~70 %
+    // utilization — the same qualitative regime, with the paper's labels kept.
+    let load_factor = 1.8;
+    for (aggregate, paper_opt, paper_lru) in PAPER_MS {
+        let per_object = aggregate * load_factor / objects as f64;
+        let mut builder = SystemSpec::builder();
+        builder
+            .node_services(vec![node_service; 12])
+            .cache_capacity_chunks(cache_chunks)
+            .seed(11);
+        for _ in 0..objects {
+            builder.file(FileConfig::new(per_object, 7, 4, object_bytes));
+        }
+        let system = SproutSystem::new(builder.build().expect("valid spec")).expect("valid system");
+        let mut opt_config = experiment_config();
+        opt_config.tolerance = 1e-4;
+        let plan = system
+            .optimize_with(&opt_config)
+            .expect("the swept loads keep the cluster stable");
+
+        let config = SimConfig::new(horizon, 11).with_cache_latency(ssd);
+        let functional =
+            system.simulate_with_config(CachePolicyChoice::Functional, Some(&plan), config);
+        let lru = system.simulate_with_config(CachePolicyChoice::LruReplicated, None, config);
+        let functional_ms = functional.overall.mean * 1e3;
+        let lru_ms = lru.overall.mean * 1e3;
+        println!(
+            "{aggregate}\t{functional_ms:.1}\t{lru_ms:.1}\t{:.1}\t{paper_opt:.0}\t{paper_lru:.0}",
+            plan.objective * 1e3
+        );
+        if lru_ms > 0.0 {
+            improvements.push(1.0 - functional_ms / lru_ms);
+        }
+    }
+    let avg = improvements.iter().sum::<f64>() / improvements.len().max(1) as f64;
+    println!("# paper shape: latency rises steeply with load; optimal caching beats LRU at every");
+    println!("# intensity (23.86% average). Measured average improvement: {:.1}%", avg * 100.0);
+}

@@ -1,0 +1,30 @@
+//! Table V — Chunk read latency from the SSD cache.
+//!
+//! The paper measures the read latency of different chunk sizes from the SAS
+//! SSDs used as the cache device and argues it is negligible compared with
+//! the HDD-backed OSD reads of Table IV (which justifies ignoring cache-read
+//! latency in the optimization). This binary prints the model's values next
+//! to the paper's and the HDD/SSD ratio.
+
+use sprout::cluster::DeviceModel;
+use sprout_bench::header;
+
+fn main() {
+    header(
+        "Table V: chunk read latency from the cache (milliseconds)",
+        &["chunk_size", "paper_ssd_ms", "model_ssd_ms", "model_hdd_ms", "hdd_over_ssd"],
+    );
+    let ssd = DeviceModel::ssd();
+    let hdd = DeviceModel::hdd();
+    for (bytes, paper_ms) in sprout::workload::spec::table_v_ssd_latency_ms() {
+        let ssd_ms = ssd.mean_service_time(bytes) * 1e3;
+        let hdd_ms = hdd.mean_service_time(bytes) * 1e3;
+        println!(
+            "{}MB\t{paper_ms:.3}\t{ssd_ms:.3}\t{hdd_ms:.3}\t{:.1}x",
+            bytes / 1_000_000,
+            hdd_ms / ssd_ms
+        );
+    }
+    println!("# paper conclusion: cache reads are 3-20x faster than OSD reads at every chunk size,");
+    println!("# so cache-read latency can be neglected when optimizing the placement.");
+}

@@ -1,0 +1,347 @@
+//! Compute-server cache tiers.
+//!
+//! Three cache designs from the paper are modeled, plus "no cache":
+//!
+//! * **Functional** — the cache holds `d_i` *new* coded chunks per object,
+//!   chosen by the optimizer, so the cached chunks plus any `k_i − d_i`
+//!   storage chunks reconstruct the object (§III).
+//! * **Exact** — the cache holds copies of `d_i` of the object's storage
+//!   chunks; those chunks' host nodes can no longer contribute to a read.
+//! * **LRU replicated** — Ceph's cache-tier baseline: whole objects are
+//!   promoted into the cache on access (with a replication factor for the
+//!   tier's redundancy) and the least-recently-used objects are evicted when
+//!   space runs out.
+//!
+//! Capacity is tracked in bytes. Reads from the cache device are sampled from
+//! the SSD model but never queue — the paper argues cache-read latency is
+//! negligible compared to HDD OSD reads, and Table V confirms it.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+use sprout_erasure::Chunk;
+
+/// Which caching scheme the cluster uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CachePolicy {
+    /// No cache at all; every read hits the storage nodes.
+    None,
+    /// Functional caching: optimizer-chosen counts of newly coded chunks.
+    Functional,
+    /// Exact caching: optimizer-chosen counts of copied storage chunks.
+    Exact,
+    /// Ceph-style LRU replicated cache tier with the given replication factor
+    /// (the paper's baseline uses dual replication).
+    LruReplicated {
+        /// Number of replicas the cache tier keeps of each promoted object.
+        replication: u32,
+    },
+}
+
+impl CachePolicy {
+    /// The paper's baseline configuration: an LRU cache tier with dual
+    /// replication.
+    pub fn ceph_baseline() -> Self {
+        CachePolicy::LruReplicated { replication: 2 }
+    }
+
+    /// Whether this policy stores planner-chosen chunks (functional/exact).
+    pub fn is_planned(&self) -> bool {
+        matches!(self, CachePolicy::Functional | CachePolicy::Exact)
+    }
+}
+
+/// An object resident in the cache.
+#[derive(Debug, Clone)]
+struct CachedObject {
+    chunks: Vec<Chunk>,
+    bytes: u64,
+    last_access: u64,
+}
+
+/// Statistics kept by the cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Number of reads that found at least one usable chunk in the cache.
+    pub hits: u64,
+    /// Number of reads that found nothing usable in the cache.
+    pub misses: u64,
+    /// Number of objects evicted (LRU policy only).
+    pub evictions: u64,
+}
+
+/// The cache tier of one compute server.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    policy: CachePolicy,
+    capacity_bytes: u64,
+    used_bytes: u64,
+    entries: HashMap<u64, CachedObject>,
+    clock: u64,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Creates an empty cache with the given policy and byte capacity.
+    pub fn new(policy: CachePolicy, capacity_bytes: u64) -> Self {
+        Cache {
+            policy,
+            capacity_bytes,
+            used_bytes: 0,
+            entries: HashMap::new(),
+            clock: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The cache policy.
+    pub fn policy(&self) -> CachePolicy {
+        self.policy
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.capacity_bytes
+    }
+
+    /// Bytes currently occupied.
+    pub fn used_bytes(&self) -> u64 {
+        self.used_bytes
+    }
+
+    /// Hit/miss/eviction counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Number of chunks currently cached for `object`.
+    pub fn cached_chunk_count(&self, object: u64) -> usize {
+        self.entries.get(&object).map_or(0, |e| e.chunks.len())
+    }
+
+    /// The cached chunks of `object` (empty if not resident). Records a hit
+    /// or miss and refreshes recency.
+    pub fn lookup(&mut self, object: u64) -> Vec<Chunk> {
+        self.clock += 1;
+        match self.entries.get_mut(&object) {
+            Some(entry) => {
+                entry.last_access = self.clock;
+                self.stats.hits += 1;
+                entry.chunks.clone()
+            }
+            None => {
+                self.stats.misses += 1;
+                Vec::new()
+            }
+        }
+    }
+
+    /// Read-only peek that does not touch statistics or recency.
+    pub fn peek(&self, object: u64) -> Option<&[Chunk]> {
+        self.entries.get(&object).map(|e| e.chunks.as_slice())
+    }
+
+    /// Installs planner-chosen chunks for an object (functional or exact
+    /// caching). Replaces any previous entry. Returns `false` (and leaves the
+    /// cache unchanged) if the chunks do not fit in the remaining capacity.
+    pub fn install_planned(&mut self, object: u64, chunks: Vec<Chunk>) -> bool {
+        let bytes: u64 = chunks.iter().map(|c| c.len() as u64).sum();
+        let existing = self.entries.get(&object).map_or(0, |e| e.bytes);
+        if self.used_bytes - existing + bytes > self.capacity_bytes {
+            return false;
+        }
+        if chunks.is_empty() {
+            self.remove(object);
+            return true;
+        }
+        self.clock += 1;
+        self.used_bytes = self.used_bytes - existing + bytes;
+        self.entries.insert(
+            object,
+            CachedObject {
+                chunks,
+                bytes,
+                last_access: self.clock,
+            },
+        );
+        true
+    }
+
+    /// Promotes a whole object into an LRU cache (called after a cache-miss
+    /// read completes). The object's footprint is `bytes × replication`;
+    /// least-recently-used objects are evicted until it fits. Objects larger
+    /// than the whole cache are not admitted.
+    pub fn promote_lru(&mut self, object: u64, chunks: Vec<Chunk>, replication: u32) {
+        let bytes: u64 = chunks.iter().map(|c| c.len() as u64).sum::<u64>() * replication as u64;
+        if bytes > self.capacity_bytes {
+            return;
+        }
+        if self.entries.contains_key(&object) {
+            self.clock += 1;
+            if let Some(e) = self.entries.get_mut(&object) {
+                e.last_access = self.clock;
+            }
+            return;
+        }
+        while self.used_bytes + bytes > self.capacity_bytes {
+            if !self.evict_lru() {
+                return;
+            }
+        }
+        self.clock += 1;
+        self.used_bytes += bytes;
+        self.entries.insert(
+            object,
+            CachedObject {
+                chunks,
+                bytes,
+                last_access: self.clock,
+            },
+        );
+    }
+
+    /// Removes an object from the cache; returns whether it was resident.
+    pub fn remove(&mut self, object: u64) -> bool {
+        if let Some(entry) = self.entries.remove(&object) {
+            self.used_bytes -= entry.bytes;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Drops everything.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.used_bytes = 0;
+    }
+
+    /// Objects currently resident, most recently used last.
+    pub fn resident_objects(&self) -> Vec<u64> {
+        let mut ids: Vec<(u64, u64)> = self
+            .entries
+            .iter()
+            .map(|(&id, e)| (e.last_access, id))
+            .collect();
+        ids.sort_unstable();
+        ids.into_iter().map(|(_, id)| id).collect()
+    }
+
+    fn evict_lru(&mut self) -> bool {
+        let victim = self
+            .entries
+            .iter()
+            .min_by_key(|(_, e)| e.last_access)
+            .map(|(&id, _)| id);
+        match victim {
+            Some(id) => {
+                self.remove(id);
+                self.stats.evictions += 1;
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sprout_erasure::ChunkId;
+
+    fn chunk(index: usize, len: usize) -> Chunk {
+        Chunk::new(ChunkId::cache(index), vec![1u8; len])
+    }
+
+    #[test]
+    fn policy_helpers() {
+        assert_eq!(
+            CachePolicy::ceph_baseline(),
+            CachePolicy::LruReplicated { replication: 2 }
+        );
+        assert!(CachePolicy::Functional.is_planned());
+        assert!(CachePolicy::Exact.is_planned());
+        assert!(!CachePolicy::None.is_planned());
+        assert!(!CachePolicy::ceph_baseline().is_planned());
+    }
+
+    #[test]
+    fn planned_install_and_lookup() {
+        let mut cache = Cache::new(CachePolicy::Functional, 1000);
+        assert!(cache.install_planned(1, vec![chunk(7, 300), chunk(8, 300)]));
+        assert_eq!(cache.used_bytes(), 600);
+        assert_eq!(cache.cached_chunk_count(1), 2);
+        assert_eq!(cache.lookup(1).len(), 2);
+        assert_eq!(cache.lookup(2).len(), 0);
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.stats().misses, 1);
+
+        // replacing shrinks usage
+        assert!(cache.install_planned(1, vec![chunk(7, 300)]));
+        assert_eq!(cache.used_bytes(), 300);
+        // installing empty removes
+        assert!(cache.install_planned(1, vec![]));
+        assert_eq!(cache.used_bytes(), 0);
+        assert!(cache.peek(1).is_none());
+    }
+
+    #[test]
+    fn planned_install_respects_capacity() {
+        let mut cache = Cache::new(CachePolicy::Functional, 500);
+        assert!(cache.install_planned(1, vec![chunk(7, 300)]));
+        assert!(!cache.install_planned(2, vec![chunk(7, 300)]));
+        assert_eq!(cache.cached_chunk_count(2), 0);
+        assert_eq!(cache.used_bytes(), 300);
+        // replacing object 1 with something bigger but within capacity works
+        assert!(cache.install_planned(1, vec![chunk(7, 450)]));
+        assert_eq!(cache.used_bytes(), 450);
+    }
+
+    #[test]
+    fn lru_promotion_and_eviction() {
+        let mut cache = Cache::new(CachePolicy::ceph_baseline(), 1000);
+        // each object is 200 bytes * 2 replication = 400
+        cache.promote_lru(1, vec![chunk(0, 200)], 2);
+        cache.promote_lru(2, vec![chunk(0, 200)], 2);
+        assert_eq!(cache.used_bytes(), 800);
+        // touch object 1 so object 2 becomes the LRU victim
+        let _ = cache.lookup(1);
+        cache.promote_lru(3, vec![chunk(0, 200)], 2);
+        assert_eq!(cache.stats().evictions, 1);
+        assert!(cache.peek(2).is_none(), "object 2 should have been evicted");
+        assert!(cache.peek(1).is_some());
+        assert!(cache.peek(3).is_some());
+        let resident = cache.resident_objects();
+        assert_eq!(resident.last(), Some(&3));
+    }
+
+    #[test]
+    fn lru_does_not_admit_objects_larger_than_capacity() {
+        let mut cache = Cache::new(CachePolicy::ceph_baseline(), 100);
+        cache.promote_lru(1, vec![chunk(0, 200)], 2);
+        assert_eq!(cache.used_bytes(), 0);
+        assert!(cache.peek(1).is_none());
+    }
+
+    #[test]
+    fn promoting_resident_object_only_refreshes_recency() {
+        let mut cache = Cache::new(CachePolicy::ceph_baseline(), 1000);
+        cache.promote_lru(1, vec![chunk(0, 100)], 2);
+        let used = cache.used_bytes();
+        cache.promote_lru(1, vec![chunk(0, 100)], 2);
+        assert_eq!(cache.used_bytes(), used);
+    }
+
+    #[test]
+    fn clear_and_remove() {
+        let mut cache = Cache::new(CachePolicy::Functional, 1000);
+        cache.install_planned(1, vec![chunk(7, 100)]);
+        cache.install_planned(2, vec![chunk(7, 100)]);
+        assert!(cache.remove(1));
+        assert!(!cache.remove(1));
+        assert_eq!(cache.used_bytes(), 100);
+        cache.clear();
+        assert_eq!(cache.used_bytes(), 0);
+        assert!(cache.resident_objects().is_empty());
+    }
+}

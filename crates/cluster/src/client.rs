@@ -1,0 +1,191 @@
+//! A COSBench-style benchmark client for the object store.
+//!
+//! The paper drives its Ceph testbed with COSBench: a prepare phase writes
+//! every object, then a read phase replays a request trace for a fixed run
+//! time and reports the mean access latency. [`BenchmarkClient`] reproduces
+//! that driver against [`crate::ErasureCodedStore`], so the byte-level
+//! substrate can be exercised by the same workload generators that feed the
+//! abstract simulator.
+
+use crate::error::ClusterError;
+use crate::store::ErasureCodedStore;
+
+/// Summary of one benchmark run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchmarkReport {
+    /// Number of read requests replayed.
+    pub requests: usize,
+    /// Mean access latency (virtual seconds).
+    pub mean_latency: f64,
+    /// Maximum access latency.
+    pub max_latency: f64,
+    /// Total chunks served from the cache.
+    pub cache_chunks: u64,
+    /// Total chunks served from storage nodes.
+    pub storage_chunks: u64,
+}
+
+impl BenchmarkReport {
+    /// Fraction of all chunk reads absorbed by the cache.
+    pub fn cache_fraction(&self) -> f64 {
+        let total = self.cache_chunks + self.storage_chunks;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_chunks as f64 / total as f64
+        }
+    }
+}
+
+/// Replays read traces against an [`ErasureCodedStore`].
+#[derive(Debug)]
+pub struct BenchmarkClient<'a> {
+    store: &'a mut ErasureCodedStore,
+}
+
+impl<'a> BenchmarkClient<'a> {
+    /// Creates a client bound to a store.
+    pub fn new(store: &'a mut ErasureCodedStore) -> Self {
+        BenchmarkClient { store }
+    }
+
+    /// Prepare phase: writes `objects` objects of `size_bytes` each with
+    /// deterministic contents (object id `i` gets payload seeded by `i`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates store errors.
+    pub fn prepare(&mut self, objects: u64, size_bytes: usize) -> Result<(), ClusterError> {
+        for id in 0..objects {
+            let data = Self::payload(id, size_bytes);
+            self.store.put(id, &data)?;
+        }
+        Ok(())
+    }
+
+    /// Read phase: replays `(time, object)` requests in order, verifying that
+    /// every read returns the bytes written during [`BenchmarkClient::prepare`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates store errors; returns [`ClusterError::InvalidConfig`] if a
+    /// read returns corrupted data (which would indicate a coding bug).
+    pub fn replay(&mut self, trace: &[(f64, u64)], size_bytes: usize) -> Result<BenchmarkReport, ClusterError> {
+        let mut latencies = Vec::with_capacity(trace.len());
+        let mut cache_chunks = 0u64;
+        let mut storage_chunks = 0u64;
+        for &(time, object) in trace {
+            let outcome = self.store.get(object, time)?;
+            if outcome.data != Self::payload(object, size_bytes) {
+                return Err(ClusterError::InvalidConfig(format!(
+                    "object {object} returned corrupted data"
+                )));
+            }
+            latencies.push(outcome.latency);
+            cache_chunks += outcome.cache_chunks_used as u64;
+            storage_chunks += outcome.storage_chunks_used as u64;
+        }
+        let mean = if latencies.is_empty() {
+            0.0
+        } else {
+            latencies.iter().sum::<f64>() / latencies.len() as f64
+        };
+        Ok(BenchmarkReport {
+            requests: latencies.len(),
+            mean_latency: mean,
+            max_latency: latencies.iter().cloned().fold(0.0, f64::max),
+            cache_chunks,
+            storage_chunks,
+        })
+    }
+
+    fn payload(id: u64, size_bytes: usize) -> Vec<u8> {
+        (0..size_bytes)
+            .map(|i| (i as u64).wrapping_mul(31).wrapping_add(id * 7 + 3) as u8)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::CachePolicy;
+    use crate::device::DeviceModel;
+    use crate::store::ClusterConfig;
+
+    fn store(policy: CachePolicy) -> ErasureCodedStore {
+        let config = ClusterConfig::builder()
+            .nodes(8)
+            .code(6, 4)
+            .uniform_device(DeviceModel::exponential(0.02))
+            .cache_policy(policy)
+            .cache_capacity_bytes(100_000)
+            .seed(4)
+            .build();
+        ErasureCodedStore::new(config).unwrap()
+    }
+
+    fn trace(objects: u64, repeats: usize) -> Vec<(f64, u64)> {
+        let mut t = Vec::new();
+        let mut clock = 0.0;
+        for r in 0..repeats {
+            for id in 0..objects {
+                t.push((clock, (id + r as u64) % objects));
+                clock += 0.5;
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn prepare_and_replay_verify_data_integrity() {
+        let mut s = store(CachePolicy::None);
+        let mut client = BenchmarkClient::new(&mut s);
+        client.prepare(6, 4000).unwrap();
+        let report = client.replay(&trace(6, 3), 4000).unwrap();
+        assert_eq!(report.requests, 18);
+        assert!(report.mean_latency > 0.0);
+        assert!(report.max_latency >= report.mean_latency);
+        assert_eq!(report.cache_chunks, 0);
+        assert_eq!(report.storage_chunks, 18 * 4);
+        assert_eq!(report.cache_fraction(), 0.0);
+    }
+
+    #[test]
+    fn functional_cache_lowers_benchmark_latency() {
+        let mut baseline = store(CachePolicy::None);
+        let mut client = BenchmarkClient::new(&mut baseline);
+        client.prepare(6, 4000).unwrap();
+        let no_cache = client.replay(&trace(6, 5), 4000).unwrap();
+
+        let mut cached = store(CachePolicy::Functional);
+        let mut client = BenchmarkClient::new(&mut cached);
+        client.prepare(6, 4000).unwrap();
+        for id in 0..6 {
+            cached.set_cached_chunks(id, 2).unwrap();
+        }
+        let mut client = BenchmarkClient::new(&mut cached);
+        let with_cache = client.replay(&trace(6, 5), 4000).unwrap();
+
+        assert!(with_cache.mean_latency < no_cache.mean_latency);
+        assert!(with_cache.cache_fraction() > 0.4);
+    }
+
+    #[test]
+    fn lru_cache_fraction_grows_with_repeated_access() {
+        let mut s = store(CachePolicy::ceph_baseline());
+        let mut client = BenchmarkClient::new(&mut s);
+        client.prepare(3, 2000).unwrap();
+        let report = client.replay(&trace(3, 10), 2000).unwrap();
+        // After the first pass everything fits in the cache, so most requests hit.
+        assert!(report.cache_fraction() > 0.5, "fraction {}", report.cache_fraction());
+    }
+
+    #[test]
+    fn replay_of_unknown_object_fails() {
+        let mut s = store(CachePolicy::None);
+        let mut client = BenchmarkClient::new(&mut s);
+        client.prepare(2, 100).unwrap();
+        assert!(client.replay(&[(0.0, 99)], 100).is_err());
+    }
+}

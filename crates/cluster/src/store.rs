@@ -1,0 +1,762 @@
+//! The erasure-coded object store: write and read paths over the node,
+//! placement and cache substrates.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sprout_erasure::{Chunk, CodeParams, FunctionalCacheCodec};
+
+use crate::cache::{Cache, CachePolicy, CacheStats};
+use crate::device::DeviceModel;
+use crate::error::ClusterError;
+use crate::node::StorageNode;
+use crate::placement::PlacementMap;
+
+/// Static description of a cluster.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterConfig {
+    /// Number of storage nodes (OSDs).
+    pub num_nodes: usize,
+    /// Erasure-code parameter `n` (storage chunks per object).
+    pub n: usize,
+    /// Erasure-code parameter `k` (data chunks per object).
+    pub k: usize,
+    /// Per-node device models; length must equal `num_nodes`.
+    pub devices: Vec<DeviceModel>,
+    /// Cache policy at the compute server.
+    pub cache_policy: CachePolicy,
+    /// Cache capacity in bytes.
+    pub cache_capacity_bytes: u64,
+    /// Device model of the cache.
+    pub cache_device: DeviceModel,
+    /// Seed for placement and service-time sampling.
+    pub seed: u64,
+    /// Number of placement groups (defaults to 100 per node).
+    pub placement_groups: Option<usize>,
+}
+
+impl ClusterConfig {
+    /// Starts building a configuration.
+    pub fn builder() -> ClusterConfigBuilder {
+        ClusterConfigBuilder::default()
+    }
+}
+
+/// Builder for [`ClusterConfig`].
+#[derive(Debug, Clone)]
+pub struct ClusterConfigBuilder {
+    num_nodes: usize,
+    n: usize,
+    k: usize,
+    devices: Option<Vec<DeviceModel>>,
+    cache_policy: CachePolicy,
+    cache_capacity_bytes: u64,
+    cache_device: DeviceModel,
+    seed: u64,
+    placement_groups: Option<usize>,
+}
+
+impl Default for ClusterConfigBuilder {
+    fn default() -> Self {
+        ClusterConfigBuilder {
+            num_nodes: 12,
+            n: 7,
+            k: 4,
+            devices: None,
+            cache_policy: CachePolicy::Functional,
+            cache_capacity_bytes: 10 * 1_000_000_000,
+            cache_device: DeviceModel::ssd(),
+            seed: 0,
+            placement_groups: None,
+        }
+    }
+}
+
+impl ClusterConfigBuilder {
+    /// Sets the number of storage nodes.
+    pub fn nodes(&mut self, num_nodes: usize) -> &mut Self {
+        self.num_nodes = num_nodes;
+        self
+    }
+
+    /// Sets the erasure code `(n, k)`.
+    pub fn code(&mut self, n: usize, k: usize) -> &mut Self {
+        self.n = n;
+        self.k = k;
+        self
+    }
+
+    /// Sets one device model for every node.
+    pub fn uniform_device(&mut self, device: DeviceModel) -> &mut Self {
+        self.devices = Some(vec![device; self.num_nodes]);
+        self
+    }
+
+    /// Sets per-node device models (length must match `nodes`).
+    pub fn devices(&mut self, devices: Vec<DeviceModel>) -> &mut Self {
+        self.devices = Some(devices);
+        self
+    }
+
+    /// Sets the cache policy.
+    pub fn cache_policy(&mut self, policy: CachePolicy) -> &mut Self {
+        self.cache_policy = policy;
+        self
+    }
+
+    /// Sets the cache capacity in bytes.
+    pub fn cache_capacity_bytes(&mut self, bytes: u64) -> &mut Self {
+        self.cache_capacity_bytes = bytes;
+        self
+    }
+
+    /// Sets the cache device model.
+    pub fn cache_device(&mut self, device: DeviceModel) -> &mut Self {
+        self.cache_device = device;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(&mut self, seed: u64) -> &mut Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the number of placement groups.
+    pub fn placement_groups(&mut self, groups: usize) -> &mut Self {
+        self.placement_groups = Some(groups);
+        self
+    }
+
+    /// Finalizes the configuration.
+    pub fn build(&self) -> ClusterConfig {
+        ClusterConfig {
+            num_nodes: self.num_nodes,
+            n: self.n,
+            k: self.k,
+            devices: self
+                .devices
+                .clone()
+                .unwrap_or_else(|| vec![DeviceModel::hdd(); self.num_nodes]),
+            cache_policy: self.cache_policy,
+            cache_capacity_bytes: self.cache_capacity_bytes,
+            cache_device: self.cache_device,
+            seed: self.seed,
+            placement_groups: self.placement_groups,
+        }
+    }
+}
+
+/// Metadata kept per stored object.
+#[derive(Debug, Clone)]
+struct ObjectMeta {
+    len: usize,
+    placement: Vec<usize>,
+}
+
+/// The result of a read.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReadOutcome {
+    /// The reconstructed object bytes.
+    pub data: Vec<u8>,
+    /// End-to-end latency of the read in virtual seconds.
+    pub latency: f64,
+    /// Number of chunks fetched from storage nodes.
+    pub storage_chunks_used: usize,
+    /// Number of chunks served by the cache.
+    pub cache_chunks_used: usize,
+    /// Storage nodes that served chunks, in the order they were selected.
+    pub nodes_used: Vec<usize>,
+}
+
+/// An in-memory erasure-coded object store with a pluggable cache tier.
+#[derive(Debug)]
+pub struct ErasureCodedStore {
+    config: ClusterConfig,
+    codec: FunctionalCacheCodec,
+    nodes: Vec<StorageNode>,
+    placement: PlacementMap,
+    cache: Cache,
+    objects: HashMap<u64, ObjectMeta>,
+    rng: StdRng,
+}
+
+impl ErasureCodedStore {
+    /// Creates an empty cluster.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::InvalidConfig`] for inconsistent parameters
+    /// (no nodes, `n > num_nodes`, device-list length mismatch) and
+    /// propagates invalid `(n, k)` pairs as [`ClusterError::Coding`].
+    pub fn new(config: ClusterConfig) -> Result<Self, ClusterError> {
+        if config.num_nodes == 0 {
+            return Err(ClusterError::InvalidConfig("no storage nodes".into()));
+        }
+        if config.n > config.num_nodes {
+            return Err(ClusterError::InvalidConfig(format!(
+                "n = {} exceeds the number of nodes {}",
+                config.n, config.num_nodes
+            )));
+        }
+        if config.devices.len() != config.num_nodes {
+            return Err(ClusterError::InvalidConfig(format!(
+                "expected {} device models, got {}",
+                config.num_nodes,
+                config.devices.len()
+            )));
+        }
+        let params = CodeParams::new(config.n, config.k)?;
+        let codec = FunctionalCacheCodec::new(params)?;
+        let nodes = config
+            .devices
+            .iter()
+            .enumerate()
+            .map(|(id, &device)| StorageNode::new(id, device))
+            .collect();
+        let placement = match config.placement_groups {
+            Some(groups) => PlacementMap::with_groups(config.num_nodes, groups, config.seed),
+            None => PlacementMap::new(config.num_nodes, config.seed),
+        };
+        let cache = Cache::new(config.cache_policy, config.cache_capacity_bytes);
+        let rng = StdRng::seed_from_u64(config.seed ^ 0xC0FF_EE00);
+        Ok(ErasureCodedStore {
+            config,
+            codec,
+            nodes,
+            placement,
+            cache,
+            objects: HashMap::new(),
+            rng,
+        })
+    }
+
+    /// The cluster configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// The erasure-code parameters.
+    pub fn code_params(&self) -> CodeParams {
+        self.codec.params()
+    }
+
+    /// Number of stored objects.
+    pub fn num_objects(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Immutable access to a storage node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node id is out of range.
+    pub fn node(&self, id: usize) -> &StorageNode {
+        &self.nodes[id]
+    }
+
+    /// Immutable access to the cache tier.
+    pub fn cache(&self) -> &Cache {
+        &self.cache
+    }
+
+    /// Cache statistics.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// The nodes hosting an object's chunks (chunk row `i` on entry `i`).
+    pub fn object_placement(&self, object: u64) -> Option<&[usize]> {
+        self.objects.get(&object).map(|m| m.placement.as_slice())
+    }
+
+    /// Writes an object, placing its `n` coded chunks via the placement map.
+    ///
+    /// # Errors
+    ///
+    /// Propagates coding errors.
+    pub fn put(&mut self, object: u64, data: &[u8]) -> Result<(), ClusterError> {
+        let placement = self.placement.place(object, self.config.n);
+        self.put_with_placement(object, data, placement)
+    }
+
+    /// Writes an object onto an explicit list of `n` distinct nodes (used by
+    /// experiments that control placement, e.g. Fig. 6 of the paper).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::InvalidConfig`] if the placement list is not
+    /// `n` distinct, valid node ids; propagates coding errors.
+    pub fn put_with_placement(
+        &mut self,
+        object: u64,
+        data: &[u8],
+        placement: Vec<usize>,
+    ) -> Result<(), ClusterError> {
+        if placement.len() != self.config.n {
+            return Err(ClusterError::InvalidConfig(format!(
+                "placement lists {} nodes but the code stores n = {} chunks",
+                placement.len(),
+                self.config.n
+            )));
+        }
+        let mut seen = std::collections::HashSet::new();
+        for &node in &placement {
+            if node >= self.config.num_nodes || !seen.insert(node) {
+                return Err(ClusterError::InvalidConfig(format!(
+                    "invalid or duplicate node {node} in placement"
+                )));
+            }
+        }
+        // Remove any previous version of the object.
+        self.delete(object);
+        let encoded = self.codec.encode(data)?;
+        for (chunk, &node) in encoded.chunks().iter().zip(&placement) {
+            self.nodes[node].store_chunk(object, chunk.clone());
+        }
+        self.objects.insert(
+            object,
+            ObjectMeta {
+                len: data.len(),
+                placement,
+            },
+        );
+        Ok(())
+    }
+
+    /// Deletes an object from the storage nodes and the cache.
+    pub fn delete(&mut self, object: u64) {
+        if let Some(meta) = self.objects.remove(&object) {
+            for &node in &meta.placement {
+                self.nodes[node].remove_object(object);
+            }
+        }
+        self.cache.remove(object);
+    }
+
+    /// Marks a storage node failed (offline) or recovered.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node id is out of range.
+    pub fn set_node_online(&mut self, node: usize, online: bool) {
+        self.nodes[node].set_online(online);
+    }
+
+    /// Installs `d` planner-chosen chunks of an object into the cache
+    /// (functional or exact caching). `d = 0` removes the object's cache
+    /// entry. Chunk contents are rebuilt from the chunks currently on the
+    /// storage nodes, mirroring the paper's lazy population on first access.
+    ///
+    /// # Errors
+    ///
+    /// * [`ClusterError::InvalidConfig`] if the cache policy is not
+    ///   planner-managed or the chunks do not fit the cache.
+    /// * [`ClusterError::UnknownObject`] if the object does not exist.
+    /// * Propagated coding errors (e.g. `d > k`).
+    pub fn set_cached_chunks(&mut self, object: u64, d: usize) -> Result<(), ClusterError> {
+        if !self.config.cache_policy.is_planned() {
+            return Err(ClusterError::InvalidConfig(
+                "set_cached_chunks requires the functional or exact cache policy".into(),
+            ));
+        }
+        let meta = self
+            .objects
+            .get(&object)
+            .ok_or(ClusterError::UnknownObject(object))?;
+        if d == 0 {
+            self.cache.remove(object);
+            return Ok(());
+        }
+        // Gather every available storage chunk (management path: no latency
+        // accounting, mirroring off-peak prefetch in the paper).
+        let mut available = Vec::new();
+        for &node in &meta.placement {
+            for index in self.nodes[node].chunk_indices(object) {
+                if let Some(chunk) = self.peek_chunk(node, object, index) {
+                    available.push(chunk);
+                }
+            }
+        }
+        let chunks = match self.config.cache_policy {
+            CachePolicy::Functional => self.codec.cache_chunks_from_chunks(&available, d)?,
+            CachePolicy::Exact => {
+                // Copy the first d storage chunks verbatim.
+                let mut copies: Vec<Chunk> = available
+                    .into_iter()
+                    .filter(|c| c.id.index < d.min(self.config.n))
+                    .collect();
+                copies.sort_by_key(|c| c.id.index);
+                copies.truncate(d);
+                if copies.len() < d {
+                    return Err(ClusterError::NotEnoughReplicas {
+                        object,
+                        available: copies.len(),
+                        required: d,
+                    });
+                }
+                copies
+            }
+            _ => unreachable!("checked is_planned above"),
+        };
+        if self.cache.install_planned(object, chunks) {
+            Ok(())
+        } else {
+            Err(ClusterError::InvalidConfig(format!(
+                "cache capacity exceeded while installing {d} chunks of object {object}"
+            )))
+        }
+    }
+
+    fn peek_chunk(&self, node: usize, object: u64, index: usize) -> Option<Chunk> {
+        if self.nodes[node].has_chunk(object, index) {
+            // Clone without touching the queue: management path.
+            let mut rng = StdRng::seed_from_u64(0);
+            let mut n = self.nodes[node].clone();
+            n.read(object, index, 0.0, &mut rng).map(|(c, _)| c)
+        } else {
+            None
+        }
+    }
+
+    /// Reads an object at virtual time `now`, honouring the cache policy, and
+    /// returns the reconstructed bytes together with the request latency.
+    ///
+    /// # Errors
+    ///
+    /// * [`ClusterError::UnknownObject`] if the object was never written.
+    /// * [`ClusterError::NotEnoughReplicas`] if node failures leave fewer
+    ///   than `k` chunks reachable.
+    /// * Propagated coding errors on reconstruction.
+    pub fn get(&mut self, object: u64, now: f64) -> Result<ReadOutcome, ClusterError> {
+        let meta = self
+            .objects
+            .get(&object)
+            .cloned()
+            .ok_or(ClusterError::UnknownObject(object))?;
+        let k = self.config.k;
+
+        // 1. Chunks available from the cache.
+        let cached: Vec<Chunk> = match self.config.cache_policy {
+            CachePolicy::None => Vec::new(),
+            _ => self.cache.lookup(object),
+        };
+        let lru = matches!(self.config.cache_policy, CachePolicy::LruReplicated { .. });
+
+        // Cache-resident LRU objects (or fully functional-cached objects) are
+        // served without touching storage.
+        if cached.len() >= k {
+            let cache_latency = self.cache_read_latency(&cached[..k]);
+            let data = self.codec.decode(&cached, meta.len)?;
+            return Ok(ReadOutcome {
+                data,
+                latency: cache_latency,
+                storage_chunks_used: 0,
+                cache_chunks_used: k,
+                nodes_used: Vec::new(),
+            });
+        }
+
+        let needed_from_storage = k - cached.len();
+
+        // 2. Candidate storage chunks: for exact caching the cached rows are
+        // copies of storage rows, so their hosts cannot contribute new rows.
+        let cached_rows: std::collections::HashSet<usize> =
+            cached.iter().map(|c| c.id.index).collect();
+        let mut candidates: Vec<(f64, usize, usize)> = Vec::new(); // (queue delay, node, row)
+        for (row, &node) in meta.placement.iter().enumerate() {
+            if !self.nodes[node].is_online() || !self.nodes[node].has_chunk(object, row) {
+                continue;
+            }
+            if self.config.cache_policy == CachePolicy::Exact && cached_rows.contains(&row) {
+                continue;
+            }
+            candidates.push((self.nodes[node].queue_delay(now), node, row));
+        }
+        if candidates.len() < needed_from_storage {
+            return Err(ClusterError::NotEnoughReplicas {
+                object,
+                available: candidates.len() + cached.len(),
+                required: k,
+            });
+        }
+        // Least-busy-first selection (the "optimal request scheduling" the
+        // functional-caching example in §III argues for).
+        candidates.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        candidates.truncate(needed_from_storage);
+
+        // 3. Issue the storage reads and take the fork-join maximum.
+        let mut storage_chunks = Vec::with_capacity(needed_from_storage);
+        let mut nodes_used = Vec::with_capacity(needed_from_storage);
+        let mut finish = now;
+        for &(_, node, row) in &candidates {
+            let (chunk, done) = self.nodes[node]
+                .read(object, row, now, &mut self.rng)
+                .expect("candidate chunks were verified present and online");
+            finish = finish.max(done);
+            storage_chunks.push(chunk);
+            nodes_used.push(node);
+        }
+        let storage_latency = finish - now;
+        let cache_latency = self.cache_read_latency(&cached);
+        let latency = storage_latency.max(cache_latency);
+
+        // 4. Reconstruct and verify.
+        let mut all = cached.clone();
+        all.extend(storage_chunks);
+        let data = self.codec.decode(&all, meta.len)?;
+
+        // 5. LRU promotion on a miss: the whole object enters the cache tier.
+        if lru {
+            if let CachePolicy::LruReplicated { replication } = self.config.cache_policy {
+                let (data_chunks, _) = sprout_erasure::stripe::split(&data, k);
+                let chunks: Vec<Chunk> = data_chunks
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, payload)| Chunk::new(sprout_erasure::ChunkId::cache(i), payload))
+                    .collect();
+                self.cache.promote_lru(object, chunks, replication);
+            }
+        }
+
+        Ok(ReadOutcome {
+            data,
+            latency,
+            storage_chunks_used: needed_from_storage,
+            cache_chunks_used: cached.len(),
+            nodes_used,
+        })
+    }
+
+    fn cache_read_latency(&mut self, chunks: &[Chunk]) -> f64 {
+        chunks
+            .iter()
+            .map(|c| {
+                self.config
+                    .cache_device
+                    .service_distribution(c.len() as u64)
+                    .sample(&mut self.rng)
+            })
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn payload(len: usize, seed: u8) -> Vec<u8> {
+        (0..len).map(|i| (i as u8).wrapping_mul(31).wrapping_add(seed)).collect()
+    }
+
+    fn store(policy: CachePolicy) -> ErasureCodedStore {
+        let config = ClusterConfig::builder()
+            .nodes(8)
+            .code(7, 4)
+            .uniform_device(DeviceModel::exponential(0.010))
+            .cache_policy(policy)
+            .cache_capacity_bytes(1_000_000)
+            .seed(11)
+            .build();
+        ErasureCodedStore::new(config).unwrap()
+    }
+
+    #[test]
+    fn put_get_round_trip_without_cache() {
+        let mut s = store(CachePolicy::None);
+        let data = payload(10_000, 1);
+        s.put(1, &data).unwrap();
+        assert_eq!(s.num_objects(), 1);
+        let out = s.get(1, 0.0).unwrap();
+        assert_eq!(out.data, data);
+        assert_eq!(out.storage_chunks_used, 4);
+        assert_eq!(out.cache_chunks_used, 0);
+        assert!(out.latency > 0.0);
+        assert_eq!(out.nodes_used.len(), 4);
+    }
+
+    #[test]
+    fn unknown_object_is_an_error() {
+        let mut s = store(CachePolicy::None);
+        assert_eq!(s.get(404, 0.0).unwrap_err(), ClusterError::UnknownObject(404));
+    }
+
+    #[test]
+    fn functional_cache_serves_part_of_the_read() {
+        let mut s = store(CachePolicy::Functional);
+        let data = payload(20_000, 2);
+        s.put(5, &data).unwrap();
+        s.set_cached_chunks(5, 2).unwrap();
+        assert_eq!(s.cache().cached_chunk_count(5), 2);
+        let out = s.get(5, 0.0).unwrap();
+        assert_eq!(out.data, data);
+        assert_eq!(out.cache_chunks_used, 2);
+        assert_eq!(out.storage_chunks_used, 2);
+        // Fully cached: no storage reads at all.
+        s.set_cached_chunks(5, 4).unwrap();
+        let out = s.get(5, 0.0).unwrap();
+        assert_eq!(out.data, data);
+        assert_eq!(out.storage_chunks_used, 0);
+        assert_eq!(out.cache_chunks_used, 4);
+        // Shrinking back to zero removes the entry.
+        s.set_cached_chunks(5, 0).unwrap();
+        assert_eq!(s.cache().cached_chunk_count(5), 0);
+    }
+
+    #[test]
+    fn exact_cache_excludes_hosts_of_cached_rows() {
+        let mut s = store(CachePolicy::Exact);
+        let data = payload(8_000, 3);
+        s.put(9, &data).unwrap();
+        s.set_cached_chunks(9, 2).unwrap();
+        let placement = s.object_placement(9).unwrap().to_vec();
+        let out = s.get(9, 0.0).unwrap();
+        assert_eq!(out.data, data);
+        assert_eq!(out.cache_chunks_used, 2);
+        assert_eq!(out.storage_chunks_used, 2);
+        // The hosts of rows 0 and 1 (the exact-cached rows) must not serve.
+        assert!(!out.nodes_used.contains(&placement[0]));
+        assert!(!out.nodes_used.contains(&placement[1]));
+    }
+
+    #[test]
+    fn lru_cache_promotes_on_miss_and_hits_afterwards() {
+        let mut s = store(CachePolicy::ceph_baseline());
+        let data = payload(4_000, 4);
+        s.put(77, &data).unwrap();
+        let miss = s.get(77, 0.0).unwrap();
+        assert_eq!(miss.cache_chunks_used, 0);
+        assert_eq!(miss.data, data);
+        let hit = s.get(77, 100.0).unwrap();
+        assert_eq!(hit.storage_chunks_used, 0);
+        assert_eq!(hit.data, data);
+        assert!(hit.latency < miss.latency);
+        assert!(s.cache_stats().hits >= 1);
+    }
+
+    #[test]
+    fn node_failures_are_tolerated_up_to_n_minus_k() {
+        let mut s = store(CachePolicy::None);
+        let data = payload(6_000, 5);
+        s.put(3, &data).unwrap();
+        let placement = s.object_placement(3).unwrap().to_vec();
+        // (7,4): up to 3 node failures are fine.
+        for &node in placement.iter().take(3) {
+            s.set_node_online(node, false);
+        }
+        assert_eq!(s.get(3, 0.0).unwrap().data, data);
+        // a fourth failure makes the object unreadable
+        s.set_node_online(placement[3], false);
+        assert!(matches!(
+            s.get(3, 0.0).unwrap_err(),
+            ClusterError::NotEnoughReplicas { required: 4, .. }
+        ));
+        // recovery restores readability
+        s.set_node_online(placement[0], true);
+        assert_eq!(s.get(3, 0.0).unwrap().data, data);
+    }
+
+    #[test]
+    fn queueing_under_back_to_back_reads_increases_latency() {
+        let mut s = store(CachePolicy::None);
+        let data = payload(50_000, 6);
+        s.put(8, &data).unwrap();
+        let first = s.get(8, 0.0).unwrap().latency;
+        // many reads at the same instant pile up in the FIFO queues
+        let mut last = first;
+        for _ in 0..20 {
+            last = s.get(8, 0.0).unwrap().latency;
+        }
+        assert!(last > first, "queueing should grow latency: {first} -> {last}");
+        // reads far in the future see empty queues again
+        let later = s.get(8, 1e9).unwrap().latency;
+        assert!(later < last);
+    }
+
+    #[test]
+    fn delete_removes_chunks_everywhere() {
+        let mut s = store(CachePolicy::Functional);
+        let data = payload(5_000, 7);
+        s.put(2, &data).unwrap();
+        s.set_cached_chunks(2, 1).unwrap();
+        s.delete(2);
+        assert_eq!(s.num_objects(), 0);
+        assert!(matches!(s.get(2, 0.0), Err(ClusterError::UnknownObject(2))));
+        assert_eq!(s.cache().cached_chunk_count(2), 0);
+        let total_chunks: usize = (0..8).map(|i| s.node(i).num_chunks()).sum();
+        assert_eq!(total_chunks, 0);
+    }
+
+    #[test]
+    fn explicit_placement_is_honoured_and_validated() {
+        let mut s = store(CachePolicy::None);
+        let data = payload(3_000, 8);
+        s.put_with_placement(1, &data, vec![0, 1, 2, 3, 4, 5, 6]).unwrap();
+        assert_eq!(s.object_placement(1).unwrap(), &[0, 1, 2, 3, 4, 5, 6]);
+        assert!(s
+            .put_with_placement(2, &data, vec![0, 1, 2])
+            .is_err());
+        assert!(s
+            .put_with_placement(2, &data, vec![0, 0, 1, 2, 3, 4, 5])
+            .is_err());
+        assert!(s
+            .put_with_placement(2, &data, vec![0, 1, 2, 3, 4, 5, 99])
+            .is_err());
+    }
+
+    #[test]
+    fn set_cached_chunks_requires_planned_policy_and_known_object() {
+        let mut s = store(CachePolicy::ceph_baseline());
+        let data = payload(1_000, 9);
+        s.put(1, &data).unwrap();
+        assert!(matches!(
+            s.set_cached_chunks(1, 1),
+            Err(ClusterError::InvalidConfig(_))
+        ));
+        let mut s = store(CachePolicy::Functional);
+        assert!(matches!(
+            s.set_cached_chunks(1, 1),
+            Err(ClusterError::UnknownObject(1))
+        ));
+        s.put(1, &data).unwrap();
+        assert!(matches!(
+            s.set_cached_chunks(1, 9),
+            Err(ClusterError::Coding(_))
+        ));
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let mut builder = ClusterConfig::builder();
+        let bad = builder.nodes(3).code(7, 4).build();
+        assert!(matches!(
+            ErasureCodedStore::new(bad),
+            Err(ClusterError::InvalidConfig(_))
+        ));
+        let mut builder = ClusterConfig::builder();
+        let mut cfg = builder.nodes(8).code(7, 4).build();
+        cfg.devices.truncate(3);
+        assert!(matches!(
+            ErasureCodedStore::new(cfg),
+            Err(ClusterError::InvalidConfig(_))
+        ));
+        let mut builder = ClusterConfig::builder();
+        let bad_code = builder.nodes(8).code(4, 7).build();
+        assert!(matches!(
+            ErasureCodedStore::new(bad_code),
+            Err(ClusterError::Coding(_))
+        ));
+    }
+
+    #[test]
+    fn overwriting_an_object_replaces_its_contents() {
+        let mut s = store(CachePolicy::None);
+        let first = payload(2_000, 10);
+        let second = payload(3_000, 11);
+        s.put(6, &first).unwrap();
+        s.put(6, &second).unwrap();
+        assert_eq!(s.get(6, 0.0).unwrap().data, second);
+        assert_eq!(s.num_objects(), 1);
+    }
+}

@@ -1,0 +1,80 @@
+//! The unified error type of the `sprout` facade.
+
+use std::fmt;
+
+use sprout_cluster::ClusterError;
+use sprout_erasure::CodingError;
+use sprout_optimizer::OptimizerError;
+
+/// Errors surfaced by the high-level Sprout API.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SproutError {
+    /// The system specification is inconsistent.
+    InvalidSpec(String),
+    /// An error from the cache-placement optimizer.
+    Optimizer(OptimizerError),
+    /// An error from the erasure-coding layer.
+    Coding(CodingError),
+    /// An error from the cluster substrate.
+    Cluster(ClusterError),
+}
+
+impl fmt::Display for SproutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SproutError::InvalidSpec(msg) => write!(f, "invalid system specification: {msg}"),
+            SproutError::Optimizer(e) => write!(f, "optimizer error: {e}"),
+            SproutError::Coding(e) => write!(f, "coding error: {e}"),
+            SproutError::Cluster(e) => write!(f, "cluster error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SproutError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SproutError::InvalidSpec(_) => None,
+            SproutError::Optimizer(e) => Some(e),
+            SproutError::Coding(e) => Some(e),
+            SproutError::Cluster(e) => Some(e),
+        }
+    }
+}
+
+impl From<OptimizerError> for SproutError {
+    fn from(e: OptimizerError) -> Self {
+        SproutError::Optimizer(e)
+    }
+}
+
+impl From<CodingError> for SproutError {
+    fn from(e: CodingError) -> Self {
+        SproutError::Coding(e)
+    }
+}
+
+impl From<ClusterError> for SproutError {
+    fn from(e: ClusterError) -> Self {
+        SproutError::Cluster(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: SproutError = OptimizerError::InvalidModel("x".into()).into();
+        assert!(e.to_string().contains("optimizer error"));
+        assert!(e.source().is_some());
+        let e: SproutError = CodingError::NotEnoughChunks { have: 1, need: 2 }.into();
+        assert!(e.to_string().contains("coding error"));
+        let e: SproutError = ClusterError::UnknownObject(1).into();
+        assert!(e.to_string().contains("cluster error"));
+        let e = SproutError::InvalidSpec("bad".into());
+        assert!(e.to_string().contains("bad"));
+        assert!(e.source().is_none());
+    }
+}

@@ -1,0 +1,327 @@
+//! The [`SproutSystem`] facade: optimize → analyze → simulate.
+
+use serde::{Deserialize, Serialize};
+use sprout_optimizer::{
+    optimize, optimize_from, CachePlan, FileModel, OptimizerConfig, StorageModel,
+};
+use sprout_sim::policy::SchedulingRule;
+use sprout_sim::{CacheScheme, SimConfig, SimFile, SimReport, Simulation};
+
+use crate::error::SproutError;
+use crate::spec::SystemSpec;
+
+/// Which caching policy to evaluate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CachePolicyChoice {
+    /// Sprout's functional caching with the optimized plan.
+    Functional,
+    /// Exact caching: the same per-file cache counts, but the cached chunks
+    /// are copies of stored chunks, so their host nodes cannot serve reads.
+    Exact,
+    /// Ceph's baseline: an LRU cache tier with dual replication.
+    LruReplicated,
+    /// No cache.
+    NoCache,
+}
+
+/// Simulated latency of every policy on the same workload, plus the analytic
+/// bound for the functional plan — the comparison behind Figs. 10 and 11.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PolicyComparison {
+    /// Functional caching (optimized plan).
+    pub functional: SimReport,
+    /// Exact caching with the same cache counts.
+    pub exact: SimReport,
+    /// LRU replicated cache tier.
+    pub lru: SimReport,
+    /// No cache at all.
+    pub no_cache: SimReport,
+    /// The analytical mean-latency bound of the functional plan.
+    pub analytic_bound: f64,
+}
+
+impl PolicyComparison {
+    /// Relative latency reduction of functional caching over the LRU
+    /// baseline (the headline number of the paper's evaluation, ~25 %).
+    pub fn improvement_over_lru(&self) -> f64 {
+        if self.lru.overall.mean <= 0.0 {
+            0.0
+        } else {
+            1.0 - self.functional.overall.mean / self.lru.overall.mean
+        }
+    }
+}
+
+/// A configured storage system: spec, resolved placement and analytic model.
+#[derive(Debug, Clone)]
+pub struct SproutSystem {
+    spec: SystemSpec,
+    placements: Vec<Vec<usize>>,
+    model: StorageModel,
+}
+
+impl SproutSystem {
+    /// Builds a system from a validated specification.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SproutError::InvalidSpec`] for malformed placements and
+    /// propagates model-validation errors.
+    pub fn new(spec: SystemSpec) -> Result<Self, SproutError> {
+        let placements = spec.resolved_placements()?;
+        let nodes = spec
+            .node_services
+            .iter()
+            .map(|d| d.moments())
+            .collect::<Vec<_>>();
+        let files = spec
+            .files
+            .iter()
+            .zip(&placements)
+            .map(|(f, p)| FileModel::new(f.arrival_rate, f.k, p.clone()))
+            .collect();
+        let model = StorageModel::new(nodes, files)?;
+        Ok(SproutSystem {
+            spec,
+            placements,
+            model,
+        })
+    }
+
+    /// The system specification.
+    pub fn spec(&self) -> &SystemSpec {
+        &self.spec
+    }
+
+    /// The analytic storage model (arrival rates, moments, placement).
+    pub fn model(&self) -> &StorageModel {
+        &self.model
+    }
+
+    /// The resolved per-file placements.
+    pub fn placements(&self) -> &[Vec<usize>] {
+        &self.placements
+    }
+
+    /// Runs Algorithm 1 with the default configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates optimizer errors (e.g. an unstable system).
+    pub fn optimize(&self) -> Result<CachePlan, SproutError> {
+        Ok(optimize(
+            &self.model,
+            self.spec.cache_capacity_chunks,
+            &OptimizerConfig::default(),
+        )?)
+    }
+
+    /// Runs Algorithm 1 with a custom configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates optimizer errors.
+    pub fn optimize_with(&self, config: &OptimizerConfig) -> Result<CachePlan, SproutError> {
+        Ok(optimize(&self.model, self.spec.cache_capacity_chunks, config)?)
+    }
+
+    /// Runs Algorithm 1 warm-started from a previous plan's scheduling (the
+    /// paper warm-starts across cache sizes in its convergence experiment).
+    ///
+    /// # Errors
+    ///
+    /// Propagates optimizer errors.
+    pub fn optimize_warm(
+        &self,
+        config: &OptimizerConfig,
+        previous: &CachePlan,
+    ) -> Result<CachePlan, SproutError> {
+        Ok(optimize_from(
+            &self.model,
+            self.spec.cache_capacity_chunks,
+            config,
+            &previous.scheduling,
+        )?)
+    }
+
+    /// Returns a copy of the system with new per-file arrival rates (a new
+    /// time bin).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SproutError::InvalidSpec`] if the rate vector length does
+    /// not match the number of files.
+    pub fn with_arrival_rates(&self, rates: &[f64]) -> Result<Self, SproutError> {
+        if rates.len() != self.spec.files.len() {
+            return Err(SproutError::InvalidSpec(format!(
+                "expected {} arrival rates, got {}",
+                self.spec.files.len(),
+                rates.len()
+            )));
+        }
+        let mut spec = self.spec.clone();
+        for (f, &r) in spec.files.iter_mut().zip(rates) {
+            f.arrival_rate = r;
+        }
+        SproutSystem::new(spec)
+    }
+
+    /// Simulates the system under the given policy. `plan` is required for
+    /// [`CachePolicyChoice::Functional`] and [`CachePolicyChoice::Exact`];
+    /// it is ignored by the other policies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a plan is required but not supplied.
+    pub fn simulate(
+        &self,
+        policy: CachePolicyChoice,
+        plan: Option<&CachePlan>,
+        horizon: f64,
+        seed: u64,
+    ) -> SimReport {
+        self.simulate_with_config(policy, plan, SimConfig::new(horizon, seed))
+    }
+
+    /// Like [`SproutSystem::simulate`] but with full control over the
+    /// simulation configuration (warm-up, cache-read latency, slot length).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a plan is required but not supplied.
+    pub fn simulate_with_config(
+        &self,
+        policy: CachePolicyChoice,
+        plan: Option<&CachePlan>,
+        config: SimConfig,
+    ) -> SimReport {
+        let scheme = self.scheme_for(policy, plan);
+        let sim_files: Vec<SimFile> = self
+            .spec
+            .files
+            .iter()
+            .zip(&self.placements)
+            .map(|(f, p)| SimFile::new(f.arrival_rate, f.k, p.clone()))
+            .collect();
+        Simulation::new(self.spec.node_services.clone(), sim_files, scheme, config).run()
+    }
+
+    /// Simulates all four policies on the same workload and reports the
+    /// comparison (plus the analytic bound of the supplied functional plan).
+    pub fn compare_policies(&self, plan: &CachePlan, horizon: f64, seed: u64) -> PolicyComparison {
+        PolicyComparison {
+            functional: self.simulate(CachePolicyChoice::Functional, Some(plan), horizon, seed),
+            exact: self.simulate(CachePolicyChoice::Exact, Some(plan), horizon, seed),
+            lru: self.simulate(CachePolicyChoice::LruReplicated, None, horizon, seed),
+            no_cache: self.simulate(CachePolicyChoice::NoCache, None, horizon, seed),
+            analytic_bound: plan.objective,
+        }
+    }
+
+    fn scheme_for(&self, policy: CachePolicyChoice, plan: Option<&CachePlan>) -> CacheScheme {
+        match policy {
+            CachePolicyChoice::NoCache => CacheScheme::NoCache,
+            CachePolicyChoice::LruReplicated => {
+                CacheScheme::ceph_lru(self.spec.cache_capacity_chunks)
+            }
+            CachePolicyChoice::Functional => {
+                let plan = plan.expect("the functional policy requires an optimized plan");
+                CacheScheme::Functional {
+                    cached_chunks: plan.cached_chunks.clone(),
+                    scheduling: plan.scheduling.clone(),
+                    rule: SchedulingRule::Probabilistic,
+                }
+            }
+            CachePolicyChoice::Exact => {
+                let plan = plan.expect("the exact policy requires an optimized plan");
+                // Exact caching pins copies of the first d_i chunks; the
+                // remaining reads spread uniformly over the other hosts.
+                let m = self.spec.node_services.len();
+                let scheduling: Vec<Vec<f64>> = self
+                    .spec
+                    .files
+                    .iter()
+                    .zip(&self.placements)
+                    .enumerate()
+                    .map(|(i, (f, p))| {
+                        let d = plan.cached_chunks.get(i).copied().unwrap_or(0).min(f.k);
+                        let eligible = &p[d.min(p.len())..];
+                        let mut row = vec![0.0; m];
+                        if !eligible.is_empty() && f.k > d {
+                            let prob = (f.k - d) as f64 / eligible.len() as f64;
+                            for &j in eligible {
+                                row[j] = prob.min(1.0);
+                            }
+                        }
+                        row
+                    })
+                    .collect();
+                CacheScheme::Exact {
+                    cached_chunks: plan.cached_chunks.clone(),
+                    scheduling,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::SystemSpec;
+
+    fn small_system() -> SproutSystem {
+        let spec = SystemSpec::builder()
+            .node_service_rates(&[0.6, 0.6, 0.45, 0.45, 0.3, 0.3])
+            .uniform_files(6, 2, 4, 0.04)
+            .cache_capacity_chunks(6)
+            .seed(3)
+            .build()
+            .unwrap();
+        SproutSystem::new(spec).unwrap()
+    }
+
+    #[test]
+    fn optimize_and_simulate_pipeline() {
+        let system = small_system();
+        let plan = system.optimize().unwrap();
+        assert!(plan.cache_chunks_used() <= 6);
+        let report = system.simulate(CachePolicyChoice::Functional, Some(&plan), 30_000.0, 1);
+        assert!(report.completed_requests > 100);
+        // The analytic objective is an upper bound on the simulated mean.
+        assert!(plan.objective >= report.overall.mean * 0.9);
+    }
+
+    #[test]
+    fn policy_comparison_orders_policies_sensibly() {
+        let system = small_system();
+        let plan = system.optimize().unwrap();
+        let cmp = system.compare_policies(&plan, 40_000.0, 5);
+        // Functional caching should not lose to no caching.
+        assert!(cmp.functional.overall.mean <= cmp.no_cache.overall.mean * 1.05);
+        // Functional caching should not lose to exact caching with the same counts.
+        assert!(cmp.functional.overall.mean <= cmp.exact.overall.mean * 1.10);
+        assert!(cmp.analytic_bound > 0.0);
+        // improvement metric is well defined
+        let imp = cmp.improvement_over_lru();
+        assert!(imp <= 1.0);
+    }
+
+    #[test]
+    fn with_arrival_rates_builds_a_new_bin() {
+        let system = small_system();
+        let rates = vec![0.01; 6];
+        let next = system.with_arrival_rates(&rates).unwrap();
+        assert!((next.model().total_arrival_rate() - 0.06).abs() < 1e-12);
+        assert!(system.with_arrival_rates(&[0.1]).is_err());
+        // placements are preserved across bins
+        assert_eq!(system.placements(), next.placements());
+    }
+
+    #[test]
+    #[should_panic(expected = "requires an optimized plan")]
+    fn functional_simulation_without_plan_panics() {
+        let system = small_system();
+        let _ = system.simulate(CachePolicyChoice::Functional, None, 100.0, 0);
+    }
+}

@@ -1,0 +1,524 @@
+//! Systematic `(n, k)` Reed–Solomon codes built from an extended
+//! `(n + k, k)` MDS generator.
+//!
+//! Following §III of the paper, the generator has `n + k` rows so that the
+//! `n` storage chunks use rows `0..n` and up to `k` *functional cache* chunks
+//! can later be produced from rows `n..n + k` without touching the stored
+//! chunks. Any `k` distinct rows of the generator are linearly independent,
+//! so any `k` chunks — from storage, cache, or a mix — reconstruct the file.
+
+use bytes::Bytes;
+use sprout_gf::{builders, Gf256, Matrix};
+
+use crate::chunk::{Chunk, ChunkId, ChunkSource};
+use crate::error::CodingError;
+use crate::stripe;
+
+/// Validated `(n, k)` erasure-code parameters.
+///
+/// `n` is the number of chunks stored on storage nodes and `k` the number of
+/// data chunks required to reconstruct a file. The extended generator used
+/// internally has `n + k` rows, so `n + k` must not exceed 255.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CodeParams {
+    n: usize,
+    k: usize,
+}
+
+impl CodeParams {
+    /// Creates validated code parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodingError::InvalidParams`] if `k == 0`, `n < k`, or
+    /// `n + k > 255`.
+    pub fn new(n: usize, k: usize) -> Result<Self, CodingError> {
+        if k == 0 {
+            return Err(CodingError::InvalidParams {
+                n,
+                k,
+                reason: "k must be at least 1",
+            });
+        }
+        if n < k {
+            return Err(CodingError::InvalidParams {
+                n,
+                k,
+                reason: "n must be at least k",
+            });
+        }
+        if n + k > 255 {
+            return Err(CodingError::InvalidParams {
+                n,
+                k,
+                reason: "n + k must not exceed 255 for GF(2^8)",
+            });
+        }
+        Ok(CodeParams { n, k })
+    }
+
+    /// Number of chunks stored on storage nodes.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of data chunks needed to reconstruct a file.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Storage redundancy factor `n / k`.
+    pub fn redundancy(&self) -> f64 {
+        self.n as f64 / self.k as f64
+    }
+
+    /// Total number of rows in the extended generator (`n + k`).
+    #[inline]
+    pub fn extended_rows(&self) -> usize {
+        self.n + self.k
+    }
+}
+
+impl std::fmt::Display for CodeParams {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({}, {})", self.n, self.k)
+    }
+}
+
+/// The result of encoding a file: the `n` storage chunks plus the metadata
+/// needed to decode (original length and per-chunk length).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EncodedFile {
+    chunks: Vec<Chunk>,
+    original_len: usize,
+    chunk_len: usize,
+}
+
+impl EncodedFile {
+    /// The `n` storage chunks.
+    pub fn chunks(&self) -> &[Chunk] {
+        &self.chunks
+    }
+
+    /// Consumes the encoded file and returns its chunks.
+    pub fn into_chunks(self) -> Vec<Chunk> {
+        self.chunks
+    }
+
+    /// Original (pre-padding) file length in bytes.
+    pub fn original_len(&self) -> usize {
+        self.original_len
+    }
+
+    /// Length of each chunk in bytes.
+    pub fn chunk_len(&self) -> usize {
+        self.chunk_len
+    }
+}
+
+/// A systematic `(n, k)` Reed–Solomon MDS code with an extended generator
+/// that reserves `k` extra rows for functional cache chunks.
+///
+/// # Example
+///
+/// ```
+/// use sprout_erasure::{CodeParams, ReedSolomon};
+///
+/// let rs = ReedSolomon::new(CodeParams::new(7, 4)?)?;
+/// let file: Vec<u8> = (0..=255u8).cycle().take(1000).collect();
+/// let encoded = rs.encode(&file)?;
+///
+/// // Reconstruct from an arbitrary subset of 4 chunks.
+/// let subset: Vec<_> = encoded.chunks().iter().skip(2).take(4).cloned().collect();
+/// assert_eq!(rs.decode(&subset, file.len())?, file);
+/// # Ok::<(), sprout_erasure::CodingError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReedSolomon {
+    params: CodeParams,
+    /// Extended `(n + k) × k` systematic generator matrix.
+    generator: Matrix,
+}
+
+impl ReedSolomon {
+    /// Builds the code for the given parameters.
+    ///
+    /// # Errors
+    ///
+    /// Currently construction cannot fail for validated [`CodeParams`], but
+    /// the `Result` is kept so that alternative generator constructions
+    /// (e.g. user-supplied matrices) can report errors uniformly.
+    pub fn new(params: CodeParams) -> Result<Self, CodingError> {
+        let generator = builders::systematic_mds(params.extended_rows(), params.k());
+        Ok(ReedSolomon { params, generator })
+    }
+
+    /// The code parameters.
+    pub fn params(&self) -> CodeParams {
+        self.params
+    }
+
+    /// The extended `(n + k) × k` generator matrix.
+    pub fn generator(&self) -> &Matrix {
+        &self.generator
+    }
+
+    /// Encodes a file into its `n` storage chunks.
+    ///
+    /// # Errors
+    ///
+    /// This operation does not currently fail; the `Result` mirrors
+    /// [`ReedSolomon::decode`] for API symmetry.
+    pub fn encode(&self, file: &[u8]) -> Result<EncodedFile, CodingError> {
+        let k = self.params.k();
+        let (data_chunks, chunk_len) = stripe::split(file, k);
+        let rows: Vec<usize> = (0..self.params.n()).collect();
+        let payloads = self.encode_rows(&data_chunks, &rows);
+        let chunks = rows
+            .iter()
+            .zip(payloads)
+            .map(|(&row, payload)| Chunk::new(ChunkId::storage(row), payload))
+            .collect();
+        Ok(EncodedFile {
+            chunks,
+            original_len: file.len(),
+            chunk_len,
+        })
+    }
+
+    /// Encodes the listed generator rows against already-split data chunks.
+    ///
+    /// This is the primitive used both for storage chunks (rows `0..n`) and
+    /// functional cache chunks (rows `n..n+d`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data_chunks.len() != k`, the chunks have unequal lengths,
+    /// or a row index exceeds `n + k`.
+    pub fn encode_rows(&self, data_chunks: &[Vec<u8>], rows: &[usize]) -> Vec<Vec<u8>> {
+        let k = self.params.k();
+        assert_eq!(data_chunks.len(), k, "expected exactly k data chunks");
+        let chunk_len = data_chunks.first().map_or(0, Vec::len);
+        assert!(
+            data_chunks.iter().all(|c| c.len() == chunk_len),
+            "all data chunks must have the same length"
+        );
+        rows.iter()
+            .map(|&row| {
+                assert!(
+                    row < self.params.extended_rows(),
+                    "generator row {row} out of range"
+                );
+                let mut out = vec![0u8; chunk_len];
+                for (j, data) in data_chunks.iter().enumerate() {
+                    let coeff = self.generator.get(row, j);
+                    Gf256::mul_acc_slice(coeff, data, &mut out);
+                }
+                out
+            })
+            .collect()
+    }
+
+    /// Decodes the original file from any `k` distinct chunks.
+    ///
+    /// Chunks may come from storage rows, cache rows, or a mix; only `k`
+    /// distinct generator rows are required. Extra chunks beyond `k` are
+    /// ignored (the first `k` distinct rows are used).
+    ///
+    /// # Errors
+    ///
+    /// * [`CodingError::NotEnoughChunks`] if fewer than `k` distinct rows are present.
+    /// * [`CodingError::InvalidChunkIndex`] if a row index is out of range.
+    /// * [`CodingError::ChunkSizeMismatch`] if payload lengths differ.
+    /// * [`CodingError::InvalidFileLength`] if `original_len` exceeds `k * chunk_len`.
+    pub fn decode(&self, chunks: &[Chunk], original_len: usize) -> Result<Vec<u8>, CodingError> {
+        let k = self.params.k();
+        let max = self.params.extended_rows();
+
+        // Collect the first k distinct rows.
+        let mut selected: Vec<&Chunk> = Vec::with_capacity(k);
+        let mut seen = std::collections::HashSet::new();
+        for chunk in chunks {
+            if chunk.id.index >= max {
+                return Err(CodingError::InvalidChunkIndex {
+                    index: chunk.id.index,
+                    max,
+                });
+            }
+            if !seen.insert(chunk.id.index) {
+                // A duplicate row is legal input if we already have it; only
+                // flag it as an error when it prevents reaching k rows.
+                continue;
+            }
+            selected.push(chunk);
+            if selected.len() == k {
+                break;
+            }
+        }
+        if selected.len() < k {
+            return Err(CodingError::NotEnoughChunks {
+                have: selected.len(),
+                need: k,
+            });
+        }
+
+        let chunk_len = selected[0].len();
+        for chunk in &selected {
+            if chunk.len() != chunk_len {
+                return Err(CodingError::ChunkSizeMismatch {
+                    expected: chunk_len,
+                    found: chunk.len(),
+                });
+            }
+        }
+        if original_len > k * chunk_len {
+            return Err(CodingError::InvalidFileLength {
+                requested: original_len,
+                available: k * chunk_len,
+            });
+        }
+
+        // Build and invert the k x k decoding matrix.
+        let rows: Vec<usize> = selected.iter().map(|c| c.id.index).collect();
+        let sub = self.generator.select_rows(&rows);
+        let inv = sub
+            .inverted()
+            .map_err(|_| CodingError::SingularDecodeMatrix)?;
+
+        // data_chunk[i] = sum_j inv[i][j] * selected[j]
+        let mut data_chunks = vec![vec![0u8; chunk_len]; k];
+        for (i, data) in data_chunks.iter_mut().enumerate() {
+            for (j, chunk) in selected.iter().enumerate() {
+                let coeff = inv.get(i, j);
+                Gf256::mul_acc_slice(coeff, &chunk.data, data);
+            }
+        }
+        Ok(stripe::join(&data_chunks, original_len))
+    }
+
+    /// Produces a single coded chunk for the given generator row from a raw file.
+    ///
+    /// Convenience wrapper used by repair and cache-population paths.
+    pub fn encode_row_from_file(&self, file: &[u8], row: usize) -> Chunk {
+        let (data_chunks, _) = stripe::split(file, self.params.k());
+        let payload = self.encode_rows(&data_chunks, &[row]).remove(0);
+        let source = if row < self.params.n() {
+            ChunkSource::Storage
+        } else {
+            ChunkSource::Cache
+        };
+        Chunk::new(
+            ChunkId {
+                index: row,
+                source,
+            },
+            Bytes::from(payload),
+        )
+    }
+
+    /// Verifies that a set of chunks is consistent with a single codeword,
+    /// i.e. decoding from one `k`-subset and re-encoding reproduces all the
+    /// supplied chunks.
+    ///
+    /// # Errors
+    ///
+    /// Propagates decode errors; returns `Ok(false)` when the chunks are
+    /// inconsistent.
+    pub fn verify(&self, chunks: &[Chunk]) -> Result<bool, CodingError> {
+        if chunks.is_empty() {
+            return Ok(true);
+        }
+        let chunk_len = chunks[0].len();
+        let file = self.decode(chunks, self.params.k() * chunk_len)?;
+        let (data_chunks, _) = stripe::split(&file, self.params.k());
+        for chunk in chunks {
+            let expect = self
+                .encode_rows(&data_chunks, &[chunk.id.index])
+                .remove(0);
+            if expect != chunk.data.as_ref() {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_file(len: usize) -> Vec<u8> {
+        (0..len).map(|i| (i * 131 + 7) as u8).collect()
+    }
+
+    #[test]
+    fn params_validation() {
+        assert!(CodeParams::new(7, 4).is_ok());
+        assert!(CodeParams::new(4, 4).is_ok());
+        assert!(matches!(
+            CodeParams::new(3, 4),
+            Err(CodingError::InvalidParams { .. })
+        ));
+        assert!(matches!(
+            CodeParams::new(5, 0),
+            Err(CodingError::InvalidParams { .. })
+        ));
+        assert!(matches!(
+            CodeParams::new(200, 100),
+            Err(CodingError::InvalidParams { .. })
+        ));
+        let p = CodeParams::new(7, 4).unwrap();
+        assert_eq!(p.n(), 7);
+        assert_eq!(p.k(), 4);
+        assert_eq!(p.extended_rows(), 11);
+        assert!((p.redundancy() - 1.75).abs() < 1e-12);
+        assert_eq!(p.to_string(), "(7, 4)");
+    }
+
+    #[test]
+    fn encode_produces_systematic_prefix() {
+        let rs = ReedSolomon::new(CodeParams::new(6, 5).unwrap()).unwrap();
+        let file = sample_file(50);
+        let encoded = rs.encode(&file).unwrap();
+        assert_eq!(encoded.chunks().len(), 6);
+        let (data_chunks, clen) = stripe::split(&file, 5);
+        assert_eq!(encoded.chunk_len(), clen);
+        // first k chunks are the data chunks themselves (systematic code)
+        for i in 0..5 {
+            assert_eq!(encoded.chunks()[i].data.as_ref(), &data_chunks[i][..]);
+        }
+    }
+
+    #[test]
+    fn decode_from_any_k_subset() {
+        let rs = ReedSolomon::new(CodeParams::new(7, 4).unwrap()).unwrap();
+        let file = sample_file(123);
+        let encoded = rs.encode(&file).unwrap();
+        // every 4-subset of the 7 storage chunks decodes
+        let idx: Vec<usize> = (0..7).collect();
+        for a in 0..7 {
+            for b in a + 1..7 {
+                for c in b + 1..7 {
+                    for d in c + 1..7 {
+                        let subset: Vec<Chunk> = [a, b, c, d]
+                            .iter()
+                            .map(|&i| encoded.chunks()[idx[i]].clone())
+                            .collect();
+                        assert_eq!(rs.decode(&subset, file.len()).unwrap(), file);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn decode_with_fewer_chunks_fails() {
+        let rs = ReedSolomon::new(CodeParams::new(7, 4).unwrap()).unwrap();
+        let file = sample_file(64);
+        let encoded = rs.encode(&file).unwrap();
+        let subset: Vec<Chunk> = encoded.chunks()[..3].to_vec();
+        assert_eq!(
+            rs.decode(&subset, file.len()).unwrap_err(),
+            CodingError::NotEnoughChunks { have: 3, need: 4 }
+        );
+    }
+
+    #[test]
+    fn duplicate_rows_do_not_count_twice() {
+        let rs = ReedSolomon::new(CodeParams::new(7, 4).unwrap()).unwrap();
+        let file = sample_file(64);
+        let encoded = rs.encode(&file).unwrap();
+        let mut subset: Vec<Chunk> = encoded.chunks()[..3].to_vec();
+        subset.push(encoded.chunks()[0].clone());
+        assert!(matches!(
+            rs.decode(&subset, file.len()),
+            Err(CodingError::NotEnoughChunks { have: 3, need: 4 })
+        ));
+        subset.push(encoded.chunks()[5].clone());
+        assert_eq!(rs.decode(&subset, file.len()).unwrap(), file);
+    }
+
+    #[test]
+    fn invalid_chunk_index_is_rejected() {
+        let rs = ReedSolomon::new(CodeParams::new(7, 4).unwrap()).unwrap();
+        let file = sample_file(16);
+        let encoded = rs.encode(&file).unwrap();
+        let mut subset: Vec<Chunk> = encoded.chunks()[..4].to_vec();
+        subset[0] = Chunk::new(ChunkId::storage(99), subset[0].data.clone());
+        assert!(matches!(
+            rs.decode(&subset, file.len()),
+            Err(CodingError::InvalidChunkIndex { index: 99, .. })
+        ));
+    }
+
+    #[test]
+    fn chunk_size_mismatch_is_rejected() {
+        let rs = ReedSolomon::new(CodeParams::new(7, 4).unwrap()).unwrap();
+        let file = sample_file(40);
+        let encoded = rs.encode(&file).unwrap();
+        let mut subset: Vec<Chunk> = encoded.chunks()[..4].to_vec();
+        subset[2] = Chunk::new(subset[2].id, vec![0u8; 3]);
+        assert!(matches!(
+            rs.decode(&subset, file.len()),
+            Err(CodingError::ChunkSizeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_file_length_is_rejected() {
+        let rs = ReedSolomon::new(CodeParams::new(6, 3).unwrap()).unwrap();
+        let file = sample_file(30);
+        let encoded = rs.encode(&file).unwrap();
+        let subset: Vec<Chunk> = encoded.chunks()[..3].to_vec();
+        assert!(matches!(
+            rs.decode(&subset, 10_000),
+            Err(CodingError::InvalidFileLength { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_file_round_trips() {
+        let rs = ReedSolomon::new(CodeParams::new(5, 3).unwrap()).unwrap();
+        let encoded = rs.encode(&[]).unwrap();
+        assert_eq!(encoded.original_len(), 0);
+        let subset: Vec<Chunk> = encoded.chunks()[2..5].to_vec();
+        assert!(rs.decode(&subset, 0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn verify_accepts_consistent_and_rejects_corrupted() {
+        let rs = ReedSolomon::new(CodeParams::new(7, 4).unwrap()).unwrap();
+        let file = sample_file(97);
+        let encoded = rs.encode(&file).unwrap();
+        assert!(rs.verify(encoded.chunks()).unwrap());
+        let mut corrupted = encoded.chunks().to_vec();
+        let mut bytes = corrupted[6].data.to_vec();
+        bytes[0] ^= 0xFF;
+        corrupted[6] = Chunk::new(corrupted[6].id, bytes);
+        assert!(!rs.verify(&corrupted).unwrap());
+        assert!(rs.verify(&[]).unwrap());
+    }
+
+    #[test]
+    fn encode_row_from_file_matches_encode() {
+        let rs = ReedSolomon::new(CodeParams::new(7, 4).unwrap()).unwrap();
+        let file = sample_file(77);
+        let encoded = rs.encode(&file).unwrap();
+        for row in 0..7 {
+            let chunk = rs.encode_row_from_file(&file, row);
+            assert_eq!(chunk.data, encoded.chunks()[row].data);
+            assert_eq!(chunk.id.source, ChunkSource::Storage);
+        }
+        let cache_chunk = rs.encode_row_from_file(&file, 8);
+        assert_eq!(cache_chunk.id.source, ChunkSource::Cache);
+    }
+
+    #[test]
+    fn into_chunks_moves_out() {
+        let rs = ReedSolomon::new(CodeParams::new(5, 2).unwrap()).unwrap();
+        let encoded = rs.encode(&sample_file(10)).unwrap();
+        assert_eq!(encoded.clone().into_chunks().len(), 5);
+    }
+}

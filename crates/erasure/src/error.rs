@@ -1,0 +1,154 @@
+//! Error type for the erasure-coding layer.
+
+use std::fmt;
+
+/// Errors returned by encode/decode operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodingError {
+    /// The `(n, k)` parameters are invalid (e.g. `k == 0`, `n < k`, or the
+    /// total number of chunks exceeds what GF(2^8) supports).
+    InvalidParams {
+        /// Total number of storage chunks requested.
+        n: usize,
+        /// Number of data chunks requested.
+        k: usize,
+        /// Human-readable reason.
+        reason: &'static str,
+    },
+    /// Fewer than `k` distinct chunks were supplied to a decode operation.
+    NotEnoughChunks {
+        /// Number of distinct chunks supplied.
+        have: usize,
+        /// Number of chunks required (`k`).
+        need: usize,
+    },
+    /// Two supplied chunks carry the same chunk index.
+    DuplicateChunk(usize),
+    /// A chunk index is outside the valid range for this code.
+    InvalidChunkIndex {
+        /// The offending index.
+        index: usize,
+        /// Number of rows in the extended generator (`n + k`).
+        max: usize,
+    },
+    /// Supplied chunks do not all have the same length.
+    ChunkSizeMismatch {
+        /// Expected chunk length in bytes.
+        expected: usize,
+        /// Observed chunk length in bytes.
+        found: usize,
+    },
+    /// The requested number of cache chunks exceeds `k`.
+    TooManyCacheChunks {
+        /// Requested number of cache chunks.
+        requested: usize,
+        /// Maximum allowed (`k`).
+        max: usize,
+    },
+    /// The selected decoding sub-matrix was singular. This cannot happen for
+    /// distinct chunk indices of an MDS generator and indicates corruption.
+    SingularDecodeMatrix,
+    /// The original file length recorded is larger than the decoded payload.
+    InvalidFileLength {
+        /// Requested file length.
+        requested: usize,
+        /// Available decoded bytes.
+        available: usize,
+    },
+}
+
+impl fmt::Display for CodingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodingError::InvalidParams { n, k, reason } => {
+                write!(f, "invalid code parameters ({n}, {k}): {reason}")
+            }
+            CodingError::NotEnoughChunks { have, need } => {
+                write!(f, "not enough chunks to decode: have {have}, need {need}")
+            }
+            CodingError::DuplicateChunk(idx) => {
+                write!(f, "duplicate chunk index {idx} supplied to decoder")
+            }
+            CodingError::InvalidChunkIndex { index, max } => {
+                write!(f, "chunk index {index} out of range (max {max})")
+            }
+            CodingError::ChunkSizeMismatch { expected, found } => {
+                write!(f, "chunk size mismatch: expected {expected}, found {found}")
+            }
+            CodingError::TooManyCacheChunks { requested, max } => {
+                write!(
+                    f,
+                    "requested {requested} cache chunks but the code supports at most {max}"
+                )
+            }
+            CodingError::SingularDecodeMatrix => {
+                write!(f, "decode matrix is singular (corrupted chunk metadata)")
+            }
+            CodingError::InvalidFileLength {
+                requested,
+                available,
+            } => write!(
+                f,
+                "file length {requested} exceeds decoded payload of {available} bytes"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CodingError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_meaningful() {
+        let cases: Vec<(CodingError, &str)> = vec![
+            (
+                CodingError::InvalidParams {
+                    n: 3,
+                    k: 5,
+                    reason: "n < k",
+                },
+                "invalid code parameters",
+            ),
+            (
+                CodingError::NotEnoughChunks { have: 2, need: 4 },
+                "not enough chunks",
+            ),
+            (CodingError::DuplicateChunk(7), "duplicate chunk"),
+            (
+                CodingError::InvalidChunkIndex { index: 12, max: 11 },
+                "out of range",
+            ),
+            (
+                CodingError::ChunkSizeMismatch {
+                    expected: 8,
+                    found: 9,
+                },
+                "size mismatch",
+            ),
+            (
+                CodingError::TooManyCacheChunks {
+                    requested: 6,
+                    max: 4,
+                },
+                "cache chunks",
+            ),
+            (CodingError::SingularDecodeMatrix, "singular"),
+            (
+                CodingError::InvalidFileLength {
+                    requested: 100,
+                    available: 50,
+                },
+                "exceeds decoded payload",
+            ),
+        ];
+        for (err, needle) in cases {
+            assert!(
+                err.to_string().contains(needle),
+                "{err} should contain {needle}"
+            );
+        }
+    }
+}

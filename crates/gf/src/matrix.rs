@@ -1,0 +1,523 @@
+//! Dense matrices over GF(2^8) with the linear algebra needed by
+//! Reed–Solomon coding: multiplication, Gaussian elimination, inversion,
+//! rank, and row/column extraction.
+
+use std::fmt;
+
+use crate::field::Gf256;
+
+/// Errors produced by matrix operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MatrixError {
+    /// The matrix is singular and cannot be inverted.
+    Singular,
+    /// Operand dimensions are incompatible for the requested operation.
+    DimensionMismatch {
+        /// Rows/columns of the left operand.
+        left: (usize, usize),
+        /// Rows/columns of the right operand.
+        right: (usize, usize),
+    },
+    /// A non-square matrix was passed where a square matrix is required.
+    NotSquare {
+        /// Rows of the offending matrix.
+        rows: usize,
+        /// Columns of the offending matrix.
+        cols: usize,
+    },
+}
+
+impl fmt::Display for MatrixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MatrixError::Singular => write!(f, "matrix is singular"),
+            MatrixError::DimensionMismatch { left, right } => write!(
+                f,
+                "dimension mismatch: {}x{} vs {}x{}",
+                left.0, left.1, right.0, right.1
+            ),
+            MatrixError::NotSquare { rows, cols } => {
+                write!(f, "matrix is not square: {rows}x{cols}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MatrixError {}
+
+/// A dense row-major matrix over GF(2^8).
+///
+/// # Example
+///
+/// ```
+/// use sprout_gf::{Gf256, Matrix};
+/// let id = Matrix::identity(4);
+/// let m = sprout_gf::builders::vandermonde(4, 4);
+/// assert_eq!(m.mul(&id), m);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<Gf256>,
+}
+
+impl Matrix {
+    /// Creates a zero matrix of the given dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn zero(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
+        Matrix {
+            rows,
+            cols,
+            data: vec![Gf256::ZERO; rows * cols],
+        }
+    }
+
+    /// Creates the identity matrix of size `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zero(n, n);
+        for i in 0..n {
+            m.set(i, i, Gf256::ONE);
+        }
+        m
+    }
+
+    /// Creates a matrix from a row-major vector of elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols` or a dimension is zero.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<Gf256>) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
+        assert_eq!(data.len(), rows * cols, "data length must equal rows*cols");
+        Matrix { rows, cols, data }
+    }
+
+    /// Creates a matrix from rows of raw bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows have differing lengths or the input is empty.
+    pub fn from_rows(rows: &[Vec<u8>]) -> Self {
+        assert!(!rows.is_empty(), "matrix must have at least one row");
+        let cols = rows[0].len();
+        assert!(cols > 0, "matrix must have at least one column");
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for row in rows {
+            assert_eq!(row.len(), cols, "all rows must have the same length");
+            data.extend(row.iter().map(|&b| Gf256::new(b)));
+        }
+        Matrix {
+            rows: rows.len(),
+            cols,
+            data,
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element accessor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> Gf256 {
+        assert!(r < self.rows && c < self.cols, "matrix index out of bounds");
+        self.data[r * self.cols + c]
+    }
+
+    /// Element mutator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, value: Gf256) {
+        assert!(r < self.rows && c < self.cols, "matrix index out of bounds");
+        self.data[r * self.cols + c] = value;
+    }
+
+    /// Returns row `r` as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[Gf256] {
+        assert!(r < self.rows, "row index out of bounds");
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Returns an iterator over the rows of the matrix.
+    pub fn iter_rows(&self) -> impl Iterator<Item = &[Gf256]> {
+        self.data.chunks(self.cols)
+    }
+
+    /// Matrix multiplication `self * rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != rhs.rows()`.
+    pub fn mul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "dimension mismatch in matrix multiplication"
+        );
+        let mut out = Matrix::zero(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for l in 0..self.cols {
+                let a = self.get(i, l);
+                if a.is_zero() {
+                    continue;
+                }
+                for j in 0..rhs.cols {
+                    let prod = a * rhs.get(l, j);
+                    let cur = out.get(i, j);
+                    out.set(i, j, cur + prod);
+                }
+            }
+        }
+        out
+    }
+
+    /// Multiplies this matrix with a column vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vec.len() != self.cols()`.
+    pub fn mul_vec(&self, vec: &[Gf256]) -> Vec<Gf256> {
+        assert_eq!(vec.len(), self.cols, "vector length must equal cols");
+        let mut out = vec![Gf256::ZERO; self.rows];
+        for i in 0..self.rows {
+            let mut acc = Gf256::ZERO;
+            for j in 0..self.cols {
+                acc += self.get(i, j) * vec[j];
+            }
+            out[i] = acc;
+        }
+        out
+    }
+
+    /// Returns a new matrix whose rows are the listed rows of `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds or `indices` is empty.
+    pub fn select_rows(&self, indices: &[usize]) -> Matrix {
+        assert!(!indices.is_empty(), "at least one row must be selected");
+        let mut data = Vec::with_capacity(indices.len() * self.cols);
+        for &r in indices {
+            data.extend_from_slice(self.row(r));
+        }
+        Matrix {
+            rows: indices.len(),
+            cols: self.cols,
+            data,
+        }
+    }
+
+    /// Stacks `self` on top of `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column counts differ.
+    pub fn vstack(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.cols, "column counts must match for vstack");
+        let mut data = self.data.clone();
+        data.extend_from_slice(&other.data);
+        Matrix {
+            rows: self.rows + other.rows,
+            cols: self.cols,
+            data,
+        }
+    }
+
+    /// Returns `true` if this is the identity matrix.
+    pub fn is_identity(&self) -> bool {
+        if self.rows != self.cols {
+            return false;
+        }
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                let want = if i == j { Gf256::ONE } else { Gf256::ZERO };
+                if self.get(i, j) != want {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Computes the rank of the matrix via Gaussian elimination.
+    pub fn rank(&self) -> usize {
+        let mut m = self.clone();
+        let mut rank = 0usize;
+        let mut pivot_row = 0usize;
+        for col in 0..m.cols {
+            if pivot_row >= m.rows {
+                break;
+            }
+            // find a pivot
+            let mut pivot = None;
+            for r in pivot_row..m.rows {
+                if !m.get(r, col).is_zero() {
+                    pivot = Some(r);
+                    break;
+                }
+            }
+            let Some(p) = pivot else { continue };
+            m.swap_rows(p, pivot_row);
+            let inv = m.get(pivot_row, col).inverse();
+            for c in col..m.cols {
+                let v = m.get(pivot_row, c) * inv;
+                m.set(pivot_row, c, v);
+            }
+            for r in 0..m.rows {
+                if r != pivot_row && !m.get(r, col).is_zero() {
+                    let factor = m.get(r, col);
+                    for c in col..m.cols {
+                        let v = m.get(r, c) + factor * m.get(pivot_row, c);
+                        m.set(r, c, v);
+                    }
+                }
+            }
+            pivot_row += 1;
+            rank += 1;
+        }
+        rank
+    }
+
+    /// Inverts a square matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::NotSquare`] if the matrix is not square and
+    /// [`MatrixError::Singular`] if it has no inverse.
+    pub fn inverted(&self) -> Result<Matrix, MatrixError> {
+        if self.rows != self.cols {
+            return Err(MatrixError::NotSquare {
+                rows: self.rows,
+                cols: self.cols,
+            });
+        }
+        let n = self.rows;
+        // augmented [self | I]
+        let mut aug = Matrix::zero(n, 2 * n);
+        for i in 0..n {
+            for j in 0..n {
+                aug.set(i, j, self.get(i, j));
+            }
+            aug.set(i, n + i, Gf256::ONE);
+        }
+        // forward elimination with partial pivoting (any nonzero pivot works in a field)
+        for col in 0..n {
+            let mut pivot = None;
+            for r in col..n {
+                if !aug.get(r, col).is_zero() {
+                    pivot = Some(r);
+                    break;
+                }
+            }
+            let Some(p) = pivot else {
+                return Err(MatrixError::Singular);
+            };
+            aug.swap_rows(p, col);
+            let inv = aug.get(col, col).inverse();
+            for c in 0..2 * n {
+                let v = aug.get(col, c) * inv;
+                aug.set(col, c, v);
+            }
+            for r in 0..n {
+                if r != col && !aug.get(r, col).is_zero() {
+                    let factor = aug.get(r, col);
+                    for c in 0..2 * n {
+                        let v = aug.get(r, c) + factor * aug.get(col, c);
+                        aug.set(r, c, v);
+                    }
+                }
+            }
+        }
+        let mut out = Matrix::zero(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                out.set(i, j, aug.get(i, n + j));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Returns `true` if the square matrix is invertible.
+    pub fn is_invertible(&self) -> bool {
+        self.rows == self.cols && self.rank() == self.rows
+    }
+
+    /// Swaps two rows in place.
+    pub fn swap_rows(&mut self, a: usize, b: usize) {
+        assert!(a < self.rows && b < self.rows, "row index out of bounds");
+        if a == b {
+            return;
+        }
+        for c in 0..self.cols {
+            self.data.swap(a * self.cols + c, b * self.cols + c);
+        }
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                if c > 0 {
+                    write!(f, " ")?;
+                }
+                write!(f, "{:02x}", self.get(r, c).value())?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders;
+
+    #[test]
+    fn identity_properties() {
+        let id = Matrix::identity(5);
+        assert!(id.is_identity());
+        assert_eq!(id.rank(), 5);
+        assert_eq!(id.inverted().unwrap(), id);
+    }
+
+    #[test]
+    fn zero_matrix_has_rank_zero() {
+        let z = Matrix::zero(3, 4);
+        assert_eq!(z.rank(), 0);
+        assert!(!z.is_identity());
+    }
+
+    #[test]
+    fn multiplication_by_identity_is_noop() {
+        let m = builders::vandermonde(4, 3);
+        assert_eq!(m.mul(&Matrix::identity(3)), m);
+        assert_eq!(Matrix::identity(4).mul(&m), m);
+    }
+
+    #[test]
+    fn inverse_of_vandermonde() {
+        for n in 1..=8 {
+            let m = builders::vandermonde(n, n);
+            let inv = m.inverted().expect("square vandermonde is invertible");
+            assert!(m.mul(&inv).is_identity(), "n={n}");
+            assert!(inv.mul(&m).is_identity(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn inverse_of_cauchy() {
+        for n in 1..=6 {
+            let m = builders::cauchy(n, n);
+            let inv = m.inverted().expect("cauchy is invertible");
+            assert!(m.mul(&inv).is_identity(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn singular_matrix_fails_to_invert() {
+        // two identical rows
+        let m = Matrix::from_rows(&[vec![1, 2, 3], vec![1, 2, 3], vec![4, 5, 6]]);
+        assert_eq!(m.inverted().unwrap_err(), MatrixError::Singular);
+        assert!(m.rank() < 3);
+        assert!(!m.is_invertible());
+    }
+
+    #[test]
+    fn non_square_inversion_is_error() {
+        let m = Matrix::zero(2, 3);
+        assert_eq!(
+            m.inverted().unwrap_err(),
+            MatrixError::NotSquare { rows: 2, cols: 3 }
+        );
+    }
+
+    #[test]
+    fn mul_vec_matches_mul() {
+        let m = builders::vandermonde(4, 3);
+        let v = vec![Gf256::new(9), Gf256::new(88), Gf256::new(201)];
+        let as_col = Matrix::from_vec(3, 1, v.clone());
+        let prod = m.mul(&as_col);
+        let direct = m.mul_vec(&v);
+        for i in 0..4 {
+            assert_eq!(prod.get(i, 0), direct[i]);
+        }
+    }
+
+    #[test]
+    fn select_rows_and_vstack() {
+        let m = builders::vandermonde(5, 3);
+        let top = m.select_rows(&[0, 1, 2]);
+        let bottom = m.select_rows(&[3, 4]);
+        assert_eq!(top.vstack(&bottom), m);
+    }
+
+    #[test]
+    fn rank_of_rectangular() {
+        let m = builders::vandermonde(6, 4);
+        assert_eq!(m.rank(), 4);
+        // Any 4 rows of a Vandermonde matrix over distinct points are independent.
+        let sub = m.select_rows(&[0, 2, 3, 5]);
+        assert_eq!(sub.rank(), 4);
+        assert!(sub.is_invertible());
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let m = Matrix::identity(2);
+        let s = format!("{m}");
+        assert!(s.contains("01"));
+    }
+
+    #[test]
+    fn error_display() {
+        assert_eq!(MatrixError::Singular.to_string(), "matrix is singular");
+        assert!(MatrixError::DimensionMismatch {
+            left: (1, 2),
+            right: (3, 4)
+        }
+        .to_string()
+        .contains("1x2"));
+        assert!(MatrixError::NotSquare { rows: 2, cols: 3 }
+            .to_string()
+            .contains("2x3"));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn get_out_of_bounds_panics() {
+        let m = Matrix::identity(2);
+        let _ = m.get(2, 0);
+    }
+
+    #[test]
+    fn from_rows_round_trip() {
+        let m = Matrix::from_rows(&[vec![1, 2], vec![3, 4]]);
+        assert_eq!(m.get(0, 1), Gf256::new(2));
+        assert_eq!(m.get(1, 0), Gf256::new(3));
+        assert_eq!(m.row(1), &[Gf256::new(3), Gf256::new(4)]);
+        let rows: Vec<_> = m.iter_rows().collect();
+        assert_eq!(rows.len(), 2);
+    }
+}

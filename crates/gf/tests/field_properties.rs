@@ -1,0 +1,107 @@
+//! Property-based tests for the GF(2^8) field axioms and matrix laws.
+
+use proptest::prelude::*;
+use sprout_gf::{builders, Gf256, Matrix};
+
+fn gf() -> impl Strategy<Value = Gf256> {
+    any::<u8>().prop_map(Gf256::new)
+}
+
+fn nonzero_gf() -> impl Strategy<Value = Gf256> {
+    (1u8..=255).prop_map(Gf256::new)
+}
+
+proptest! {
+    #[test]
+    fn addition_is_commutative(a in gf(), b in gf()) {
+        prop_assert_eq!(a + b, b + a);
+    }
+
+    #[test]
+    fn addition_is_associative(a in gf(), b in gf(), c in gf()) {
+        prop_assert_eq!((a + b) + c, a + (b + c));
+    }
+
+    #[test]
+    fn multiplication_is_commutative(a in gf(), b in gf()) {
+        prop_assert_eq!(a * b, b * a);
+    }
+
+    #[test]
+    fn multiplication_is_associative(a in gf(), b in gf(), c in gf()) {
+        prop_assert_eq!((a * b) * c, a * (b * c));
+    }
+
+    #[test]
+    fn multiplication_distributes_over_addition(a in gf(), b in gf(), c in gf()) {
+        prop_assert_eq!(a * (b + c), a * b + a * c);
+    }
+
+    #[test]
+    fn division_inverts_multiplication(a in gf(), b in nonzero_gf()) {
+        prop_assert_eq!((a * b) / b, a);
+    }
+
+    #[test]
+    fn double_negation_and_subtraction(a in gf(), b in gf()) {
+        prop_assert_eq!(a - b, a + b); // characteristic 2
+        prop_assert_eq!(-(-a), a);
+    }
+
+    #[test]
+    fn pow_is_homomorphic(a in nonzero_gf(), e1 in 0u32..40, e2 in 0u32..40) {
+        prop_assert_eq!(a.pow(e1) * a.pow(e2), a.pow(e1 + e2));
+    }
+
+    #[test]
+    fn mul_acc_slice_is_linear(coeff in gf(), data in proptest::collection::vec(any::<u8>(), 1..64)) {
+        let mut dst = vec![0u8; data.len()];
+        Gf256::mul_acc_slice(coeff, &data, &mut dst);
+        for (i, &d) in data.iter().enumerate() {
+            prop_assert_eq!(Gf256::new(dst[i]), coeff * Gf256::new(d));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_square_matrices_invert_when_full_rank(
+        n in 1usize..6,
+        seed in proptest::collection::vec(any::<u8>(), 36..=36),
+    ) {
+        let data: Vec<Gf256> = seed.iter().take(n * n).map(|&b| Gf256::new(b)).collect();
+        let m = Matrix::from_vec(n, n, data);
+        match m.inverted() {
+            Ok(inv) => {
+                prop_assert!(m.mul(&inv).is_identity());
+                prop_assert!(inv.mul(&m).is_identity());
+                prop_assert_eq!(m.rank(), n);
+            }
+            Err(_) => prop_assert!(m.rank() < n),
+        }
+    }
+
+    #[test]
+    fn systematic_generators_are_mds(total in 2usize..9, k in 1usize..6) {
+        prop_assume!(total >= k);
+        let g = builders::systematic_mds(total, k);
+        prop_assert!(builders::is_mds(&g));
+    }
+
+    #[test]
+    fn matrix_multiplication_is_associative(
+        a_bytes in proptest::collection::vec(any::<u8>(), 9..=9),
+        b_bytes in proptest::collection::vec(any::<u8>(), 9..=9),
+        c_bytes in proptest::collection::vec(any::<u8>(), 9..=9),
+    ) {
+        let to_m = |bytes: &[u8]| {
+            Matrix::from_vec(3, 3, bytes.iter().map(|&b| Gf256::new(b)).collect())
+        };
+        let a = to_m(&a_bytes);
+        let b = to_m(&b_bytes);
+        let c = to_m(&c_bytes);
+        prop_assert_eq!(a.mul(&b).mul(&c), a.mul(&b.mul(&c)));
+    }
+}

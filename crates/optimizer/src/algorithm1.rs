@@ -1,0 +1,337 @@
+//! Algorithm 1: alternating minimization over `z` and `π` with iterative
+//! integer rounding of the cache allocation.
+
+use crate::config::OptimizerConfig;
+use crate::error::OptimizerError;
+use crate::model::StorageModel;
+use crate::objective::evaluate;
+use crate::prob_pi::{self, initial_bands, uniform_initial_pi};
+use crate::prob_z;
+use crate::projection::FileBand;
+use crate::solution::{CachePlan, ConvergenceTrace};
+
+/// Fractional parts below this threshold are treated as integers.
+const INTEGER_TOL: f64 = 1e-6;
+
+fn to_unstable(e: sprout_queueing::stability::StabilityError) -> OptimizerError {
+    OptimizerError::UnstableSystem {
+        node: e.node,
+        utilization: e.utilization,
+    }
+}
+
+/// Runs Algorithm 1 starting from the default (no-cache, uniform-scheduling)
+/// initial point.
+///
+/// `cache_capacity` is the cache size in chunks; values larger than
+/// `Σ_i k_i` are silently clamped (a bigger cache cannot help further).
+///
+/// # Errors
+///
+/// * [`OptimizerError::UnstableSystem`] if no stable scheduling exists even
+///   with the cache fully utilized.
+/// * [`OptimizerError::InvalidModel`] is never produced here (the model was
+///   validated at construction) but is part of the shared error type.
+pub fn optimize(
+    model: &StorageModel,
+    cache_capacity: usize,
+    config: &OptimizerConfig,
+) -> Result<CachePlan, OptimizerError> {
+    optimize_from(model, cache_capacity, config, &uniform_initial_pi(model))
+}
+
+/// Runs Algorithm 1 from a caller-supplied starting point (used to warm-start
+/// across cache sizes, as the paper does for its convergence plot).
+///
+/// # Errors
+///
+/// See [`optimize`].
+pub fn optimize_from(
+    model: &StorageModel,
+    cache_capacity: usize,
+    config: &OptimizerConfig,
+    initial_pi: &[Vec<f64>],
+) -> Result<CachePlan, OptimizerError> {
+    let cache_capacity = cache_capacity.min(model.max_useful_cache());
+    let mut trace = ConvergenceTrace::default();
+
+    // Start from the supplied point projected onto the zero-rounding bands.
+    let mut pi = prob_pi::project(model, initial_pi, &initial_bands(model), cache_capacity);
+    let mut z = prob_z::solve(model, &pi).map_err(to_unstable)?;
+    let mut best_objective = evaluate(model, &pi, &z).map_err(to_unstable)?.total;
+    trace.outer_objectives.push(best_objective);
+    let mut best_pi = pi.clone();
+    let mut best_z = z.clone();
+
+    for _ in 0..config.max_outer_iterations {
+        // --- Prob Z: exact per-file minimization of the auxiliary variables.
+        z = prob_z::solve(model, &pi).map_err(to_unstable)?;
+
+        // --- Inner loop: relaxed Prob Pi + iterative rounding.
+        let mut bands = initial_bands(model);
+        let mut rounds = 0usize;
+        loop {
+            rounds += 1;
+            let outcome = prob_pi::solve(model, &z, &pi, &bands, cache_capacity, config)?;
+            trace.gradient_iterations += outcome.iterations;
+            pi = outcome.pi;
+
+            let fractional = fractional_files(model, &pi, &bands);
+            if fractional.is_empty() {
+                break;
+            }
+            let batch = config.rounding.batch_size(fractional.len());
+            for &(i, sum) in fractional.iter().take(batch) {
+                let target = sum.ceil().min(model.files()[i].k as f64);
+                bands[i] = FileBand {
+                    lo: target,
+                    hi: target,
+                };
+            }
+            if rounds > model.num_files() + 2 {
+                // Safety net: should never trigger, every round pins at least one file.
+                break;
+            }
+        }
+        trace.rounding_rounds += rounds;
+
+        // --- Outer convergence check on the (integer-feasible) objective.
+        let z_now = prob_z::solve(model, &pi).map_err(to_unstable)?;
+        let objective = evaluate(model, &pi, &z_now).map_err(to_unstable)?.total;
+        trace.outer_objectives.push(objective);
+        let improvement = best_objective - objective;
+        if objective < best_objective {
+            best_objective = objective;
+            best_pi = pi.clone();
+            best_z = z_now.clone();
+        }
+        if improvement.abs() < config.tolerance {
+            break;
+        }
+    }
+
+    Ok(finalize(model, best_pi, best_z, best_objective, trace))
+}
+
+/// Files whose storage-read total is still fractional, sorted by descending
+/// fractional part (the rounding order of Algorithm 1). Files already pinned
+/// (`lo == hi`) are skipped.
+fn fractional_files(
+    model: &StorageModel,
+    pi: &[Vec<f64>],
+    bands: &[FileBand],
+) -> Vec<(usize, f64)> {
+    let mut out: Vec<(usize, f64, f64)> = Vec::new();
+    for i in 0..model.num_files() {
+        if (bands[i].hi - bands[i].lo).abs() < 1e-12 {
+            continue;
+        }
+        let sum: f64 = pi[i].iter().sum();
+        let distance_to_integer = (sum - sum.round()).abs();
+        if distance_to_integer > INTEGER_TOL {
+            out.push((i, sum, sum - sum.floor()));
+        }
+    }
+    out.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal));
+    out.into_iter().map(|(i, sum, _)| (i, sum)).collect()
+}
+
+/// Converts the final fractional-free solution into a [`CachePlan`].
+fn finalize(
+    model: &StorageModel,
+    pi: Vec<Vec<f64>>,
+    z: Vec<f64>,
+    objective: f64,
+    trace: ConvergenceTrace,
+) -> CachePlan {
+    let cached_chunks: Vec<usize> = model
+        .files()
+        .iter()
+        .zip(&pi)
+        .map(|(f, row)| {
+            let reads: f64 = row.iter().sum();
+            let d = f.k as f64 - reads;
+            d.round().max(0.0) as usize
+        })
+        .collect();
+    let per_file_latency = evaluate(model, &pi, &z)
+        .map(|b| b.per_file)
+        .unwrap_or_else(|_| vec![f64::INFINITY; model.num_files()]);
+    CachePlan {
+        cached_chunks,
+        scheduling: pi,
+        z,
+        objective,
+        per_file_latency,
+        trace,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::FileModel;
+    use sprout_queueing::dist::ServiceDistribution;
+
+    /// A small instance resembling the paper's setup: heterogeneous nodes,
+    /// (7, 4)-like codes shrunk to (4, 2) for test speed.
+    fn model(num_files: usize, rate_scale: f64) -> StorageModel {
+        let service_rates = [0.1, 0.1, 0.09, 0.09, 0.067, 0.067];
+        let nodes = service_rates
+            .iter()
+            .map(|&mu| ServiceDistribution::exponential(mu).moments())
+            .collect();
+        let files = (0..num_files)
+            .map(|i| {
+                let placement: Vec<usize> = (0..4).map(|j| (i + j) % 6).collect();
+                let rate = rate_scale * (1.0 + (i % 5) as f64 * 0.2);
+                FileModel::new(rate, 2, placement)
+            })
+            .collect();
+        StorageModel::new(nodes, files).unwrap()
+    }
+
+    #[test]
+    fn cache_capacity_is_respected_and_fully_used_when_beneficial() {
+        let m = model(6, 0.02);
+        for capacity in [0usize, 1, 3, 6, 12] {
+            let plan = optimize(&m, capacity, &OptimizerConfig::default()).unwrap();
+            let used = plan.cache_chunks_used();
+            assert!(used <= capacity, "capacity {capacity}: used {used}");
+            // every cached chunk count is within [0, k_i]
+            for (d, f) in plan.cached_chunks.iter().zip(m.files()) {
+                assert!(*d <= f.k);
+            }
+            if capacity > 0 && capacity <= m.max_useful_cache() {
+                assert!(used > 0, "a non-trivial cache should be used (capacity {capacity})");
+            }
+        }
+    }
+
+    #[test]
+    fn latency_decreases_with_cache_size() {
+        let m = model(8, 0.012);
+        let mut prev = f64::INFINITY;
+        for capacity in [0usize, 2, 4, 8, 16] {
+            let plan = optimize(&m, capacity, &OptimizerConfig::default()).unwrap();
+            assert!(
+                plan.objective <= prev + 0.05,
+                "latency should not increase materially with more cache: {prev} -> {}",
+                plan.objective
+            );
+            prev = prev.min(plan.objective);
+        }
+    }
+
+    #[test]
+    fn full_cache_gives_zero_latency() {
+        let m = model(4, 0.02);
+        let plan = optimize(&m, m.max_useful_cache(), &OptimizerConfig::default()).unwrap();
+        assert!(
+            plan.objective < 1e-6,
+            "all chunks cached should give ~0 latency, got {}",
+            plan.objective
+        );
+        for (d, f) in plan.cached_chunks.iter().zip(m.files()) {
+            assert_eq!(*d, f.k);
+        }
+    }
+
+    #[test]
+    fn scheduling_is_consistent_with_cache_allocation() {
+        let m = model(6, 0.02);
+        let plan = optimize(&m, 5, &OptimizerConfig::default()).unwrap();
+        for (i, f) in m.files().iter().enumerate() {
+            let reads = plan.storage_reads(i);
+            let expected = f.k as f64 - plan.cached_chunks[i] as f64;
+            assert!(
+                (reads - expected).abs() < 1e-3,
+                "file {i}: reads {reads} vs k - d = {expected}"
+            );
+            for (j, &p) in plan.scheduling[i].iter().enumerate() {
+                if !f.placement.contains(&j) {
+                    assert_eq!(p, 0.0, "file {i} must not read from node {j}");
+                }
+                assert!((-1e-9..=1.0 + 1e-9).contains(&p));
+            }
+        }
+    }
+
+    #[test]
+    fn converges_within_twenty_iterations() {
+        // The paper reports convergence within 20 outer iterations at
+        // tolerance 0.01 for its 1000-file instance; our smaller instances
+        // must certainly meet that.
+        let m = model(10, 0.01);
+        let plan = optimize(&m, 8, &OptimizerConfig::default()).unwrap();
+        assert!(
+            plan.trace.outer_iterations() <= 20,
+            "took {} iterations",
+            plan.trace.outer_iterations()
+        );
+        // objective history is non-increasing up to the tolerance
+        for w in plan.trace.outer_objectives.windows(2) {
+            assert!(w[1] <= w[0] + 0.011, "objective increased: {w:?}");
+        }
+    }
+
+    #[test]
+    fn higher_arrival_rate_files_get_cached_first() {
+        // Two files on identical placements, one with a much higher rate: the
+        // hot file should receive at least as many cache chunks.
+        let nodes = (0..4)
+            .map(|_| ServiceDistribution::exponential(0.1).moments())
+            .collect();
+        let files = vec![
+            FileModel::new(0.001, 2, vec![0, 1, 2, 3]),
+            FileModel::new(0.03, 2, vec![0, 1, 2, 3]),
+        ];
+        let m = StorageModel::new(nodes, files).unwrap();
+        let plan = optimize(&m, 2, &OptimizerConfig::default()).unwrap();
+        assert!(
+            plan.cached_chunks[1] >= plan.cached_chunks[0],
+            "hot file should be cached at least as much: {:?}",
+            plan.cached_chunks
+        );
+        assert!(plan.cached_chunks[1] >= 1);
+    }
+
+    #[test]
+    fn warm_start_matches_or_beats_cold_start() {
+        let m = model(8, 0.012);
+        let cold = optimize(&m, 6, &OptimizerConfig::default()).unwrap();
+        let warm = optimize_from(
+            &m,
+            6,
+            &OptimizerConfig::default(),
+            &cold.scheduling,
+        )
+        .unwrap();
+        assert!(warm.objective <= cold.objective + 0.02);
+    }
+
+    #[test]
+    fn unstable_model_is_reported() {
+        let nodes = vec![
+            ServiceDistribution::exponential(0.001).moments(),
+            ServiceDistribution::exponential(0.001).moments(),
+        ];
+        let files = vec![FileModel::new(1.0, 2, vec![0, 1])];
+        let m = StorageModel::new(nodes, files).unwrap();
+        // Even with full caching allowed the initial (no-cache) point is
+        // unstable; the optimizer reports the bottleneck.
+        let err = optimize(&m, 0, &OptimizerConfig::default()).unwrap_err();
+        assert!(matches!(err, OptimizerError::UnstableSystem { .. }));
+    }
+
+    #[test]
+    fn one_at_a_time_rounding_matches_fraction_rounding_quality() {
+        let m = model(6, 0.02);
+        let mut cfg = OptimizerConfig::default();
+        cfg.rounding = crate::config::RoundingStrategy::OneAtATime;
+        let one = optimize(&m, 4, &cfg).unwrap();
+        let frac = optimize(&m, 4, &OptimizerConfig::default()).unwrap();
+        assert!((one.objective - frac.objective).abs() < 0.5);
+        assert!(one.cache_chunks_used() <= 4);
+    }
+}

@@ -1,0 +1,239 @@
+//! The storage-system model the optimizer works against.
+
+use serde::{Deserialize, Serialize};
+use sprout_queueing::dist::ServiceMoments;
+
+use crate::error::OptimizerError;
+
+/// Per-file parameters: arrival rate, number of data chunks `k_i`, and the
+/// set of storage nodes `S_i` holding its `n_i` coded chunks.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FileModel {
+    /// Request arrival rate `λ_i` (requests per second) in the current time bin.
+    pub arrival_rate: f64,
+    /// Number of data chunks `k_i` needed to reconstruct the file.
+    pub k: usize,
+    /// Storage nodes hosting the file's `n_i = |S_i|` coded chunks.
+    pub placement: Vec<usize>,
+}
+
+impl FileModel {
+    /// Creates a file model.
+    pub fn new(arrival_rate: f64, k: usize, placement: Vec<usize>) -> Self {
+        FileModel {
+            arrival_rate,
+            k,
+            placement,
+        }
+    }
+
+    /// Number of coded chunks stored for this file (`n_i`).
+    pub fn n(&self) -> usize {
+        self.placement.len()
+    }
+}
+
+/// The full system model for one time bin: per-node service-time moments and
+/// per-file arrival rates, code parameters and placement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StorageModel {
+    nodes: Vec<ServiceMoments>,
+    files: Vec<FileModel>,
+}
+
+impl StorageModel {
+    /// Validates and creates a model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptimizerError::InvalidModel`] if
+    /// * there are no nodes or no files,
+    /// * a file references a node index out of range or lists a node twice,
+    /// * a file has `k = 0` or fewer hosting nodes than `k`,
+    /// * an arrival rate is negative or not finite.
+    pub fn new(nodes: Vec<ServiceMoments>, files: Vec<FileModel>) -> Result<Self, OptimizerError> {
+        if nodes.is_empty() {
+            return Err(OptimizerError::InvalidModel("no storage nodes".into()));
+        }
+        if files.is_empty() {
+            return Err(OptimizerError::InvalidModel("no files".into()));
+        }
+        for (i, file) in files.iter().enumerate() {
+            if !(file.arrival_rate.is_finite() && file.arrival_rate >= 0.0) {
+                return Err(OptimizerError::InvalidModel(format!(
+                    "file {i} has invalid arrival rate {}",
+                    file.arrival_rate
+                )));
+            }
+            if file.k == 0 {
+                return Err(OptimizerError::InvalidModel(format!("file {i} has k = 0")));
+            }
+            if file.placement.len() < file.k {
+                return Err(OptimizerError::InvalidModel(format!(
+                    "file {i} is placed on {} nodes but needs k = {}",
+                    file.placement.len(),
+                    file.k
+                )));
+            }
+            let mut seen = std::collections::HashSet::new();
+            for &node in &file.placement {
+                if node >= nodes.len() {
+                    return Err(OptimizerError::InvalidModel(format!(
+                        "file {i} references node {node} but only {} nodes exist",
+                        nodes.len()
+                    )));
+                }
+                if !seen.insert(node) {
+                    return Err(OptimizerError::InvalidModel(format!(
+                        "file {i} lists node {node} twice"
+                    )));
+                }
+            }
+        }
+        Ok(StorageModel { nodes, files })
+    }
+
+    /// Per-node service-time moments.
+    pub fn nodes(&self) -> &[ServiceMoments] {
+        &self.nodes
+    }
+
+    /// Per-file models.
+    pub fn files(&self) -> &[FileModel] {
+        &self.files
+    }
+
+    /// Number of storage nodes `m`.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of files `r`.
+    pub fn num_files(&self) -> usize {
+        self.files.len()
+    }
+
+    /// Aggregate arrival rate `λ̂ = Σ_i λ_i`.
+    pub fn total_arrival_rate(&self) -> f64 {
+        self.files.iter().map(|f| f.arrival_rate).sum()
+    }
+
+    /// Maximum number of chunks the cache could ever usefully hold
+    /// (`Σ_i k_i`).
+    pub fn max_useful_cache(&self) -> usize {
+        self.files.iter().map(|f| f.k).sum()
+    }
+
+    /// Replaces all arrival rates, e.g. when a new time bin begins.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptimizerError::InvalidModel`] if the length differs from
+    /// the number of files or a rate is invalid.
+    pub fn with_arrival_rates(&self, rates: &[f64]) -> Result<Self, OptimizerError> {
+        if rates.len() != self.files.len() {
+            return Err(OptimizerError::InvalidModel(format!(
+                "expected {} arrival rates, got {}",
+                self.files.len(),
+                rates.len()
+            )));
+        }
+        let files = self
+            .files
+            .iter()
+            .zip(rates)
+            .map(|(f, &r)| FileModel {
+                arrival_rate: r,
+                ..f.clone()
+            })
+            .collect();
+        StorageModel::new(self.nodes.clone(), files)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sprout_queueing::dist::ServiceDistribution;
+
+    fn moments(rate: f64) -> ServiceMoments {
+        ServiceDistribution::exponential(rate).moments()
+    }
+
+    #[test]
+    fn valid_model_builds() {
+        let m = StorageModel::new(
+            vec![moments(0.1), moments(0.2), moments(0.3)],
+            vec![FileModel::new(0.01, 2, vec![0, 1, 2])],
+        )
+        .unwrap();
+        assert_eq!(m.num_nodes(), 3);
+        assert_eq!(m.num_files(), 1);
+        assert_eq!(m.files()[0].n(), 3);
+        assert!((m.total_arrival_rate() - 0.01).abs() < 1e-15);
+        assert_eq!(m.max_useful_cache(), 2);
+    }
+
+    #[test]
+    fn rejects_empty_nodes_and_files() {
+        assert!(StorageModel::new(vec![], vec![FileModel::new(0.1, 1, vec![0])]).is_err());
+        assert!(StorageModel::new(vec![moments(0.1)], vec![]).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_placement() {
+        // node out of range
+        assert!(StorageModel::new(
+            vec![moments(0.1)],
+            vec![FileModel::new(0.1, 1, vec![3])]
+        )
+        .is_err());
+        // duplicate node
+        assert!(StorageModel::new(
+            vec![moments(0.1), moments(0.1)],
+            vec![FileModel::new(0.1, 1, vec![0, 0])]
+        )
+        .is_err());
+        // fewer nodes than k
+        assert!(StorageModel::new(
+            vec![moments(0.1), moments(0.1)],
+            vec![FileModel::new(0.1, 3, vec![0, 1])]
+        )
+        .is_err());
+        // k == 0
+        assert!(StorageModel::new(
+            vec![moments(0.1)],
+            vec![FileModel::new(0.1, 0, vec![0])]
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn rejects_bad_arrival_rates() {
+        assert!(StorageModel::new(
+            vec![moments(0.1)],
+            vec![FileModel::new(-1.0, 1, vec![0])]
+        )
+        .is_err());
+        assert!(StorageModel::new(
+            vec![moments(0.1)],
+            vec![FileModel::new(f64::NAN, 1, vec![0])]
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn with_arrival_rates_replaces_rates() {
+        let m = StorageModel::new(
+            vec![moments(0.1), moments(0.2)],
+            vec![
+                FileModel::new(0.01, 1, vec![0, 1]),
+                FileModel::new(0.02, 1, vec![1]),
+            ],
+        )
+        .unwrap();
+        let m2 = m.with_arrival_rates(&[0.05, 0.06]).unwrap();
+        assert!((m2.total_arrival_rate() - 0.11).abs() < 1e-12);
+        assert!(m.with_arrival_rates(&[0.05]).is_err());
+    }
+}

@@ -1,0 +1,285 @@
+//! Prob Π: optimizing the scheduling probabilities `π` for fixed `z`.
+//!
+//! The relaxed problem (integer constraint dropped) is convex in `π` with a
+//! polytope constraint set, and is solved by projected gradient descent with
+//! a backtracking line search. The projection is the exact Euclidean
+//! projection of [`crate::projection::project_joint`], which enforces the
+//! per-file boxes `π_{i,j} ∈ [0, 1]`, the per-file sum bands
+//! `K_{L,i} ≤ Σ_j π_{i,j} ≤ K_{U,i}`, and the cache-capacity coupling
+//! `Σ_{i,j} π_{i,j} ≥ Σ_i k_i − C`.
+
+use crate::config::OptimizerConfig;
+use crate::error::OptimizerError;
+use crate::model::StorageModel;
+use crate::objective::{evaluate, gradient_pi};
+use crate::projection::{project_joint, FileBand};
+
+/// Result of one Prob Π solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProbPiOutcome {
+    /// The optimized scheduling probabilities (dense `r × m`).
+    pub pi: Vec<Vec<f64>>,
+    /// Objective value at the returned point.
+    pub objective: f64,
+    /// Number of projected-gradient iterations performed.
+    pub iterations: usize,
+}
+
+/// Restricts a dense `r × m` matrix to each file's placement set.
+fn restrict(model: &StorageModel, pi: &[Vec<f64>]) -> Vec<Vec<f64>> {
+    model
+        .files()
+        .iter()
+        .zip(pi)
+        .map(|(f, row)| f.placement.iter().map(|&j| row[j]).collect())
+        .collect()
+}
+
+/// Expands per-file restricted vectors back to a dense `r × m` matrix.
+fn expand(model: &StorageModel, restricted: &[Vec<f64>]) -> Vec<Vec<f64>> {
+    model
+        .files()
+        .iter()
+        .zip(restricted)
+        .map(|(f, vals)| {
+            let mut row = vec![0.0; model.num_nodes()];
+            for (&j, &v) in f.placement.iter().zip(vals) {
+                row[j] = v;
+            }
+            row
+        })
+        .collect()
+}
+
+/// Projects a dense candidate onto the feasible set.
+pub(crate) fn project(
+    model: &StorageModel,
+    pi: &[Vec<f64>],
+    bands: &[FileBand],
+    cache_capacity: usize,
+) -> Vec<Vec<f64>> {
+    let restricted = restrict(model, pi);
+    let aggregate_lo = (model.max_useful_cache() as f64 - cache_capacity as f64).max(0.0);
+    let projected = project_joint(&restricted, bands, aggregate_lo);
+    expand(model, &projected)
+}
+
+/// Evaluates the objective, mapping instability to `+∞` so that the line
+/// search simply rejects such steps.
+fn objective_or_infinity(model: &StorageModel, pi: &[Vec<f64>], z: &[f64]) -> f64 {
+    match evaluate(model, pi, z) {
+        Ok(b) => b.total,
+        Err(_) => f64::INFINITY,
+    }
+}
+
+/// Solves the relaxed Prob Π by projected gradient descent.
+///
+/// `initial_pi` must lie in (or near) the feasible set; it is projected once
+/// before the first iteration.
+///
+/// # Errors
+///
+/// Returns [`OptimizerError::UnstableSystem`] if even the projected initial
+/// point overloads a node — in that case no feasible stable scheduling was
+/// found from this starting point.
+pub fn solve(
+    model: &StorageModel,
+    z: &[f64],
+    initial_pi: &[Vec<f64>],
+    bands: &[FileBand],
+    cache_capacity: usize,
+    config: &OptimizerConfig,
+) -> Result<ProbPiOutcome, OptimizerError> {
+    let mut pi = project(model, initial_pi, bands, cache_capacity);
+    let mut current = match evaluate(model, &pi, z) {
+        Ok(b) => b.total,
+        Err(e) => {
+            return Err(OptimizerError::UnstableSystem {
+                node: e.node,
+                utilization: e.utilization,
+            })
+        }
+    };
+
+    let mut step = config.initial_step;
+    let mut iterations = 0;
+    for _ in 0..config.max_gradient_iterations {
+        iterations += 1;
+        let grad = gradient_pi(model, &pi, z).map_err(|e| OptimizerError::UnstableSystem {
+            node: e.node,
+            utilization: e.utilization,
+        })?;
+
+        // Backtracking line search along the projection arc.
+        let mut improved = false;
+        let mut local_step = step;
+        for _ in 0..40 {
+            let candidate_raw: Vec<Vec<f64>> = pi
+                .iter()
+                .zip(&grad)
+                .map(|(row, g)| {
+                    row.iter()
+                        .zip(g)
+                        .map(|(&p, &gv)| p - local_step * gv)
+                        .collect()
+                })
+                .collect();
+            let candidate = project(model, &candidate_raw, bands, cache_capacity);
+            let value = objective_or_infinity(model, &candidate, z);
+            if value < current - 1e-15 {
+                // Accept; gently grow the step for the next iteration.
+                let improvement = current - value;
+                pi = candidate;
+                current = value;
+                step = (local_step * 1.5).min(1e6);
+                improved = true;
+                if improvement < config.gradient_tolerance * current.abs().max(1e-9) {
+                    return Ok(ProbPiOutcome {
+                        pi,
+                        objective: current,
+                        iterations,
+                    });
+                }
+                break;
+            }
+            local_step *= 0.5;
+            if local_step < 1e-14 {
+                break;
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+
+    Ok(ProbPiOutcome {
+        pi,
+        objective: current,
+        iterations,
+    })
+}
+
+/// Builds a feasible, load-spreading starting point: each file splits its
+/// `k_i` storage reads uniformly across its placement set (no caching).
+pub fn uniform_initial_pi(model: &StorageModel) -> Vec<Vec<f64>> {
+    model
+        .files()
+        .iter()
+        .map(|f| {
+            let mut row = vec![0.0; model.num_nodes()];
+            let p = f.k as f64 / f.placement.len() as f64;
+            for &j in &f.placement {
+                row[j] = p;
+            }
+            row
+        })
+        .collect()
+}
+
+/// Default per-file sum bands before any rounding: `0 ≤ Σ_j π_{i,j} ≤ k_i`.
+pub fn initial_bands(model: &StorageModel) -> Vec<FileBand> {
+    model
+        .files()
+        .iter()
+        .map(|f| FileBand {
+            lo: 0.0,
+            hi: f.k as f64,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::FileModel;
+    use sprout_queueing::dist::ServiceDistribution;
+
+    fn model() -> StorageModel {
+        let nodes = vec![
+            ServiceDistribution::exponential(1.0).moments(),
+            ServiceDistribution::exponential(0.6).moments(),
+            ServiceDistribution::exponential(0.3).moments(),
+            ServiceDistribution::exponential(0.15).moments(),
+        ];
+        let files = vec![
+            FileModel::new(0.03, 2, vec![0, 1, 2, 3]),
+            FileModel::new(0.06, 2, vec![0, 1, 2, 3]),
+        ];
+        StorageModel::new(nodes, files).unwrap()
+    }
+
+    #[test]
+    fn uniform_initial_point_is_feasible() {
+        let m = model();
+        let pi = uniform_initial_pi(&m);
+        for (f, row) in m.files().iter().zip(&pi) {
+            let sum: f64 = row.iter().sum();
+            assert!((sum - f.k as f64).abs() < 1e-12);
+            assert!(row.iter().all(|&p| (0.0..=1.0).contains(&p)));
+        }
+    }
+
+    #[test]
+    fn solve_reduces_objective_and_stays_feasible() {
+        let m = model();
+        let pi0 = uniform_initial_pi(&m);
+        let bands = initial_bands(&m);
+        let z = vec![0.0; m.num_files()];
+        let before = evaluate(&m, &pi0, &z).unwrap().total;
+        let out = solve(&m, &z, &pi0, &bands, 2, &OptimizerConfig::default()).unwrap();
+        assert!(out.objective <= before + 1e-9);
+        // feasibility: per-file sums within [0, k], coupling satisfied
+        let mut total = 0.0;
+        for (f, row) in m.files().iter().zip(&out.pi) {
+            let sum: f64 = row.iter().sum();
+            assert!(sum <= f.k as f64 + 1e-6);
+            assert!(sum >= -1e-9);
+            assert!(row.iter().all(|&p| (-1e-9..=1.0 + 1e-9).contains(&p)));
+            total += sum;
+        }
+        let aggregate_lo = (m.max_useful_cache() as f64 - 2.0).max(0.0);
+        assert!(total >= aggregate_lo - 1e-5);
+    }
+
+    #[test]
+    fn zero_cache_forces_full_storage_reads() {
+        let m = model();
+        let pi0 = uniform_initial_pi(&m);
+        let bands = initial_bands(&m);
+        let z = vec![0.0; m.num_files()];
+        let out = solve(&m, &z, &pi0, &bands, 0, &OptimizerConfig::default()).unwrap();
+        let total: f64 = out.pi.iter().flatten().sum();
+        assert!(
+            (total - m.max_useful_cache() as f64).abs() < 1e-5,
+            "with no cache every chunk must come from storage, total = {total}"
+        );
+    }
+
+    #[test]
+    fn prefers_unloading_slow_nodes() {
+        // With ample cache, the optimizer should route less traffic to the
+        // slowest node than to the fastest one.
+        let m = model();
+        let pi0 = uniform_initial_pi(&m);
+        let bands = initial_bands(&m);
+        let z = vec![0.0; m.num_files()];
+        let out = solve(&m, &z, &pi0, &bands, 2, &OptimizerConfig::default()).unwrap();
+        let rates = crate::objective::node_arrival_rates(&m, &out.pi);
+        assert!(
+            rates[3] <= rates[0] + 1e-9,
+            "slowest node should not carry more load: {rates:?}"
+        );
+    }
+
+    #[test]
+    fn unstable_initial_point_is_an_error() {
+        let nodes = vec![ServiceDistribution::exponential(0.01).moments()];
+        let files = vec![FileModel::new(1.0, 1, vec![0])];
+        let m = StorageModel::new(nodes, files).unwrap();
+        let pi0 = uniform_initial_pi(&m);
+        let bands = initial_bands(&m);
+        let err = solve(&m, &[0.0], &pi0, &bands, 0, &OptimizerConfig::default()).unwrap_err();
+        assert!(matches!(err, OptimizerError::UnstableSystem { node: 0, .. }));
+    }
+}

@@ -1,0 +1,284 @@
+//! Exact Euclidean projections onto the constraint polytope of Prob Π.
+//!
+//! The feasible set is, per file `i`,
+//!
+//! ```text
+//! π_{i,j} ∈ [0, 1],   π_{i,j} = 0 for j ∉ S_i,   K_{L,i} ≤ Σ_j π_{i,j} ≤ K_{U,i}
+//! ```
+//!
+//! coupled across files by the cache-capacity constraint
+//!
+//! ```text
+//! Σ_i (k_i − Σ_j π_{i,j}) ≤ C      ⇔      Σ_{i,j} π_{i,j} ≥ Σ_i k_i − C.
+//! ```
+//!
+//! The per-file set is a box intersected with a sum band; its Euclidean
+//! projection has the classic water-filling form `clamp(y_j − τ, 0, 1)` with
+//! a scalar `τ` found by bisection. The coupling constraint is handled by a
+//! non-negative multiplier `ν` on the aggregate lower bound (projecting
+//! `y + ν` per file), again found by bisection because the projected
+//! aggregate sum is monotone in `ν`. Both projections are exact (to the
+//! requested numeric tolerance), which replaces the commercial solver
+//! (MOSEK) used by the paper's prototype.
+
+/// Numeric tolerance used by the bisection searches.
+const TOL: f64 = 1e-10;
+
+/// Projects `y` onto `{x : x ∈ [0,1]^n, lo ≤ Σ x ≤ hi}`.
+///
+/// # Panics
+///
+/// Panics if `lo > hi + ε`, `lo > n` (infeasible), or `hi < 0`.
+pub fn project_box_sum_band(y: &[f64], lo: f64, hi: f64) -> Vec<f64> {
+    let n = y.len() as f64;
+    assert!(lo <= hi + 1e-9, "lower bound {lo} exceeds upper bound {hi}");
+    assert!(lo <= n + 1e-9, "sum lower bound {lo} infeasible for {n} variables");
+    assert!(hi >= -1e-9, "sum upper bound {hi} must be non-negative");
+    let lo = lo.clamp(0.0, n);
+    let hi = hi.clamp(0.0, n);
+
+    let clamp_sum = |tau: f64| -> f64 { y.iter().map(|&v| (v - tau).clamp(0.0, 1.0)).sum() };
+
+    let free_sum = clamp_sum(0.0);
+    let tau = if free_sum > hi {
+        // Need to push the sum down: find tau > 0 with clamp_sum(tau) = hi.
+        bisect_decreasing(clamp_sum, hi, 0.0, max_shift(y))
+    } else if free_sum < lo {
+        // Need to lift the sum: find tau < 0 with clamp_sum(tau) = lo.
+        bisect_decreasing(clamp_sum, lo, -max_shift_neg(y), 0.0)
+    } else {
+        0.0
+    };
+    y.iter().map(|&v| (v - tau).clamp(0.0, 1.0)).collect()
+}
+
+fn max_shift(y: &[f64]) -> f64 {
+    y.iter().cloned().fold(0.0, f64::max) + 1.0
+}
+
+fn max_shift_neg(y: &[f64]) -> f64 {
+    1.0 - y.iter().cloned().fold(0.0, f64::min) + 1.0
+}
+
+/// Finds `tau` in `[lo_tau, hi_tau]` with `f(tau) = target`, assuming `f` is
+/// non-increasing in `tau`.
+fn bisect_decreasing<F: Fn(f64) -> f64>(f: F, target: f64, mut lo_tau: f64, mut hi_tau: f64) -> f64 {
+    for _ in 0..200 {
+        let mid = 0.5 * (lo_tau + hi_tau);
+        if f(mid) > target {
+            lo_tau = mid;
+        } else {
+            hi_tau = mid;
+        }
+        if hi_tau - lo_tau < TOL {
+            break;
+        }
+    }
+    0.5 * (lo_tau + hi_tau)
+}
+
+/// Per-file constraint description used by [`project_joint`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FileBand {
+    /// Lower bound `K_{L,i}` on `Σ_j π_{i,j}`.
+    pub lo: f64,
+    /// Upper bound `K_{U,i}` on `Σ_j π_{i,j}`.
+    pub hi: f64,
+}
+
+/// Projects per-file vectors onto the joint feasible set
+/// `{π : π_i ∈ Box_i ∩ Band_i ∀i, Σ_i Σ_j π_{i,j} ≥ aggregate_lo}`.
+///
+/// `points[i]` holds the (unconstrained) values of file `i` restricted to its
+/// placement set `S_i`; the result has the same shape.
+///
+/// # Panics
+///
+/// Panics if the aggregate lower bound exceeds the sum of per-file upper
+/// bounds (the constraint set would be empty) or if `bands.len()` differs
+/// from `points.len()`.
+pub fn project_joint(points: &[Vec<f64>], bands: &[FileBand], aggregate_lo: f64) -> Vec<Vec<f64>> {
+    assert_eq!(points.len(), bands.len(), "one band per file is required");
+    let max_total: f64 = bands
+        .iter()
+        .zip(points)
+        .map(|(b, p)| b.hi.min(p.len() as f64))
+        .sum();
+    assert!(
+        aggregate_lo <= max_total + 1e-6,
+        "aggregate lower bound {aggregate_lo} exceeds maximum feasible total {max_total}"
+    );
+
+    let project_all = |nu: f64| -> Vec<Vec<f64>> {
+        points
+            .iter()
+            .zip(bands)
+            .map(|(p, b)| {
+                let shifted: Vec<f64> = p.iter().map(|&v| v + nu).collect();
+                project_box_sum_band(&shifted, b.lo, b.hi)
+            })
+            .collect()
+    };
+    let total = |proj: &[Vec<f64>]| -> f64 { proj.iter().map(|p| p.iter().sum::<f64>()).sum() };
+
+    let at_zero = project_all(0.0);
+    if total(&at_zero) >= aggregate_lo - 1e-9 {
+        return at_zero;
+    }
+
+    // The aggregate sum of the projection is non-decreasing in nu; find the
+    // smallest nu >= 0 meeting the lower bound.
+    let mut lo_nu = 0.0;
+    let mut hi_nu = 1.0;
+    while total(&project_all(hi_nu)) < aggregate_lo - 1e-9 {
+        hi_nu *= 2.0;
+        if hi_nu > 1e12 {
+            break;
+        }
+    }
+    for _ in 0..200 {
+        let mid = 0.5 * (lo_nu + hi_nu);
+        if total(&project_all(mid)) < aggregate_lo {
+            lo_nu = mid;
+        } else {
+            hi_nu = mid;
+        }
+        if hi_nu - lo_nu < TOL {
+            break;
+        }
+    }
+    project_all(hi_nu)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_feasible(x: &[f64], lo: f64, hi: f64) {
+        let sum: f64 = x.iter().sum();
+        assert!(sum >= lo - 1e-6, "sum {sum} below {lo}");
+        assert!(sum <= hi + 1e-6, "sum {sum} above {hi}");
+        for &v in x {
+            assert!((-1e-9..=1.0 + 1e-9).contains(&v), "coordinate {v} out of box");
+        }
+    }
+
+    #[test]
+    fn projection_of_feasible_point_is_identity() {
+        let y = vec![0.2, 0.5, 0.9];
+        let p = project_box_sum_band(&y, 1.0, 2.0);
+        for (a, b) in y.iter().zip(&p) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn projection_reduces_sum_to_upper_bound() {
+        let y = vec![1.0, 1.0, 1.0, 1.0];
+        let p = project_box_sum_band(&y, 0.0, 2.5);
+        assert_feasible(&p, 0.0, 2.5);
+        let sum: f64 = p.iter().sum();
+        assert!((sum - 2.5).abs() < 1e-6);
+        // symmetric input stays symmetric
+        for w in p.windows(2) {
+            assert!((w[0] - w[1]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn projection_raises_sum_to_lower_bound() {
+        let y = vec![0.0, 0.1, 0.0];
+        let p = project_box_sum_band(&y, 2.0, 3.0);
+        assert_feasible(&p, 2.0, 3.0);
+        let sum: f64 = p.iter().sum();
+        assert!((sum - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn projection_clamps_negative_and_large_coordinates() {
+        let y = vec![-3.0, 5.0, 0.4];
+        let p = project_box_sum_band(&y, 0.0, 3.0);
+        assert_feasible(&p, 0.0, 3.0);
+        assert!(p[0] <= p[2] && p[2] <= p[1], "order preserved: {p:?}");
+    }
+
+    #[test]
+    fn projection_is_closest_point_on_a_grid() {
+        // brute-force optimality check in 2-D
+        let y = vec![0.9, 0.8];
+        let p = project_box_sum_band(&y, 0.0, 1.0);
+        let dist = |a: &[f64]| -> f64 {
+            a.iter().zip(&y).map(|(x, yy)| (x - yy).powi(2)).sum::<f64>()
+        };
+        let best = dist(&p);
+        let steps = 101;
+        for i in 0..steps {
+            for j in 0..steps {
+                let cand = [i as f64 / 100.0, j as f64 / 100.0];
+                if cand[0] + cand[1] <= 1.0 + 1e-12 {
+                    assert!(best <= dist(&cand) + 1e-6, "{cand:?} closer than {p:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds upper bound")]
+    fn inverted_band_panics() {
+        let _ = project_box_sum_band(&[0.5], 2.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "infeasible")]
+    fn unreachable_lower_bound_panics() {
+        let _ = project_box_sum_band(&[0.5, 0.5], 3.0, 4.0);
+    }
+
+    #[test]
+    fn joint_projection_without_coupling_matches_per_file() {
+        let points = vec![vec![0.6, 0.7], vec![0.1, 0.2, 0.3]];
+        let bands = vec![FileBand { lo: 0.0, hi: 1.0 }, FileBand { lo: 0.0, hi: 3.0 }];
+        let joint = project_joint(&points, &bands, 0.0);
+        let separate: Vec<Vec<f64>> = points
+            .iter()
+            .zip(&bands)
+            .map(|(p, b)| project_box_sum_band(p, b.lo, b.hi))
+            .collect();
+        for (a, b) in joint.iter().flatten().zip(separate.iter().flatten()) {
+            assert!((a - b).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn joint_projection_meets_aggregate_lower_bound() {
+        // Cache smaller than total demand: aggregate sum must rise to the bound.
+        let points = vec![vec![0.0, 0.0, 0.0], vec![0.0, 0.0, 0.0]];
+        let bands = vec![FileBand { lo: 0.0, hi: 2.0 }, FileBand { lo: 0.0, hi: 2.0 }];
+        let aggregate_lo = 3.0; // sum k_i - C = 4 - 1
+        let joint = project_joint(&points, &bands, aggregate_lo);
+        let total: f64 = joint.iter().flatten().sum();
+        assert!((total - 3.0).abs() < 1e-5, "total {total}");
+        for (row, band) in joint.iter().zip(&bands) {
+            assert_feasible(row, band.lo, band.hi);
+        }
+    }
+
+    #[test]
+    fn joint_projection_respects_per_file_upper_bounds() {
+        let points = vec![vec![0.9, 0.9, 0.9], vec![0.0, 0.0]];
+        let bands = vec![FileBand { lo: 0.0, hi: 1.0 }, FileBand { lo: 0.0, hi: 2.0 }];
+        let joint = project_joint(&points, &bands, 2.5);
+        let sum0: f64 = joint[0].iter().sum();
+        let sum1: f64 = joint[1].iter().sum();
+        assert!(sum0 <= 1.0 + 1e-6);
+        assert!(sum0 + sum1 >= 2.5 - 1e-5);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds maximum feasible total")]
+    fn impossible_aggregate_bound_panics() {
+        let points = vec![vec![0.0, 0.0]];
+        let bands = vec![FileBand { lo: 0.0, hi: 1.0 }];
+        let _ = project_joint(&points, &bands, 5.0);
+    }
+}

@@ -1,0 +1,93 @@
+//! Optimizer output types.
+
+use serde::{Deserialize, Serialize};
+
+/// Objective values recorded while the algorithm runs; used to reproduce the
+/// paper's convergence plot (Fig. 3).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ConvergenceTrace {
+    /// Objective value after each outer (alternating-minimization) iteration,
+    /// including the initial value at index 0.
+    pub outer_objectives: Vec<f64>,
+    /// Total number of inner rounding rounds across all outer iterations.
+    pub rounding_rounds: usize,
+    /// Total number of projected-gradient iterations performed.
+    pub gradient_iterations: usize,
+}
+
+impl ConvergenceTrace {
+    /// Number of outer iterations actually performed.
+    pub fn outer_iterations(&self) -> usize {
+        self.outer_objectives.len().saturating_sub(1)
+    }
+
+    /// Final objective value (the weighted mean latency bound, seconds).
+    pub fn final_objective(&self) -> f64 {
+        *self.outer_objectives.last().unwrap_or(&f64::INFINITY)
+    }
+}
+
+/// The optimized cache placement and request-scheduling policy for one time
+/// bin.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CachePlan {
+    /// Number of functional chunks of each file to hold in the cache (`d_i`).
+    pub cached_chunks: Vec<usize>,
+    /// Scheduling probabilities `π_{i,j}` (rows indexed by file, columns by
+    /// node; zero outside each file's placement set).
+    pub scheduling: Vec<Vec<f64>>,
+    /// Optimal auxiliary variables `z_i` of the Lemma 1 bound.
+    pub z: Vec<f64>,
+    /// The achieved weighted mean latency bound (seconds).
+    pub objective: f64,
+    /// Per-file latency bounds `U_i` (seconds).
+    pub per_file_latency: Vec<f64>,
+    /// Convergence history.
+    pub trace: ConvergenceTrace,
+}
+
+impl CachePlan {
+    /// Total number of cache chunks used by the plan.
+    pub fn cache_chunks_used(&self) -> usize {
+        self.cached_chunks.iter().sum()
+    }
+
+    /// Expected number of storage-node chunk reads per file-`i` request
+    /// (`Σ_j π_{i,j} = k_i − d_i`).
+    pub fn storage_reads(&self, file: usize) -> f64 {
+        self.scheduling[file].iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_counts_iterations() {
+        let t = ConvergenceTrace {
+            outer_objectives: vec![10.0, 7.0, 6.5],
+            rounding_rounds: 4,
+            gradient_iterations: 100,
+        };
+        assert_eq!(t.outer_iterations(), 2);
+        assert!((t.final_objective() - 6.5).abs() < 1e-12);
+        assert_eq!(ConvergenceTrace::default().outer_iterations(), 0);
+        assert!(ConvergenceTrace::default().final_objective().is_infinite());
+    }
+
+    #[test]
+    fn plan_accessors() {
+        let plan = CachePlan {
+            cached_chunks: vec![2, 0, 1],
+            scheduling: vec![vec![0.5, 0.5, 1.0], vec![1.0, 1.0, 1.0], vec![0.0, 1.0, 1.0]],
+            z: vec![0.0; 3],
+            objective: 5.0,
+            per_file_latency: vec![4.0, 6.0, 5.0],
+            trace: ConvergenceTrace::default(),
+        };
+        assert_eq!(plan.cache_chunks_used(), 3);
+        assert!((plan.storage_reads(0) - 2.0).abs() < 1e-12);
+        assert!((plan.storage_reads(1) - 3.0).abs() < 1e-12);
+    }
+}

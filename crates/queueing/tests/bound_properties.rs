@@ -1,0 +1,94 @@
+//! Property-based tests for the M/G/1 moments and the Lemma 1 bound.
+
+use proptest::prelude::*;
+use sprout_queueing::bound::{
+    bound_derivative_z, file_latency_bound, latency_bound_given_z, SchedulingTerm,
+};
+use sprout_queueing::dist::ServiceDistribution;
+use sprout_queueing::mg1::{
+    mean_delay_derivative, queue_delay_moments, variance_delay_derivative, QueueDelayMoments,
+};
+
+fn service_dist() -> impl Strategy<Value = ServiceDistribution> {
+    prop_oneof![
+        (0.05f64..2.0).prop_map(ServiceDistribution::exponential),
+        (0.1f64..20.0).prop_map(ServiceDistribution::deterministic),
+        (0.1f64..5.0, 0.1f64..5.0).prop_map(|(a, b)| ServiceDistribution::uniform(a, a + b)),
+        (0.2f64..5.0, 0.2f64..5.0).prop_map(|(shape, scale)| ServiceDistribution::gamma(shape, scale)),
+        (0.1f64..3.0, 0.05f64..2.0)
+            .prop_map(|(shift, rate)| ServiceDistribution::shifted_exponential(shift, rate)),
+    ]
+}
+
+fn term() -> impl Strategy<Value = SchedulingTerm> {
+    (0.0f64..=1.0, 0.1f64..100.0, 0.0f64..500.0).prop_map(|(p, mean, variance)| SchedulingTerm {
+        probability: p,
+        delay: QueueDelayMoments { mean, variance },
+    })
+}
+
+proptest! {
+    #[test]
+    fn queue_moments_are_monotone_in_load(dist in service_dist(), frac1 in 0.01f64..0.9, frac2 in 0.01f64..0.9) {
+        let m = dist.moments();
+        let mu = m.rate();
+        let (lo, hi) = if frac1 <= frac2 { (frac1, frac2) } else { (frac2, frac1) };
+        let q_lo = queue_delay_moments(lo * mu, &m).unwrap();
+        let q_hi = queue_delay_moments(hi * mu, &m).unwrap();
+        prop_assert!(q_hi.mean >= q_lo.mean - 1e-12);
+        prop_assert!(q_hi.variance >= q_lo.variance - 1e-12);
+        // The sojourn time is always at least the bare service time.
+        prop_assert!(q_lo.mean >= m.mean - 1e-12);
+    }
+
+    #[test]
+    fn queue_moment_derivatives_are_nonnegative(dist in service_dist(), frac in 0.0f64..0.95) {
+        let m = dist.moments();
+        let lambda = frac * m.rate();
+        prop_assert!(mean_delay_derivative(lambda, &m) >= 0.0);
+        prop_assert!(variance_delay_derivative(lambda, &m) >= 0.0);
+    }
+
+    #[test]
+    fn overload_always_errors(dist in service_dist(), extra in 1.0f64..5.0) {
+        let m = dist.moments();
+        prop_assert!(queue_delay_moments(extra * m.rate(), &m).is_err());
+    }
+
+    #[test]
+    fn bound_is_convex_in_z(terms in proptest::collection::vec(term(), 1..6), z1 in 0.0f64..200.0, z2 in 0.0f64..200.0) {
+        let mid = 0.5 * (z1 + z2);
+        let lhs = latency_bound_given_z(mid, &terms);
+        let rhs = 0.5 * latency_bound_given_z(z1, &terms) + 0.5 * latency_bound_given_z(z2, &terms);
+        prop_assert!(lhs <= rhs + 1e-9);
+    }
+
+    #[test]
+    fn optimal_z_minimizes_over_a_grid(terms in proptest::collection::vec(term(), 1..6)) {
+        let best = file_latency_bound(&terms);
+        prop_assert!(best.z >= 0.0);
+        for i in 0..200 {
+            let z = i as f64 * 0.75;
+            prop_assert!(best.latency <= latency_bound_given_z(z, &terms) + 1e-7);
+        }
+    }
+
+    #[test]
+    fn bound_derivative_is_nondecreasing(terms in proptest::collection::vec(term(), 1..6), z1 in 0.0f64..100.0, dz in 0.0f64..100.0) {
+        prop_assert!(bound_derivative_z(z1 + dz, &terms) >= bound_derivative_z(z1, &terms) - 1e-9);
+    }
+
+    #[test]
+    fn bound_dominates_every_individual_mean_times_probability(terms in proptest::collection::vec(term(), 1..6)) {
+        // With pi_j = 1 the node is always in the selected set, so the file
+        // latency (a maximum including that node) is at least E[Q_j]; the
+        // bound must respect that.
+        let bound = file_latency_bound(&terms).latency;
+        for t in &terms {
+            if t.probability >= 1.0 - 1e-12 {
+                prop_assert!(bound >= t.delay.mean - 1e-9);
+            }
+        }
+        prop_assert!(bound >= 0.0);
+    }
+}

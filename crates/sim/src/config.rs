@@ -1,0 +1,84 @@
+//! Simulation configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Run-length and sampling parameters of a simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Simulated horizon in seconds.
+    pub horizon: f64,
+    /// RNG seed (arrivals, service times, scheduling draws).
+    pub seed: u64,
+    /// Requests arriving before this time are simulated but excluded from the
+    /// latency statistics (queue warm-up).
+    pub warmup: f64,
+    /// Mean latency of serving one chunk from the cache, in seconds. The
+    /// paper treats cache reads as negligible next to HDD reads; a small
+    /// nonzero value can be supplied to model the SSD of Table V.
+    pub cache_chunk_latency: f64,
+    /// Length of the time slots used for the chunk-source counts of Fig. 7
+    /// (seconds).
+    pub slot_length: f64,
+}
+
+impl SimConfig {
+    /// Creates a configuration with the given horizon and seed and default
+    /// warm-up (5 % of the horizon), zero cache latency and 5-second slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `horizon <= 0`.
+    pub fn new(horizon: f64, seed: u64) -> Self {
+        assert!(horizon > 0.0, "horizon must be positive");
+        SimConfig {
+            horizon,
+            seed,
+            warmup: horizon * 0.05,
+            cache_chunk_latency: 0.0,
+            slot_length: 5.0,
+        }
+    }
+
+    /// Sets the warm-up period.
+    pub fn with_warmup(mut self, warmup: f64) -> Self {
+        self.warmup = warmup.max(0.0);
+        self
+    }
+
+    /// Sets the per-chunk cache read latency.
+    pub fn with_cache_latency(mut self, latency: f64) -> Self {
+        self.cache_chunk_latency = latency.max(0.0);
+        self
+    }
+
+    /// Sets the slot length used for chunk-source accounting.
+    pub fn with_slot_length(mut self, slot: f64) -> Self {
+        assert!(slot > 0.0, "slot length must be positive");
+        self.slot_length = slot;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_and_builders() {
+        let c = SimConfig::new(1000.0, 3);
+        assert!((c.warmup - 50.0).abs() < 1e-9);
+        assert_eq!(c.cache_chunk_latency, 0.0);
+        let c = c.with_warmup(10.0).with_cache_latency(0.002).with_slot_length(2.0);
+        assert_eq!(c.warmup, 10.0);
+        assert_eq!(c.cache_chunk_latency, 0.002);
+        assert_eq!(c.slot_length, 2.0);
+        let clamped = SimConfig::new(10.0, 0).with_warmup(-5.0);
+        assert_eq!(clamped.warmup, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_horizon_panics() {
+        let _ = SimConfig::new(0.0, 1);
+    }
+}

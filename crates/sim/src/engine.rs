@@ -1,0 +1,563 @@
+//! The discrete-event simulation engine.
+
+use std::collections::{HashMap, VecDeque};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use sprout_queueing::dist::ServiceDistribution;
+use sprout_workload::arrivals::PoissonArrivals;
+
+use crate::config::SimConfig;
+use crate::event::EventQueue;
+use crate::metrics::{LatencySummary, SlotCounts};
+use crate::policy::{CacheScheme, SchedulingRule};
+use crate::scheduler::{systematic_sample, uniform_sample};
+
+/// A file as seen by the simulator: its arrival rate, code dimension `k` and
+/// the storage nodes hosting its chunks.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimFile {
+    /// Request arrival rate (requests per second).
+    pub arrival_rate: f64,
+    /// Number of chunks needed to reconstruct the file.
+    pub k: usize,
+    /// Hosting storage nodes (chunk row `i` lives on `placement[i]`).
+    pub placement: Vec<usize>,
+}
+
+impl SimFile {
+    /// Creates a file description.
+    pub fn new(arrival_rate: f64, k: usize, placement: Vec<usize>) -> Self {
+        SimFile {
+            arrival_rate,
+            k,
+            placement,
+        }
+    }
+}
+
+/// Everything measured during a run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Latency summary over all completed, post-warm-up requests.
+    pub overall: LatencySummary,
+    /// Per-file latency summaries.
+    pub per_file: Vec<LatencySummary>,
+    /// Per-node busy fraction over the horizon.
+    pub node_utilization: Vec<f64>,
+    /// Chunk-source counts per time slot (Fig. 7).
+    pub slots: SlotCounts,
+    /// Requests served entirely from the cache.
+    pub full_cache_hits: u64,
+    /// Total completed requests (including warm-up).
+    pub completed_requests: u64,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Event {
+    /// A file request arrives (index into the pre-generated trace).
+    Arrival(usize),
+    /// A storage node finishes the chunk it was serving.
+    NodeComplete(usize),
+}
+
+#[derive(Debug, Clone)]
+struct RequestState {
+    file: usize,
+    start: f64,
+    outstanding: usize,
+    last_completion: f64,
+}
+
+#[derive(Debug, Default, Clone)]
+struct NodeState {
+    queue: VecDeque<usize>, // request ids waiting for this node
+    serving: Option<usize>,
+    busy_time: f64,
+}
+
+/// A configured simulation, ready to run.
+#[derive(Debug, Clone)]
+pub struct Simulation {
+    nodes: Vec<ServiceDistribution>,
+    files: Vec<SimFile>,
+    scheme: CacheScheme,
+    config: SimConfig,
+}
+
+impl Simulation {
+    /// Creates a simulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a file references a node out of range, has `k = 0`, or is
+    /// hosted on fewer than `k` nodes.
+    pub fn new(
+        nodes: Vec<ServiceDistribution>,
+        files: Vec<SimFile>,
+        scheme: CacheScheme,
+        config: SimConfig,
+    ) -> Self {
+        for (i, f) in files.iter().enumerate() {
+            assert!(f.k > 0, "file {i} has k = 0");
+            assert!(
+                f.placement.len() >= f.k,
+                "file {i} is hosted on fewer than k nodes"
+            );
+            assert!(
+                f.placement.iter().all(|&n| n < nodes.len()),
+                "file {i} references a node out of range"
+            );
+        }
+        Simulation {
+            nodes,
+            files,
+            scheme,
+            config,
+        }
+    }
+
+    /// Runs the simulation and returns the measured report.
+    pub fn run(&self) -> SimReport {
+        let mut rng = StdRng::seed_from_u64(self.config.seed ^ 0x5EED);
+        let mut arrivals_rng = PoissonArrivals::new(self.config.seed);
+        let rates: Vec<f64> = self.files.iter().map(|f| f.arrival_rate).collect();
+        let trace = arrivals_rng.generate(&rates, self.config.horizon);
+
+        let mut events: EventQueue<Event> = EventQueue::new();
+        for (idx, req) in trace.iter().enumerate() {
+            events.push(req.time, Event::Arrival(idx));
+        }
+
+        let mut nodes: Vec<NodeState> = vec![NodeState::default(); self.nodes.len()];
+        let mut requests: HashMap<usize, RequestState> = HashMap::new();
+        let mut latencies: Vec<Vec<f64>> = vec![Vec::new(); self.files.len()];
+        let mut slots = SlotCounts::new(self.config.horizon, self.config.slot_length);
+        let mut full_cache_hits = 0u64;
+        let mut completed = 0u64;
+
+        // LRU cache state (object id -> last access tick), capacity in chunks.
+        let mut lru_last: HashMap<usize, u64> = HashMap::new();
+        let mut lru_used_chunks: usize = 0;
+        let mut lru_tick: u64 = 0;
+
+        while let Some((now, event)) = events.pop() {
+            match event {
+                Event::Arrival(idx) => {
+                    let file = trace[idx].file;
+                    let spec = &self.files[file];
+                    let (cache_chunks, storage_nodes) =
+                        self.plan_request(file, &mut rng, &mut lru_last, &mut lru_used_chunks, &mut lru_tick);
+                    slots.record(now, cache_chunks as u64, storage_nodes.len() as u64);
+
+                    let cache_latency = if cache_chunks > 0 {
+                        self.config.cache_chunk_latency
+                    } else {
+                        0.0
+                    };
+
+                    if storage_nodes.is_empty() {
+                        // Served entirely from the cache.
+                        full_cache_hits += 1;
+                        completed += 1;
+                        if now >= self.config.warmup {
+                            latencies[file].push(cache_latency);
+                        }
+                        continue;
+                    }
+
+                    let _ = spec;
+                    requests.insert(
+                        idx,
+                        RequestState {
+                            file,
+                            start: now,
+                            outstanding: storage_nodes.len(),
+                            last_completion: now + cache_latency,
+                        },
+                    );
+                    for node in storage_nodes {
+                        self.enqueue_chunk(node, idx, now, &mut nodes, &mut events, &mut rng);
+                    }
+                }
+                Event::NodeComplete(node) => {
+                    let finished = nodes[node].serving.take().expect("completion without a job");
+                    if let Some(req) = requests.get_mut(&finished) {
+                        req.outstanding -= 1;
+                        req.last_completion = req.last_completion.max(now);
+                        if req.outstanding == 0 {
+                            let req = requests.remove(&finished).expect("request state present");
+                            completed += 1;
+                            if req.start >= self.config.warmup {
+                                latencies[req.file].push(req.last_completion - req.start);
+                            }
+                        }
+                    }
+                    // Start the next queued chunk, if any.
+                    if let Some(next) = nodes[node].queue.pop_front() {
+                        self.start_service(node, next, now, &mut nodes, &mut events, &mut rng);
+                    }
+                }
+            }
+        }
+
+        let all: Vec<f64> = latencies.iter().flatten().copied().collect();
+        SimReport {
+            overall: LatencySummary::from_samples(&all),
+            per_file: latencies
+                .iter()
+                .map(|l| LatencySummary::from_samples(l))
+                .collect(),
+            node_utilization: nodes
+                .iter()
+                .map(|n| (n.busy_time / self.config.horizon).min(1.0))
+                .collect(),
+            slots,
+            full_cache_hits,
+            completed_requests: completed,
+        }
+    }
+
+    /// Decides, for one request of `file`, how many chunks the cache serves
+    /// and which storage nodes serve the rest.
+    fn plan_request(
+        &self,
+        file: usize,
+        rng: &mut StdRng,
+        lru_last: &mut HashMap<usize, u64>,
+        lru_used_chunks: &mut usize,
+        lru_tick: &mut u64,
+    ) -> (usize, Vec<usize>) {
+        let spec = &self.files[file];
+        match &self.scheme {
+            CacheScheme::NoCache => {
+                let chosen = uniform_sample(spec.placement.len(), spec.k, rng);
+                (0, chosen.into_iter().map(|i| spec.placement[i]).collect())
+            }
+            CacheScheme::Functional {
+                cached_chunks,
+                scheduling,
+                rule,
+            } => {
+                let d = cached_chunks.get(file).copied().unwrap_or(0).min(spec.k);
+                let needed = spec.k - d;
+                if needed == 0 {
+                    return (d, Vec::new());
+                }
+                let nodes = match rule {
+                    SchedulingRule::Probabilistic => {
+                        let marginals: Vec<f64> = spec
+                            .placement
+                            .iter()
+                            .map(|&j| scheduling[file].get(j).copied().unwrap_or(0.0))
+                            .collect();
+                        let picks = systematic_sample(&marginals, rng);
+                        picks.into_iter().map(|i| spec.placement[i]).collect()
+                    }
+                    SchedulingRule::Uniform => uniform_sample(spec.placement.len(), needed, rng)
+                        .into_iter()
+                        .map(|i| spec.placement[i])
+                        .collect(),
+                };
+                (d, nodes)
+            }
+            CacheScheme::Exact {
+                cached_chunks,
+                scheduling,
+            } => {
+                let d = cached_chunks.get(file).copied().unwrap_or(0).min(spec.k);
+                let needed = spec.k - d;
+                if needed == 0 {
+                    return (d, Vec::new());
+                }
+                // The first d placement entries host the exactly-cached rows
+                // and cannot serve the request.
+                let eligible: Vec<usize> = spec.placement[d..].to_vec();
+                let marginals: Vec<f64> = eligible
+                    .iter()
+                    .map(|&j| scheduling[file].get(j).copied().unwrap_or(0.0))
+                    .collect();
+                let total: f64 = marginals.iter().sum();
+                let nodes = if (total - needed as f64).abs() < 1e-6 {
+                    systematic_sample(&marginals, rng)
+                        .into_iter()
+                        .map(|i| eligible[i])
+                        .collect()
+                } else {
+                    uniform_sample(eligible.len(), needed.min(eligible.len()), rng)
+                        .into_iter()
+                        .map(|i| eligible[i])
+                        .collect()
+                };
+                (d, nodes)
+            }
+            CacheScheme::LruReplicated {
+                capacity_chunks,
+                replication,
+            } => {
+                *lru_tick += 1;
+                if lru_last.contains_key(&file) {
+                    lru_last.insert(file, *lru_tick);
+                    return (spec.k, Vec::new());
+                }
+                // Miss: read k chunks from storage, then promote the object.
+                let chosen = uniform_sample(spec.placement.len(), spec.k, rng);
+                let footprint = spec.k * *replication as usize;
+                if footprint <= *capacity_chunks {
+                    while *lru_used_chunks + footprint > *capacity_chunks {
+                        // Evict the least recently used object.
+                        let victim = lru_last
+                            .iter()
+                            .min_by_key(|(_, &t)| t)
+                            .map(|(&f, _)| f);
+                        match victim {
+                            Some(v) => {
+                                lru_last.remove(&v);
+                                *lru_used_chunks -=
+                                    self.files[v].k * *replication as usize;
+                            }
+                            None => break,
+                        }
+                    }
+                    if *lru_used_chunks + footprint <= *capacity_chunks {
+                        lru_last.insert(file, *lru_tick);
+                        *lru_used_chunks += footprint;
+                    }
+                }
+                (0, chosen.into_iter().map(|i| spec.placement[i]).collect())
+            }
+        }
+    }
+
+    fn enqueue_chunk(
+        &self,
+        node: usize,
+        request: usize,
+        now: f64,
+        nodes: &mut [NodeState],
+        events: &mut EventQueue<Event>,
+        rng: &mut StdRng,
+    ) {
+        if nodes[node].serving.is_none() {
+            self.start_service(node, request, now, nodes, events, rng);
+        } else {
+            nodes[node].queue.push_back(request);
+        }
+    }
+
+    fn start_service(
+        &self,
+        node: usize,
+        request: usize,
+        now: f64,
+        nodes: &mut [NodeState],
+        events: &mut EventQueue<Event>,
+        rng: &mut StdRng,
+    ) {
+        let service = self.nodes[node].sample(rng);
+        nodes[node].serving = Some(request);
+        nodes[node].busy_time += service;
+        events.push(now + service, Event::NodeComplete(node));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nodes(n: usize, rate: f64) -> Vec<ServiceDistribution> {
+        vec![ServiceDistribution::exponential(rate); n]
+    }
+
+    fn simple_files(count: usize, rate: f64, k: usize, m: usize) -> Vec<SimFile> {
+        (0..count)
+            .map(|i| {
+                let placement: Vec<usize> = (0..m).map(|j| (i + j) % m).collect();
+                SimFile::new(rate, k, placement)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn no_cache_latency_close_to_mm1_fork_join_bounds() {
+        // Single file, k = 1, one node: the system is exactly M/M/1 and the
+        // mean sojourn time is 1/(mu - lambda).
+        let sim = Simulation::new(
+            vec![ServiceDistribution::exponential(1.0)],
+            vec![SimFile::new(0.5, 1, vec![0])],
+            CacheScheme::NoCache,
+            SimConfig::new(200_000.0, 42),
+        );
+        let report = sim.run();
+        let expect = 1.0 / (1.0 - 0.5);
+        assert!(
+            (report.overall.mean - expect).abs() / expect < 0.05,
+            "M/M/1 sojourn {} vs {expect}",
+            report.overall.mean
+        );
+        assert!(report.node_utilization[0] > 0.45 && report.node_utilization[0] < 0.55);
+    }
+
+    #[test]
+    fn fork_join_latency_exceeds_single_chunk_latency() {
+        let nodes = nodes(6, 0.5);
+        let one = Simulation::new(
+            nodes.clone(),
+            vec![SimFile::new(0.05, 1, vec![0, 1, 2, 3, 4, 5])],
+            CacheScheme::NoCache,
+            SimConfig::new(100_000.0, 1),
+        )
+        .run();
+        let four = Simulation::new(
+            nodes,
+            vec![SimFile::new(0.05, 4, vec![0, 1, 2, 3, 4, 5])],
+            CacheScheme::NoCache,
+            SimConfig::new(100_000.0, 1),
+        )
+        .run();
+        assert!(four.overall.mean > one.overall.mean);
+    }
+
+    #[test]
+    fn functional_caching_reduces_latency_monotonically_in_d() {
+        let m = 6;
+        let files = simple_files(4, 0.05, 4, m);
+        let service = nodes(m, 0.5);
+        let mut prev = f64::INFINITY;
+        for d in 0..=4usize {
+            let cached = vec![d; 4];
+            // spread the remaining k - d reads uniformly
+            let scheduling: Vec<Vec<f64>> = files
+                .iter()
+                .map(|f| {
+                    let mut row = vec![0.0; m];
+                    for &j in &f.placement {
+                        row[j] = (f.k - d) as f64 / f.placement.len() as f64;
+                    }
+                    row
+                })
+                .collect();
+            let report = Simulation::new(
+                service.clone(),
+                files.clone(),
+                CacheScheme::Functional {
+                    cached_chunks: cached,
+                    scheduling,
+                    rule: SchedulingRule::Probabilistic,
+                },
+                SimConfig::new(50_000.0, 3),
+            )
+            .run();
+            assert!(
+                report.overall.mean <= prev + 0.2,
+                "latency should fall as d grows: d={d}, {} vs {prev}",
+                report.overall.mean
+            );
+            prev = report.overall.mean;
+            if d == 4 {
+                assert_eq!(report.overall.mean, 0.0, "fully cached files have zero latency");
+                assert!(report.full_cache_hits > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn slot_counts_track_cache_share() {
+        let m = 6;
+        let files = simple_files(3, 0.05, 4, m);
+        let scheduling: Vec<Vec<f64>> = files
+            .iter()
+            .map(|f| {
+                let mut row = vec![0.0; m];
+                for &j in &f.placement {
+                    row[j] = 2.0 / f.placement.len() as f64;
+                }
+                row
+            })
+            .collect();
+        let report = Simulation::new(
+            nodes(m, 0.5),
+            files,
+            CacheScheme::Functional {
+                cached_chunks: vec![2, 2, 2],
+                scheduling,
+                rule: SchedulingRule::Probabilistic,
+            },
+            SimConfig::new(20_000.0, 9),
+        )
+        .run();
+        // Half of each request's 4 chunks come from the cache.
+        assert!((report.slots.cache_fraction() - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    fn lru_cache_hits_after_first_access_when_capacity_allows() {
+        let m = 4;
+        let files = simple_files(2, 0.05, 2, m);
+        let report = Simulation::new(
+            nodes(m, 0.5),
+            files,
+            CacheScheme::ceph_lru(100),
+            SimConfig::new(20_000.0, 5),
+        )
+        .run();
+        // After both files are promoted every request is a full cache hit.
+        assert!(report.full_cache_hits > report.completed_requests / 2);
+        assert!(report.overall.mean < 1.0);
+    }
+
+    #[test]
+    fn lru_cache_with_tiny_capacity_behaves_like_no_cache() {
+        let m = 4;
+        let files = simple_files(4, 0.05, 2, m);
+        let tiny = Simulation::new(
+            nodes(m, 0.5),
+            files.clone(),
+            CacheScheme::ceph_lru(1),
+            SimConfig::new(20_000.0, 6),
+        )
+        .run();
+        let none = Simulation::new(
+            nodes(m, 0.5),
+            files,
+            CacheScheme::NoCache,
+            SimConfig::new(20_000.0, 6),
+        )
+        .run();
+        assert!((tiny.overall.mean - none.overall.mean).abs() / none.overall.mean < 0.25);
+        assert_eq!(tiny.full_cache_hits, 0);
+    }
+
+    #[test]
+    fn deterministic_across_runs_with_same_seed() {
+        let files = simple_files(3, 0.05, 2, 4);
+        let a = Simulation::new(
+            nodes(4, 0.5),
+            files.clone(),
+            CacheScheme::NoCache,
+            SimConfig::new(5_000.0, 77),
+        )
+        .run();
+        let b = Simulation::new(
+            nodes(4, 0.5),
+            files,
+            CacheScheme::NoCache,
+            SimConfig::new(5_000.0, 77),
+        )
+        .run();
+        assert_eq!(a.overall, b.overall);
+        assert_eq!(a.completed_requests, b.completed_requests);
+    }
+
+    #[test]
+    #[should_panic(expected = "fewer than k")]
+    fn invalid_file_panics() {
+        let _ = Simulation::new(
+            nodes(2, 0.5),
+            vec![SimFile::new(0.1, 3, vec![0, 1])],
+            CacheScheme::NoCache,
+            SimConfig::new(10.0, 0),
+        );
+    }
+}

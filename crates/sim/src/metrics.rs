@@ -1,0 +1,157 @@
+//! Latency statistics and chunk-source accounting.
+
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of a latency sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencySummary {
+    /// Number of completed (post-warm-up) requests.
+    pub count: usize,
+    /// Mean latency (seconds).
+    pub mean: f64,
+    /// Standard deviation (seconds).
+    pub std_dev: f64,
+    /// Median.
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Maximum observed latency.
+    pub max: f64,
+}
+
+impl LatencySummary {
+    /// Builds a summary from raw samples (empty input yields all zeros).
+    pub fn from_samples(samples: &[f64]) -> Self {
+        if samples.is_empty() {
+            return LatencySummary {
+                count: 0,
+                mean: 0.0,
+                std_dev: 0.0,
+                p50: 0.0,
+                p95: 0.0,
+                p99: 0.0,
+                max: 0.0,
+            };
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let n = sorted.len();
+        let mean = sorted.iter().sum::<f64>() / n as f64;
+        let var = sorted.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        let pct = |p: f64| -> f64 {
+            let idx = ((n as f64 - 1.0) * p).round() as usize;
+            sorted[idx.min(n - 1)]
+        };
+        LatencySummary {
+            count: n,
+            mean,
+            std_dev: var.sqrt(),
+            p50: pct(0.50),
+            p95: pct(0.95),
+            p99: pct(0.99),
+            max: sorted[n - 1],
+        }
+    }
+}
+
+/// Per-time-slot counts of chunks served from the cache versus the storage
+/// nodes (the quantity plotted in Fig. 7 of the paper).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct SlotCounts {
+    /// Slot length in seconds.
+    pub slot_length: f64,
+    /// Chunks served by the cache, per slot.
+    pub cache_chunks: Vec<u64>,
+    /// Chunks served by storage nodes, per slot.
+    pub storage_chunks: Vec<u64>,
+}
+
+impl SlotCounts {
+    /// Creates empty counters covering `horizon` seconds in slots of
+    /// `slot_length` seconds.
+    pub fn new(horizon: f64, slot_length: f64) -> Self {
+        assert!(slot_length > 0.0, "slot length must be positive");
+        let slots = (horizon / slot_length).ceil().max(1.0) as usize;
+        SlotCounts {
+            slot_length,
+            cache_chunks: vec![0; slots],
+            storage_chunks: vec![0; slots],
+        }
+    }
+
+    /// Records chunks served at `time`.
+    pub fn record(&mut self, time: f64, cache: u64, storage: u64) {
+        let idx = ((time / self.slot_length) as usize).min(self.cache_chunks.len() - 1);
+        self.cache_chunks[idx] += cache;
+        self.storage_chunks[idx] += storage;
+    }
+
+    /// Fraction of all chunks that came from the cache.
+    pub fn cache_fraction(&self) -> f64 {
+        let cache: u64 = self.cache_chunks.iter().sum();
+        let storage: u64 = self.storage_chunks.iter().sum();
+        let total = cache + storage;
+        if total == 0 {
+            0.0
+        } else {
+            cache as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_samples() {
+        let s = LatencySummary::from_samples(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(s.count, 5);
+        assert!((s.mean - 3.0).abs() < 1e-12);
+        assert!((s.p50 - 3.0).abs() < 1e-12);
+        assert!((s.max - 5.0).abs() < 1e-12);
+        assert!((s.std_dev - 2.0f64.sqrt()).abs() < 1e-9);
+        assert!(s.p95 >= s.p50);
+        assert!(s.p99 >= s.p95);
+    }
+
+    #[test]
+    fn empty_summary_is_all_zero() {
+        let s = LatencySummary::from_samples(&[]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean, 0.0);
+        assert_eq!(s.max, 0.0);
+    }
+
+    #[test]
+    fn percentiles_are_order_statistics() {
+        let samples: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let s = LatencySummary::from_samples(&samples);
+        assert!((s.p95 - 95.0).abs() <= 1.0);
+        assert!((s.p99 - 99.0).abs() <= 1.0);
+    }
+
+    #[test]
+    fn slot_counts_accumulate_and_clamp() {
+        let mut c = SlotCounts::new(100.0, 5.0);
+        assert_eq!(c.cache_chunks.len(), 20);
+        c.record(0.0, 1, 3);
+        c.record(4.9, 1, 3);
+        c.record(5.0, 0, 2);
+        c.record(1000.0, 5, 5); // clamps to the last slot
+        assert_eq!(c.cache_chunks[0], 2);
+        assert_eq!(c.storage_chunks[0], 6);
+        assert_eq!(c.storage_chunks[1], 2);
+        assert_eq!(c.cache_chunks[19], 5);
+        let frac = c.cache_fraction();
+        assert!((frac - 7.0 / 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_slot_counts_have_zero_cache_fraction() {
+        let c = SlotCounts::new(10.0, 5.0);
+        assert_eq!(c.cache_fraction(), 0.0);
+    }
+}

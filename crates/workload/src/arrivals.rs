@@ -1,0 +1,152 @@
+//! Poisson request-arrival generation.
+//!
+//! File-access requests are modeled as independent Poisson processes, one per
+//! file (§III). The generator below superposes them into a single
+//! time-ordered request trace, which both the discrete-event simulator and
+//! the cluster substrate replay.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// One file-access request.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Request {
+    /// Arrival time in seconds from the start of the trace.
+    pub time: f64,
+    /// Index of the requested file.
+    pub file: usize,
+}
+
+/// Generator of Poisson request traces.
+#[derive(Debug, Clone)]
+pub struct PoissonArrivals {
+    rng: StdRng,
+}
+
+impl PoissonArrivals {
+    /// Creates a generator with a deterministic seed.
+    pub fn new(seed: u64) -> Self {
+        PoissonArrivals {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Generates a time-ordered trace over `[0, horizon)` seconds where file
+    /// `i` is requested according to a Poisson process of rate `rates[i]`.
+    pub fn generate(&mut self, rates: &[f64], horizon: f64) -> Vec<Request> {
+        assert!(horizon >= 0.0, "horizon must be non-negative");
+        let mut trace = Vec::new();
+        for (file, &rate) in rates.iter().enumerate() {
+            assert!(rate >= 0.0, "arrival rates must be non-negative");
+            if rate == 0.0 {
+                continue;
+            }
+            let mut t = 0.0;
+            loop {
+                t += self.sample_exp(rate);
+                if t >= horizon {
+                    break;
+                }
+                trace.push(Request { time: t, file });
+            }
+        }
+        trace.sort_by(|a, b| a.time.partial_cmp(&b.time).unwrap());
+        trace
+    }
+
+    /// Generates a trace for a piecewise-constant (non-homogeneous) rate
+    /// schedule: `bins[b]` gives `(bin_length_seconds, per-file rates)`.
+    /// Arrival times are absolute (bins are concatenated).
+    pub fn generate_piecewise(&mut self, bins: &[(f64, Vec<f64>)]) -> Vec<Request> {
+        let mut trace = Vec::new();
+        let mut offset = 0.0;
+        for (length, rates) in bins {
+            let mut part = self.generate(rates, *length);
+            for req in &mut part {
+                req.time += offset;
+            }
+            trace.extend(part);
+            offset += length;
+        }
+        trace
+    }
+
+    fn sample_exp(&mut self, rate: f64) -> f64 {
+        let u: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
+        -u.ln() / rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_is_time_ordered_and_within_horizon() {
+        let mut gen = PoissonArrivals::new(1);
+        let trace = gen.generate(&[0.5, 0.2, 0.0], 200.0);
+        assert!(!trace.is_empty());
+        for w in trace.windows(2) {
+            assert!(w[0].time <= w[1].time);
+        }
+        assert!(trace.iter().all(|r| r.time < 200.0 && r.file < 2));
+    }
+
+    #[test]
+    fn empirical_rate_matches_specification() {
+        let mut gen = PoissonArrivals::new(7);
+        let horizon = 50_000.0;
+        let rates = [0.02, 0.05];
+        let trace = gen.generate(&rates, horizon);
+        for (file, &rate) in rates.iter().enumerate() {
+            let count = trace.iter().filter(|r| r.file == file).count();
+            let empirical = count as f64 / horizon;
+            assert!(
+                (empirical - rate).abs() / rate < 0.05,
+                "file {file}: empirical {empirical} vs {rate}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_rates_produce_empty_trace() {
+        let mut gen = PoissonArrivals::new(3);
+        assert!(gen.generate(&[0.0, 0.0], 1000.0).is_empty());
+        assert!(gen.generate(&[1.0], 0.0).is_empty());
+    }
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let a = PoissonArrivals::new(99).generate(&[0.1, 0.3], 500.0);
+        let b = PoissonArrivals::new(99).generate(&[0.1, 0.3], 500.0);
+        assert_eq!(a, b);
+        let c = PoissonArrivals::new(100).generate(&[0.1, 0.3], 500.0);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn piecewise_trace_concatenates_bins() {
+        let mut gen = PoissonArrivals::new(11);
+        let bins = vec![(100.0, vec![0.5, 0.0]), (100.0, vec![0.0, 0.5])];
+        let trace = gen.generate_piecewise(&bins);
+        for r in &trace {
+            if r.time < 100.0 {
+                assert_eq!(r.file, 0);
+            } else {
+                assert_eq!(r.file, 1);
+                assert!(r.time < 200.0);
+            }
+        }
+        for w in trace.windows(2) {
+            assert!(w[0].time <= w[1].time);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_rate_panics() {
+        let mut gen = PoissonArrivals::new(1);
+        let _ = gen.generate(&[-0.1], 10.0);
+    }
+}

@@ -1,0 +1,194 @@
+//! Time-binned arrival-rate schedules.
+//!
+//! The paper assumes time-scale separation: service time is divided into
+//! bins, with stationary arrival rates inside each bin and a fresh cache
+//! optimization at the start of every bin (§III). [`RateSchedule`] captures
+//! such a schedule, and [`table_i_schedule`] reproduces the 3-bin, 10-file
+//! scenario of Table I used for the cache-evolution experiment (Fig. 5).
+
+use serde::{Deserialize, Serialize};
+
+/// One time bin: a duration and the per-file arrival rates that hold in it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimeBin {
+    /// Length of the bin in seconds.
+    pub duration: f64,
+    /// Per-file arrival rates (requests per second).
+    pub rates: Vec<f64>,
+}
+
+impl TimeBin {
+    /// Creates a time bin.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the duration is not positive or any rate is negative.
+    pub fn new(duration: f64, rates: Vec<f64>) -> Self {
+        assert!(duration > 0.0, "bin duration must be positive");
+        assert!(rates.iter().all(|&r| r >= 0.0), "rates must be non-negative");
+        TimeBin { duration, rates }
+    }
+
+    /// Aggregate arrival rate in the bin.
+    pub fn total_rate(&self) -> f64 {
+        self.rates.iter().sum()
+    }
+}
+
+/// A sequence of time bins over a common file population.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct RateSchedule {
+    bins: Vec<TimeBin>,
+}
+
+impl RateSchedule {
+    /// Creates a schedule from bins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if bins disagree on the number of files.
+    pub fn new(bins: Vec<TimeBin>) -> Self {
+        if let Some(first) = bins.first() {
+            assert!(
+                bins.iter().all(|b| b.rates.len() == first.rates.len()),
+                "all bins must cover the same number of files"
+            );
+        }
+        RateSchedule { bins }
+    }
+
+    /// The bins, in order.
+    pub fn bins(&self) -> &[TimeBin] {
+        &self.bins
+    }
+
+    /// Number of bins.
+    pub fn len(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// Returns `true` if the schedule has no bins.
+    pub fn is_empty(&self) -> bool {
+        self.bins.is_empty()
+    }
+
+    /// Number of files covered by the schedule (0 if empty).
+    pub fn num_files(&self) -> usize {
+        self.bins.first().map_or(0, |b| b.rates.len())
+    }
+
+    /// Total duration across bins.
+    pub fn total_duration(&self) -> f64 {
+        self.bins.iter().map(|b| b.duration).sum()
+    }
+
+    /// The bin active at absolute time `t`, if any.
+    pub fn bin_at(&self, t: f64) -> Option<(usize, &TimeBin)> {
+        let mut offset = 0.0;
+        for (i, bin) in self.bins.iter().enumerate() {
+            if t < offset + bin.duration {
+                return Some((i, bin));
+            }
+            offset += bin.duration;
+        }
+        None
+    }
+
+    /// Shape suitable for [`crate::arrivals::PoissonArrivals::generate_piecewise`].
+    pub fn as_piecewise(&self) -> Vec<(f64, Vec<f64>)> {
+        self.bins
+            .iter()
+            .map(|b| (b.duration, b.rates.clone()))
+            .collect()
+    }
+}
+
+/// The Table I scenario: 10 files, 3 time bins, with the arrival-rate
+/// increases/decreases marked in the paper. `bin_duration` is the length of
+/// each bin in seconds (the paper's experiment uses 100 s bins).
+pub fn table_i_schedule(bin_duration: f64) -> RateSchedule {
+    let bin1 = vec![
+        0.000156, 0.000156, 0.000125, 0.000167, 0.000104, 0.000156, 0.000156, 0.000125, 0.000167,
+        0.000104,
+    ];
+    let bin2 = vec![
+        0.000156, 0.000156, 0.000125, 0.000125, 0.000125, 0.000156, 0.000156, 0.000125, 0.000125,
+        0.000125,
+    ];
+    let bin3 = vec![
+        0.000125, 0.00025, 0.000125, 0.000167, 0.000104, 0.000125, 0.00025, 0.000125, 0.000167,
+        0.000104,
+    ];
+    RateSchedule::new(vec![
+        TimeBin::new(bin_duration, bin1),
+        TimeBin::new(bin_duration, bin2),
+        TimeBin::new(bin_duration, bin3),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_i_matches_paper_structure() {
+        let s = table_i_schedule(100.0);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.num_files(), 10);
+        assert!((s.total_duration() - 300.0).abs() < 1e-12);
+        // Bin 2: file 4 (index 3) decreased, file 5 (index 4) increased.
+        assert!(s.bins()[1].rates[3] < s.bins()[0].rates[3]);
+        assert!(s.bins()[1].rates[4] > s.bins()[0].rates[4]);
+        // Bin 3: file 2 (index 1) increased to 0.00025, file 1 decreased.
+        assert!(s.bins()[2].rates[1] > s.bins()[1].rates[1]);
+        assert!(s.bins()[2].rates[0] < s.bins()[1].rates[0]);
+    }
+
+    #[test]
+    fn bin_lookup_by_time() {
+        let s = table_i_schedule(100.0);
+        assert_eq!(s.bin_at(0.0).unwrap().0, 0);
+        assert_eq!(s.bin_at(99.9).unwrap().0, 0);
+        assert_eq!(s.bin_at(100.0).unwrap().0, 1);
+        assert_eq!(s.bin_at(250.0).unwrap().0, 2);
+        assert!(s.bin_at(300.0).is_none());
+    }
+
+    #[test]
+    fn piecewise_shape() {
+        let s = table_i_schedule(50.0);
+        let p = s.as_piecewise();
+        assert_eq!(p.len(), 3);
+        assert_eq!(p[0].1.len(), 10);
+        assert!((p[0].0 - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_schedule() {
+        let s = RateSchedule::default();
+        assert!(s.is_empty());
+        assert_eq!(s.num_files(), 0);
+        assert!(s.bin_at(0.0).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "same number of files")]
+    fn inconsistent_bins_panic() {
+        let _ = RateSchedule::new(vec![
+            TimeBin::new(1.0, vec![0.1]),
+            TimeBin::new(1.0, vec![0.1, 0.2]),
+        ]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_duration_panics() {
+        let _ = TimeBin::new(0.0, vec![0.1]);
+    }
+
+    #[test]
+    fn total_rate() {
+        let b = TimeBin::new(10.0, vec![0.1, 0.2, 0.3]);
+        assert!((b.total_rate() - 0.6).abs() < 1e-12);
+    }
+}

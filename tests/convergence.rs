@@ -1,0 +1,106 @@
+//! Convergence properties of Algorithm 1 (the claims behind Fig. 3).
+//!
+//! The paper reports that the algorithm converges within 20 outer iterations
+//! at tolerance 0.01 across cache sizes, that warm-starting from the previous
+//! cache size helps, and that the objective decreases monotonically (up to
+//! the tolerance) along the run.
+
+use sprout::optimizer::OptimizerConfig;
+use sprout::spec::paper_simulation_spec;
+use sprout::{SproutSystem, SystemSpec};
+
+#[test]
+fn converges_within_twenty_iterations_across_cache_sizes() {
+    // A scaled-down version of the paper's setup (the 1000-file instance is
+    // exercised by the benchmark harness, not the test suite).
+    let mut previous_plan = None;
+    for cache in [2usize, 4, 8, 12, 16] {
+        let spec = SystemSpec::builder()
+            .node_service_rates(&sprout::workload::spec::paper_server_service_rates())
+            .paper_files(40, 7, 4, 100 * sprout::workload::spec::MB)
+            .cache_capacity_chunks(cache)
+            .seed(1)
+            .build()
+            .unwrap();
+        // Scale rates so the 12 paper servers see roughly the same aggregate
+        // load from 40 files as they do from the paper's 1000 files.
+        let rates: Vec<f64> = spec.files.iter().map(|f| f.arrival_rate * 25.0).collect();
+        let system = SproutSystem::new(spec).unwrap().with_arrival_rates(&rates).unwrap();
+
+        let config = OptimizerConfig::default();
+        let plan = match &previous_plan {
+            Some(prev) => system.optimize_warm(&config, prev).unwrap(),
+            None => system.optimize_with(&config).unwrap(),
+        };
+        assert!(
+            plan.trace.outer_iterations() <= 20,
+            "cache {cache}: took {} iterations",
+            plan.trace.outer_iterations()
+        );
+        for w in plan.trace.outer_objectives.windows(2) {
+            assert!(
+                w[1] <= w[0] + config.tolerance + 1e-9,
+                "cache {cache}: objective increased beyond tolerance: {w:?}"
+            );
+        }
+        previous_plan = Some(plan);
+    }
+}
+
+#[test]
+fn paper_scale_spec_is_stable_and_optimizable_at_reduced_size() {
+    // The full paper-scale spec (1000 files) is expensive; 100 files with the
+    // same rate structure still exercises the grouped arrival rates and the
+    // 12 heterogeneous servers.
+    let spec = paper_simulation_spec(100, 50);
+    let system = SproutSystem::new(spec).unwrap();
+    let plan = system.optimize_with(&OptimizerConfig::fast()).unwrap();
+    assert!(plan.cache_chunks_used() <= 50);
+    assert!(plan.objective.is_finite());
+    assert!(plan.trace.outer_iterations() >= 1);
+}
+
+#[test]
+fn warm_start_does_not_regress_the_objective() {
+    let spec = SystemSpec::builder()
+        .node_service_rates(&[0.5, 0.5, 0.4, 0.4, 0.3, 0.3])
+        .uniform_files(10, 2, 4, 0.04)
+        .cache_capacity_chunks(8)
+        .seed(2)
+        .build()
+        .unwrap();
+    let system = SproutSystem::new(spec).unwrap();
+    let cold = system.optimize().unwrap();
+    let warm = system
+        .optimize_warm(&OptimizerConfig::default(), &cold)
+        .unwrap();
+    assert!(warm.objective <= cold.objective + OptimizerConfig::default().tolerance);
+}
+
+#[test]
+fn objective_decreases_as_convex_function_of_cache_size() {
+    // Fig. 4 claim: latency decreases with cache size with diminishing
+    // returns. We check monotone decrease and that the first chunk of cache
+    // saves at least as much as the last chunk (discrete convexity, sampled).
+    let mut objectives = Vec::new();
+    for cache in [0usize, 4, 8, 12, 16, 20] {
+        let spec = SystemSpec::builder()
+            .node_service_rates(&[0.5, 0.5, 0.4, 0.4, 0.3, 0.3])
+            .uniform_files(10, 2, 4, 0.045)
+            .cache_capacity_chunks(cache)
+            .seed(6)
+            .build()
+            .unwrap();
+        let plan = SproutSystem::new(spec).unwrap().optimize().unwrap();
+        objectives.push(plan.objective);
+    }
+    for w in objectives.windows(2) {
+        assert!(w[1] <= w[0] + 0.02, "latency must not increase with cache: {objectives:?}");
+    }
+    let first_gain = objectives[0] - objectives[1];
+    let last_gain = objectives[objectives.len() - 2] - objectives[objectives.len() - 1];
+    assert!(
+        first_gain + 0.05 >= last_gain,
+        "diminishing returns expected: first gain {first_gain}, last gain {last_gain}"
+    );
+}
