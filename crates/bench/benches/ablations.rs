@@ -64,11 +64,8 @@ fn ablation_scheduling(c: &mut Criterion) {
     let plan = system.optimize().unwrap();
     let config = SimConfig::new(20_000.0, 9);
 
-    let probabilistic = system.simulate_with_config(
-        CachePolicyChoice::Functional,
-        Some(&plan),
-        config,
-    );
+    let probabilistic =
+        system.simulate_with_config(CachePolicyChoice::Functional, Some(&plan), config);
     // Re-run with the load-oblivious rule by constructing the scheme manually.
     let scheme = CacheScheme::Functional {
         cached_chunks: plan.cached_chunks.clone(),
@@ -86,8 +83,10 @@ fn ablation_scheduling(c: &mut Criterion) {
         sprout::sim::Simulation::new(system.spec().node_services.clone(), files, scheme, config)
             .run()
     };
-    println!("# ablation_scheduling: probabilistic = {:.3} s, uniform = {:.3} s",
-        probabilistic.overall.mean, uniform.overall.mean);
+    println!(
+        "# ablation_scheduling: probabilistic = {:.3} s, uniform = {:.3} s",
+        probabilistic.overall.mean, uniform.overall.mean
+    );
 
     let mut group = c.benchmark_group("ablation_scheduling");
     group.sample_size(10);

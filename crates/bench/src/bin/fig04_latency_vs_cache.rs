@@ -15,10 +15,16 @@ fn main() {
     );
     let config = experiment_config();
     let mut previous = None;
-    let sweep = [0usize, 250, 500, 750, 1000, 1500, 2000, 2500, 3000, 3500, 4000];
+    let sweep = [
+        0usize, 250, 500, 750, 1000, 1500, 2000, 2500, 3000, 3500, 4000,
+    ];
     let mut series = Vec::new();
     for &paper_c in &sweep {
-        let cache = if paper_c == 0 { 0 } else { scale_cache(paper_c) };
+        let cache = if paper_c == 0 {
+            0
+        } else {
+            scale_cache(paper_c)
+        };
         let system = paper_system(cache);
         let plan = match &previous {
             Some(prev) => system.optimize_warm(&config, prev),
@@ -31,7 +37,9 @@ fn main() {
     }
     let first = series.first().copied().unwrap_or(0.0);
     let last = series.last().copied().unwrap_or(0.0);
-    println!("# paper shape: ~23 s with no cache, 0 s once all 4 chunks of every file fit (4000 chunks)");
+    println!(
+        "# paper shape: ~23 s with no cache, 0 s once all 4 chunks of every file fit (4000 chunks)"
+    );
     println!("# measured   : {first:.2} s with no cache, {last:.2} s at full capacity");
     let monotone = series.windows(2).all(|w| w[1] <= w[0] + 0.05);
     println!("# monotone non-increasing: {monotone}");

@@ -17,7 +17,14 @@ use sprout_bench::header;
 
 fn main() {
     // The paper's swept arrival rates for files 1-2 (requests/second).
-    let sweep = [0.000_125, 0.000_156_3, 0.000_178_6, 0.000_208_3, 0.000_25, 0.000_277_8];
+    let sweep = [
+        0.000_125,
+        0.000_156_3,
+        0.000_178_6,
+        0.000_208_3,
+        0.000_25,
+        0.000_277_8,
+    ];
     // Fixed rates: files 3-4 at 0.0000962, files 5-10 at 0.0001042.
     // As in fig05, rates are boosted so that 10 files create the per-node load
     // the paper's full population would; the *relative* rates are unchanged.
@@ -64,6 +71,8 @@ fn main() {
         let last_six: usize = d[4..].iter().sum();
         println!("{lambda:.7}\t{first_two}\t{mid}\t{last_six}");
     }
-    println!("# paper shape: at the lowest rate the first two files get no cache despite having the");
+    println!(
+        "# paper shape: at the lowest rate the first two files get no cache despite having the"
+    );
     println!("# highest arrival rate (their servers are lightly loaded); their share grows with the rate.");
 }

@@ -22,7 +22,9 @@ fn main() {
     );
     for &mb in &sizes_mb {
         let dist = device.service_distribution(mb * 1_000_000);
-        let mut samples: Vec<f64> = (0..samples_per_size).map(|_| dist.sample(&mut rng)).collect();
+        let mut samples: Vec<f64> = (0..samples_per_size)
+            .map(|_| dist.sample(&mut rng))
+            .collect();
         samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
         for pct in [1usize, 5, 10, 25, 50, 75, 90, 95, 99] {
             let idx = (samples.len() - 1) * pct / 100;

@@ -61,8 +61,7 @@ fn main() {
         let cache_chunks = ((cache_bytes / chunk_bytes as f64) as usize).max(1);
         // Scale this class's per-object rate so that, without any cache, the
         // 12 nodes run at the target utilization.
-        let rate =
-            target_utilization * 12.0 / (4.0 * hdd.mean * objects as f64);
+        let rate = target_utilization * 12.0 / (4.0 * hdd.mean * objects as f64);
         let _ = class.arrival_rate;
 
         let mut builder = SystemSpec::builder();
@@ -96,6 +95,11 @@ fn main() {
         }
     }
     let avg = improvements.iter().sum::<f64>() / improvements.len().max(1) as f64;
-    println!("# paper shape: latency grows with object size; optimal caching beats the LRU cache tier");
-    println!("# at every size (26% average improvement). Measured average improvement: {:.1}%", avg * 100.0);
+    println!(
+        "# paper shape: latency grows with object size; optimal caching beats the LRU cache tier"
+    );
+    println!(
+        "# at every size (26% average improvement). Measured average improvement: {:.1}%",
+        avg * 100.0
+    );
 }

@@ -82,5 +82,8 @@ fn main() {
     }
     let avg = improvements.iter().sum::<f64>() / improvements.len().max(1) as f64;
     println!("# paper shape: latency rises steeply with load; optimal caching beats LRU at every");
-    println!("# intensity (23.86% average). Measured average improvement: {:.1}%", avg * 100.0);
+    println!(
+        "# intensity (23.86% average). Measured average improvement: {:.1}%",
+        avg * 100.0
+    );
 }

@@ -12,7 +12,13 @@ use sprout_bench::header;
 fn main() {
     header(
         "Table V: chunk read latency from the cache (milliseconds)",
-        &["chunk_size", "paper_ssd_ms", "model_ssd_ms", "model_hdd_ms", "hdd_over_ssd"],
+        &[
+            "chunk_size",
+            "paper_ssd_ms",
+            "model_ssd_ms",
+            "model_hdd_ms",
+            "hdd_over_ssd",
+        ],
     );
     let ssd = DeviceModel::ssd();
     let hdd = DeviceModel::hdd();
@@ -25,6 +31,8 @@ fn main() {
             hdd_ms / ssd_ms
         );
     }
-    println!("# paper conclusion: cache reads are 3-20x faster than OSD reads at every chunk size,");
+    println!(
+        "# paper conclusion: cache reads are 3-20x faster than OSD reads at every chunk size,"
+    );
     println!("# so cache-read latency can be neglected when optimizing the placement.");
 }

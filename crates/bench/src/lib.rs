@@ -30,7 +30,9 @@ pub fn simulation_file_count() -> usize {
 
 /// Whether the full paper-scale instances were requested.
 pub fn paper_scale() -> bool {
-    std::env::var("SPROUT_SCALE").map(|v| v == "paper").unwrap_or(false)
+    std::env::var("SPROUT_SCALE")
+        .map(|v| v == "paper")
+        .unwrap_or(false)
 }
 
 /// Scaling factor applied to the paper's per-file arrival rates so that a

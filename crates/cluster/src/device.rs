@@ -218,9 +218,7 @@ mod tests {
         let slow = DeviceModel::hdd();
         let fast = DeviceModel::hdd_scaled(2.0);
         let bytes = 25_000_000;
-        assert!(
-            (fast.mean_service_time(bytes) - slow.mean_service_time(bytes) / 2.0).abs() < 1e-9
-        );
+        assert!((fast.mean_service_time(bytes) - slow.mean_service_time(bytes) / 2.0).abs() < 1e-9);
     }
 
     #[test]
@@ -236,7 +234,11 @@ mod tests {
     fn sampling_is_nonnegative() {
         use rand::SeedableRng;
         let mut rng = rand::rngs::StdRng::seed_from_u64(5);
-        for device in [DeviceModel::hdd(), DeviceModel::ssd(), DeviceModel::exponential(1.0)] {
+        for device in [
+            DeviceModel::hdd(),
+            DeviceModel::ssd(),
+            DeviceModel::exponential(1.0),
+        ] {
             let dist = device.service_distribution(25_000_000);
             for _ in 0..100 {
                 assert!(dist.sample(&mut rng) >= 0.0);

@@ -547,7 +547,9 @@ mod tests {
     use super::*;
 
     fn payload(len: usize, seed: u8) -> Vec<u8> {
-        (0..len).map(|i| (i as u8).wrapping_mul(31).wrapping_add(seed)).collect()
+        (0..len)
+            .map(|i| (i as u8).wrapping_mul(31).wrapping_add(seed))
+            .collect()
     }
 
     fn store(policy: CachePolicy) -> ErasureCodedStore {
@@ -579,7 +581,10 @@ mod tests {
     #[test]
     fn unknown_object_is_an_error() {
         let mut s = store(CachePolicy::None);
-        assert_eq!(s.get(404, 0.0).unwrap_err(), ClusterError::UnknownObject(404));
+        assert_eq!(
+            s.get(404, 0.0).unwrap_err(),
+            ClusterError::UnknownObject(404)
+        );
     }
 
     #[test]
@@ -668,7 +673,10 @@ mod tests {
         for _ in 0..20 {
             last = s.get(8, 0.0).unwrap().latency;
         }
-        assert!(last > first, "queueing should grow latency: {first} -> {last}");
+        assert!(
+            last > first,
+            "queueing should grow latency: {first} -> {last}"
+        );
         // reads far in the future see empty queues again
         let later = s.get(8, 1e9).unwrap().latency;
         assert!(later < last);
@@ -692,11 +700,10 @@ mod tests {
     fn explicit_placement_is_honoured_and_validated() {
         let mut s = store(CachePolicy::None);
         let data = payload(3_000, 8);
-        s.put_with_placement(1, &data, vec![0, 1, 2, 3, 4, 5, 6]).unwrap();
+        s.put_with_placement(1, &data, vec![0, 1, 2, 3, 4, 5, 6])
+            .unwrap();
         assert_eq!(s.object_placement(1).unwrap(), &[0, 1, 2, 3, 4, 5, 6]);
-        assert!(s
-            .put_with_placement(2, &data, vec![0, 1, 2])
-            .is_err());
+        assert!(s.put_with_placement(2, &data, vec![0, 1, 2]).is_err());
         assert!(s
             .put_with_placement(2, &data, vec![0, 0, 1, 2, 3, 4, 5])
             .is_err());

@@ -141,7 +141,13 @@ impl SystemSpecBuilder {
 
     /// Adds `count` identical files (automatic placement) with the given code
     /// and arrival rate.
-    pub fn uniform_files(&mut self, count: usize, k: usize, n: usize, arrival_rate: f64) -> &mut Self {
+    pub fn uniform_files(
+        &mut self,
+        count: usize,
+        k: usize,
+        n: usize,
+        arrival_rate: f64,
+    ) -> &mut Self {
         for _ in 0..count {
             self.files.push(FileConfig::new(arrival_rate, n, k, 0));
         }

@@ -122,7 +122,11 @@ impl SproutSystem {
     ///
     /// Propagates optimizer errors.
     pub fn optimize_with(&self, config: &OptimizerConfig) -> Result<CachePlan, SproutError> {
-        Ok(optimize(&self.model, self.spec.cache_capacity_chunks, config)?)
+        Ok(optimize(
+            &self.model,
+            self.spec.cache_capacity_chunks,
+            config,
+        )?)
     }
 
     /// Runs Algorithm 1 warm-started from a previous plan's scheduling (the

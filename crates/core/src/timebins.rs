@@ -157,8 +157,14 @@ mod tests {
         assert_eq!(outcomes.len(), 2);
         let first = &outcomes[0].plan.cached_chunks;
         let second = &outcomes[1].plan.cached_chunks;
-        assert!(first[0] >= first[3], "bin 1 should favour file 0: {first:?}");
-        assert!(second[3] >= second[0], "bin 2 should favour file 3: {second:?}");
+        assert!(
+            first[0] >= first[3],
+            "bin 1 should favour file 0: {first:?}"
+        );
+        assert!(
+            second[3] >= second[0],
+            "bin 2 should favour file 3: {second:?}"
+        );
         assert!(outcomes[0].deltas.is_empty());
         assert_eq!(outcomes[1].deltas.len(), 4);
         // Conservation: chunks added/removed are consistent with the plans.

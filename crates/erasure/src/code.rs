@@ -309,13 +309,7 @@ impl ReedSolomon {
         } else {
             ChunkSource::Cache
         };
-        Chunk::new(
-            ChunkId {
-                index: row,
-                source,
-            },
-            Bytes::from(payload),
-        )
+        Chunk::new(ChunkId { index: row, source }, Bytes::from(payload))
     }
 
     /// Verifies that a set of chunks is consistent with a single codeword,
@@ -334,9 +328,7 @@ impl ReedSolomon {
         let file = self.decode(chunks, self.params.k() * chunk_len)?;
         let (data_chunks, _) = stripe::split(&file, self.params.k());
         for chunk in chunks {
-            let expect = self
-                .encode_rows(&data_chunks, &[chunk.id.index])
-                .remove(0);
+            let expect = self.encode_rows(&data_chunks, &[chunk.id.index]).remove(0);
             if expect != chunk.data.as_ref() {
                 return Ok(false);
             }
@@ -386,8 +378,8 @@ mod tests {
         let (data_chunks, clen) = stripe::split(&file, 5);
         assert_eq!(encoded.chunk_len(), clen);
         // first k chunks are the data chunks themselves (systematic code)
-        for i in 0..5 {
-            assert_eq!(encoded.chunks()[i].data.as_ref(), &data_chunks[i][..]);
+        for (i, data_chunk) in data_chunks.iter().enumerate() {
+            assert_eq!(encoded.chunks()[i].data.as_ref(), &data_chunk[..]);
         }
     }
 

@@ -252,9 +252,12 @@ impl From<Gf256> for u8 {
     }
 }
 
+// Clippy flags XOR in `Add`/`Sub` and `*` in `Div` as suspicious; in a
+// characteristic-2 field these are exactly the right operations.
 impl Add for Gf256 {
     type Output = Gf256;
     #[inline]
+    #[allow(clippy::suspicious_arithmetic_impl)]
     fn add(self, rhs: Gf256) -> Gf256 {
         Gf256(self.0 ^ rhs.0)
     }
@@ -262,6 +265,7 @@ impl Add for Gf256 {
 
 impl AddAssign for Gf256 {
     #[inline]
+    #[allow(clippy::suspicious_op_assign_impl)]
     fn add_assign(&mut self, rhs: Gf256) {
         self.0 ^= rhs.0;
     }
@@ -270,6 +274,7 @@ impl AddAssign for Gf256 {
 impl Sub for Gf256 {
     type Output = Gf256;
     #[inline]
+    #[allow(clippy::suspicious_arithmetic_impl)]
     fn sub(self, rhs: Gf256) -> Gf256 {
         // In characteristic 2, subtraction equals addition.
         Gf256(self.0 ^ rhs.0)
@@ -278,6 +283,7 @@ impl Sub for Gf256 {
 
 impl SubAssign for Gf256 {
     #[inline]
+    #[allow(clippy::suspicious_op_assign_impl)]
     fn sub_assign(&mut self, rhs: Gf256) {
         self.0 ^= rhs.0;
     }
@@ -313,6 +319,7 @@ impl MulAssign for Gf256 {
 impl Div for Gf256 {
     type Output = Gf256;
     #[inline]
+    #[allow(clippy::suspicious_arithmetic_impl)]
     fn div(self, rhs: Gf256) -> Gf256 {
         self * rhs.inverse()
     }

@@ -198,15 +198,9 @@ impl Matrix {
     /// Panics if `vec.len() != self.cols()`.
     pub fn mul_vec(&self, vec: &[Gf256]) -> Vec<Gf256> {
         assert_eq!(vec.len(), self.cols, "vector length must equal cols");
-        let mut out = vec![Gf256::ZERO; self.rows];
-        for i in 0..self.rows {
-            let mut acc = Gf256::ZERO;
-            for j in 0..self.cols {
-                acc += self.get(i, j) * vec[j];
-            }
-            out[i] = acc;
-        }
-        out
+        (0..self.rows)
+            .map(|i| (0..self.cols).map(|j| self.get(i, j) * vec[j]).sum())
+            .collect()
     }
 
     /// Returns a new matrix whose rows are the listed rows of `self`.
@@ -460,8 +454,8 @@ mod tests {
         let as_col = Matrix::from_vec(3, 1, v.clone());
         let prod = m.mul(&as_col);
         let direct = m.mul_vec(&v);
-        for i in 0..4 {
-            assert_eq!(prod.get(i, 0), direct[i]);
+        for (i, &d) in direct.iter().enumerate() {
+            assert_eq!(prod.get(i, 0), d);
         }
     }
 

@@ -203,7 +203,10 @@ mod tests {
                 assert!(*d <= f.k);
             }
             if capacity > 0 && capacity <= m.max_useful_cache() {
-                assert!(used > 0, "a non-trivial cache should be used (capacity {capacity})");
+                assert!(
+                    used > 0,
+                    "a non-trivial cache should be used (capacity {capacity})"
+                );
             }
         }
     }
@@ -300,13 +303,7 @@ mod tests {
     fn warm_start_matches_or_beats_cold_start() {
         let m = model(8, 0.012);
         let cold = optimize(&m, 6, &OptimizerConfig::default()).unwrap();
-        let warm = optimize_from(
-            &m,
-            6,
-            &OptimizerConfig::default(),
-            &cold.scheduling,
-        )
-        .unwrap();
+        let warm = optimize_from(&m, 6, &OptimizerConfig::default(), &cold.scheduling).unwrap();
         assert!(warm.objective <= cold.objective + 0.02);
     }
 
@@ -327,8 +324,10 @@ mod tests {
     #[test]
     fn one_at_a_time_rounding_matches_fraction_rounding_quality() {
         let m = model(6, 0.02);
-        let mut cfg = OptimizerConfig::default();
-        cfg.rounding = crate::config::RoundingStrategy::OneAtATime;
+        let cfg = OptimizerConfig {
+            rounding: crate::config::RoundingStrategy::OneAtATime,
+            ..OptimizerConfig::default()
+        };
         let one = optimize(&m, 4, &cfg).unwrap();
         let frac = optimize(&m, 4, &OptimizerConfig::default()).unwrap();
         assert!((one.objective - frac.objective).abs() < 0.5);

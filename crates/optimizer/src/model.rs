@@ -183,11 +183,9 @@ mod tests {
     #[test]
     fn rejects_bad_placement() {
         // node out of range
-        assert!(StorageModel::new(
-            vec![moments(0.1)],
-            vec![FileModel::new(0.1, 1, vec![3])]
-        )
-        .is_err());
+        assert!(
+            StorageModel::new(vec![moments(0.1)], vec![FileModel::new(0.1, 1, vec![3])]).is_err()
+        );
         // duplicate node
         assert!(StorageModel::new(
             vec![moments(0.1), moments(0.1)],
@@ -201,20 +199,16 @@ mod tests {
         )
         .is_err());
         // k == 0
-        assert!(StorageModel::new(
-            vec![moments(0.1)],
-            vec![FileModel::new(0.1, 0, vec![0])]
-        )
-        .is_err());
+        assert!(
+            StorageModel::new(vec![moments(0.1)], vec![FileModel::new(0.1, 0, vec![0])]).is_err()
+        );
     }
 
     #[test]
     fn rejects_bad_arrival_rates() {
-        assert!(StorageModel::new(
-            vec![moments(0.1)],
-            vec![FileModel::new(-1.0, 1, vec![0])]
-        )
-        .is_err());
+        assert!(
+            StorageModel::new(vec![moments(0.1)], vec![FileModel::new(-1.0, 1, vec![0])]).is_err()
+        );
         assert!(StorageModel::new(
             vec![moments(0.1)],
             vec![FileModel::new(f64::NAN, 1, vec![0])]

@@ -280,6 +280,9 @@ mod tests {
         let pi0 = uniform_initial_pi(&m);
         let bands = initial_bands(&m);
         let err = solve(&m, &[0.0], &pi0, &bands, 0, &OptimizerConfig::default()).unwrap_err();
-        assert!(matches!(err, OptimizerError::UnstableSystem { node: 0, .. }));
+        assert!(matches!(
+            err,
+            OptimizerError::UnstableSystem { node: 0, .. }
+        ));
     }
 }

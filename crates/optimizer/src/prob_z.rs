@@ -95,7 +95,10 @@ mod tests {
                 let mut alt = z.clone();
                 alt[i] = (alt[i] + delta).max(0.0);
                 let f = evaluate(&model, &pi, &alt).unwrap().total;
-                assert!(base <= f + 1e-9, "perturbing z[{i}] by {delta} improved objective");
+                assert!(
+                    base <= f + 1e-9,
+                    "perturbing z[{i}] by {delta} improved objective"
+                );
             }
         }
     }

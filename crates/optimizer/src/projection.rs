@@ -32,7 +32,10 @@ const TOL: f64 = 1e-10;
 pub fn project_box_sum_band(y: &[f64], lo: f64, hi: f64) -> Vec<f64> {
     let n = y.len() as f64;
     assert!(lo <= hi + 1e-9, "lower bound {lo} exceeds upper bound {hi}");
-    assert!(lo <= n + 1e-9, "sum lower bound {lo} infeasible for {n} variables");
+    assert!(
+        lo <= n + 1e-9,
+        "sum lower bound {lo} infeasible for {n} variables"
+    );
     assert!(hi >= -1e-9, "sum upper bound {hi} must be non-negative");
     let lo = lo.clamp(0.0, n);
     let hi = hi.clamp(0.0, n);
@@ -62,7 +65,12 @@ fn max_shift_neg(y: &[f64]) -> f64 {
 
 /// Finds `tau` in `[lo_tau, hi_tau]` with `f(tau) = target`, assuming `f` is
 /// non-increasing in `tau`.
-fn bisect_decreasing<F: Fn(f64) -> f64>(f: F, target: f64, mut lo_tau: f64, mut hi_tau: f64) -> f64 {
+fn bisect_decreasing<F: Fn(f64) -> f64>(
+    f: F,
+    target: f64,
+    mut lo_tau: f64,
+    mut hi_tau: f64,
+) -> f64 {
     for _ in 0..200 {
         let mid = 0.5 * (lo_tau + hi_tau);
         if f(mid) > target {
@@ -159,7 +167,10 @@ mod tests {
         assert!(sum >= lo - 1e-6, "sum {sum} below {lo}");
         assert!(sum <= hi + 1e-6, "sum {sum} above {hi}");
         for &v in x {
-            assert!((-1e-9..=1.0 + 1e-9).contains(&v), "coordinate {v} out of box");
+            assert!(
+                (-1e-9..=1.0 + 1e-9).contains(&v),
+                "coordinate {v} out of box"
+            );
         }
     }
 
@@ -208,7 +219,10 @@ mod tests {
         let y = vec![0.9, 0.8];
         let p = project_box_sum_band(&y, 0.0, 1.0);
         let dist = |a: &[f64]| -> f64 {
-            a.iter().zip(&y).map(|(x, yy)| (x - yy).powi(2)).sum::<f64>()
+            a.iter()
+                .zip(&y)
+                .map(|(x, yy)| (x - yy).powi(2))
+                .sum::<f64>()
         };
         let best = dist(&p);
         let steps = 101;

@@ -80,7 +80,11 @@ mod tests {
     fn plan_accessors() {
         let plan = CachePlan {
             cached_chunks: vec![2, 0, 1],
-            scheduling: vec![vec![0.5, 0.5, 1.0], vec![1.0, 1.0, 1.0], vec![0.0, 1.0, 1.0]],
+            scheduling: vec![
+                vec![0.5, 0.5, 1.0],
+                vec![1.0, 1.0, 1.0],
+                vec![0.0, 1.0, 1.0],
+            ],
             z: vec![0.0; 3],
             objective: 5.0,
             per_file_latency: vec![4.0, 6.0, 5.0],

@@ -176,7 +176,11 @@ mod tests {
 
     #[test]
     fn optimal_z_is_a_stationary_point_or_zero() {
-        let terms = [term(0.7, 15.0, 30.0), term(0.9, 22.0, 60.0), term(0.4, 8.0, 10.0)];
+        let terms = [
+            term(0.7, 15.0, 30.0),
+            term(0.9, 22.0, 60.0),
+            term(0.4, 8.0, 10.0),
+        ];
         let z = optimal_z(&terms);
         assert!(z >= 0.0);
         if z > 0.0 {
@@ -209,7 +213,9 @@ mod tests {
         let lambda = 0.05;
         let moments: Vec<_> = mu
             .iter()
-            .map(|&m| queue_delay_moments(lambda, &ServiceDistribution::exponential(m).moments()).unwrap())
+            .map(|&m| {
+                queue_delay_moments(lambda, &ServiceDistribution::exponential(m).moments()).unwrap()
+            })
             .collect();
         let terms: Vec<_> = moments
             .iter()

@@ -147,7 +147,10 @@ impl ServiceDistribution {
     ///
     /// Panics if `shift < 0` or `rate <= 0`.
     pub fn shifted_exponential(shift: f64, rate: f64) -> Self {
-        assert!(shift >= 0.0 && rate > 0.0, "require shift >= 0 and rate > 0");
+        assert!(
+            shift >= 0.0 && rate > 0.0,
+            "require shift >= 0 and rate > 0"
+        );
         ServiceDistribution::ShiftedExponential { shift, rate }
     }
 
@@ -157,7 +160,10 @@ impl ServiceDistribution {
     ///
     /// Panics if either parameter is non-positive.
     pub fn gamma(shape: f64, scale: f64) -> Self {
-        assert!(shape > 0.0 && scale > 0.0, "gamma parameters must be positive");
+        assert!(
+            shape > 0.0 && scale > 0.0,
+            "gamma parameters must be positive"
+        );
         ServiceDistribution::Gamma { shape, scale }
     }
 
@@ -169,7 +175,10 @@ impl ServiceDistribution {
     /// infinite, and Lemma 1 needs it).
     pub fn pareto(scale: f64, shape: f64) -> Self {
         assert!(scale > 0.0, "scale must be positive");
-        assert!(shape > 3.0, "pareto shape must exceed 3 for finite third moment");
+        assert!(
+            shape > 3.0,
+            "pareto shape must exceed 3 for finite third moment"
+        );
         ServiceDistribution::Pareto { scale, shape }
     }
 
@@ -421,11 +430,21 @@ mod tests {
 
     #[test]
     fn display_names() {
-        assert!(ServiceDistribution::exponential(1.0).to_string().contains("Exp"));
-        assert!(ServiceDistribution::deterministic(1.0).to_string().contains("Det"));
-        assert!(ServiceDistribution::uniform(0.0, 1.0).to_string().contains("Uniform"));
-        assert!(ServiceDistribution::gamma(1.0, 1.0).to_string().contains("Gamma"));
-        assert!(ServiceDistribution::pareto(1.0, 4.0).to_string().contains("Pareto"));
+        assert!(ServiceDistribution::exponential(1.0)
+            .to_string()
+            .contains("Exp"));
+        assert!(ServiceDistribution::deterministic(1.0)
+            .to_string()
+            .contains("Det"));
+        assert!(ServiceDistribution::uniform(0.0, 1.0)
+            .to_string()
+            .contains("Uniform"));
+        assert!(ServiceDistribution::gamma(1.0, 1.0)
+            .to_string()
+            .contains("Gamma"));
+        assert!(ServiceDistribution::pareto(1.0, 4.0)
+            .to_string()
+            .contains("Pareto"));
         assert!(ServiceDistribution::shifted_exponential(1.0, 1.0)
             .to_string()
             .contains("ShiftedExp"));

@@ -14,7 +14,8 @@ fn service_dist() -> impl Strategy<Value = ServiceDistribution> {
         (0.05f64..2.0).prop_map(ServiceDistribution::exponential),
         (0.1f64..20.0).prop_map(ServiceDistribution::deterministic),
         (0.1f64..5.0, 0.1f64..5.0).prop_map(|(a, b)| ServiceDistribution::uniform(a, a + b)),
-        (0.2f64..5.0, 0.2f64..5.0).prop_map(|(shape, scale)| ServiceDistribution::gamma(shape, scale)),
+        (0.2f64..5.0, 0.2f64..5.0)
+            .prop_map(|(shape, scale)| ServiceDistribution::gamma(shape, scale)),
         (0.1f64..3.0, 0.05f64..2.0)
             .prop_map(|(shift, rate)| ServiceDistribution::shifted_exponential(shift, rate)),
     ]

@@ -68,7 +68,10 @@ mod tests {
         let c = SimConfig::new(1000.0, 3);
         assert!((c.warmup - 50.0).abs() < 1e-9);
         assert_eq!(c.cache_chunk_latency, 0.0);
-        let c = c.with_warmup(10.0).with_cache_latency(0.002).with_slot_length(2.0);
+        let c = c
+            .with_warmup(10.0)
+            .with_cache_latency(0.002)
+            .with_slot_length(2.0);
         assert_eq!(c.warmup, 10.0);
         assert_eq!(c.cache_chunk_latency, 0.002);
         assert_eq!(c.slot_length, 2.0);

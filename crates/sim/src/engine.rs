@@ -1,5 +1,6 @@
 //! The discrete-event simulation engine.
 
+use std::collections::hash_map::Entry;
 use std::collections::{HashMap, VecDeque};
 
 use rand::rngs::StdRng;
@@ -147,8 +148,13 @@ impl Simulation {
                 Event::Arrival(idx) => {
                     let file = trace[idx].file;
                     let spec = &self.files[file];
-                    let (cache_chunks, storage_nodes) =
-                        self.plan_request(file, &mut rng, &mut lru_last, &mut lru_used_chunks, &mut lru_tick);
+                    let (cache_chunks, storage_nodes) = self.plan_request(
+                        file,
+                        &mut rng,
+                        &mut lru_last,
+                        &mut lru_used_chunks,
+                        &mut lru_tick,
+                    );
                     slots.record(now, cache_chunks as u64, storage_nodes.len() as u64);
 
                     let cache_latency = if cache_chunks > 0 {
@@ -182,7 +188,10 @@ impl Simulation {
                     }
                 }
                 Event::NodeComplete(node) => {
-                    let finished = nodes[node].serving.take().expect("completion without a job");
+                    let finished = nodes[node]
+                        .serving
+                        .take()
+                        .expect("completion without a job");
                     if let Some(req) = requests.get_mut(&finished) {
                         req.outstanding -= 1;
                         req.last_completion = req.last_completion.max(now);
@@ -297,8 +306,8 @@ impl Simulation {
                 replication,
             } => {
                 *lru_tick += 1;
-                if lru_last.contains_key(&file) {
-                    lru_last.insert(file, *lru_tick);
+                if let Entry::Occupied(mut hit) = lru_last.entry(file) {
+                    hit.insert(*lru_tick);
                     return (spec.k, Vec::new());
                 }
                 // Miss: read k chunks from storage, then promote the object.
@@ -307,15 +316,11 @@ impl Simulation {
                 if footprint <= *capacity_chunks {
                     while *lru_used_chunks + footprint > *capacity_chunks {
                         // Evict the least recently used object.
-                        let victim = lru_last
-                            .iter()
-                            .min_by_key(|(_, &t)| t)
-                            .map(|(&f, _)| f);
+                        let victim = lru_last.iter().min_by_key(|(_, &t)| t).map(|(&f, _)| f);
                         match victim {
                             Some(v) => {
                                 lru_last.remove(&v);
-                                *lru_used_chunks -=
-                                    self.files[v].k * *replication as usize;
+                                *lru_used_chunks -= self.files[v].k * *replication as usize;
                             }
                             None => break,
                         }
@@ -456,7 +461,10 @@ mod tests {
             );
             prev = report.overall.mean;
             if d == 4 {
-                assert_eq!(report.overall.mean, 0.0, "fully cached files have zero latency");
+                assert_eq!(
+                    report.overall.mean, 0.0,
+                    "fully cached files have zero latency"
+                );
                 assert!(report.full_cache_hits > 0);
             }
         }

@@ -124,7 +124,7 @@ mod tests {
     #[test]
     fn uniform_sample_covers_all_items_over_time() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(5);
-        let mut seen = vec![false; 6];
+        let mut seen = [false; 6];
         for _ in 0..500 {
             for i in uniform_sample(6, 2, &mut rng) {
                 seen[i] = true;

@@ -177,7 +177,10 @@ mod tests {
             }
         }
         let _ = warmup; // transitions during warm-up are acceptable
-        assert!(!fired_after_warmup, "steady traffic must not retrigger bins");
+        assert!(
+            !fired_after_warmup,
+            "steady traffic must not retrigger bins"
+        );
     }
 
     #[test]

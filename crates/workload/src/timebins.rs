@@ -25,7 +25,10 @@ impl TimeBin {
     /// Panics if the duration is not positive or any rate is negative.
     pub fn new(duration: f64, rates: Vec<f64>) -> Self {
         assert!(duration > 0.0, "bin duration must be positive");
-        assert!(rates.iter().all(|&r| r >= 0.0), "rates must be non-negative");
+        assert!(
+            rates.iter().all(|&r| r >= 0.0),
+            "rates must be non-negative"
+        );
         TimeBin { duration, rates }
     }
 

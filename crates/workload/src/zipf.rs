@@ -87,7 +87,10 @@ mod tests {
         let uniform = ZipfPopularity::new(100, 0.0);
         let skewed = ZipfPopularity::new(100, 1.2);
         assert!(skewed.head_mass(20) > uniform.head_mass(20));
-        assert!(skewed.head_mass(20) > 0.6, "Zipf(1.2) head should capture most traffic");
+        assert!(
+            skewed.head_mass(20) > 0.6,
+            "Zipf(1.2) head should capture most traffic"
+        );
         assert!((skewed.exponent() - 1.2).abs() < 1e-12);
     }
 

@@ -31,9 +31,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut store = ErasureCodedStore::new(config)?;
 
     // --- 2. Write the objects (really encoded and placed).
-    println!("writing {num_objects} objects of {} bytes each...", object_size);
+    println!(
+        "writing {num_objects} objects of {} bytes each...",
+        object_size
+    );
     for id in 0..num_objects {
-        let data: Vec<u8> = (0..object_size).map(|i| (i as u64 * 31 + id) as u8).collect();
+        let data: Vec<u8> = (0..object_size)
+            .map(|i| (i as u64 * 31 + id) as u8)
+            .collect();
         store.put(id, &data)?;
     }
 
@@ -52,7 +57,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .collect();
     let model = StorageModel::new(nodes, files)?;
     let plan = optimize(&model, 10, &OptimizerConfig::default())?;
-    println!("optimizer cache allocation (chunks per object): {:?}", plan.cached_chunks);
+    println!(
+        "optimizer cache allocation (chunks per object): {:?}",
+        plan.cached_chunks
+    );
 
     // --- 4. Install the functional cache chunks and replay a read workload.
     for id in 0..num_objects {
@@ -90,7 +98,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .build();
     let mut baseline = ErasureCodedStore::new(config)?;
     for id in 0..num_objects {
-        let data: Vec<u8> = (0..object_size).map(|i| (i as u64 * 31 + id) as u8).collect();
+        let data: Vec<u8> = (0..object_size)
+            .map(|i| (i as u64 * 31 + id) as u8)
+            .collect();
         baseline.put(id, &data)?;
     }
     let mut clock = 0.0;

@@ -30,10 +30,16 @@ fn main() -> Result<(), sprout::SproutError> {
     // no-cache configuration and Ceph's LRU cache-tier baseline.
     let cmp = system.compare_policies(&plan, 50_000.0, 7);
     println!("\nsimulated mean latency:");
-    println!("  functional caching   : {:.3} s", cmp.functional.overall.mean);
+    println!(
+        "  functional caching   : {:.3} s",
+        cmp.functional.overall.mean
+    );
     println!("  exact caching        : {:.3} s", cmp.exact.overall.mean);
     println!("  LRU cache tier       : {:.3} s", cmp.lru.overall.mean);
-    println!("  no cache             : {:.3} s", cmp.no_cache.overall.mean);
+    println!(
+        "  no cache             : {:.3} s",
+        cmp.no_cache.overall.mean
+    );
     println!(
         "  improvement over LRU : {:.1} %",
         cmp.improvement_over_lru() * 100.0

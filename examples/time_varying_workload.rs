@@ -46,7 +46,11 @@ fn main() -> Result<(), sprout::SproutError> {
     for outcome in &outcomes {
         println!("\n-- time bin {} --", outcome.bin + 1);
         println!("file :  1   2   3   4   5   6   7   8   9  10");
-        let rates: Vec<String> = outcome.rates.iter().map(|r| format!("{:.0}", r * 1e4)).collect();
+        let rates: Vec<String> = outcome
+            .rates
+            .iter()
+            .map(|r| format!("{:.0}", r * 1e4))
+            .collect();
         println!("rate (1e-4/s): {}", rates.join("  "));
         let chunks: Vec<String> = outcome
             .plan

@@ -31,7 +31,12 @@ fn main() -> Result<(), sprout::SproutError> {
         .cache_capacity_chunks(40)
         .seed(2024);
     for &rate in &rates {
-        builder.file(FileConfig::new(rate, 7, 4, 100 * sprout::workload::spec::MB));
+        builder.file(FileConfig::new(
+            rate,
+            7,
+            4,
+            100 * sprout::workload::spec::MB,
+        ));
     }
     let system = SproutSystem::new(builder.build()?)?;
 
@@ -41,7 +46,10 @@ fn main() -> Result<(), sprout::SproutError> {
         "top-8 titles hold {:.0}% of the traffic",
         popularity.head_mass(8) * 100.0
     );
-    println!("cache capacity: 40 chunks; used: {}", plan.cache_chunks_used());
+    println!(
+        "cache capacity: 40 chunks; used: {}",
+        plan.cache_chunks_used()
+    );
     println!("\nrank  arrival-rate  cached-chunks  latency-bound");
     for rank in [0usize, 1, 2, 3, 7, 15, 31, 39] {
         println!(
@@ -52,7 +60,10 @@ fn main() -> Result<(), sprout::SproutError> {
 
     let cmp = system.compare_policies(&plan, 20_000.0, 3);
     println!("\nsimulated mean latency across the library:");
-    println!("  functional caching : {:.3} s", cmp.functional.overall.mean);
+    println!(
+        "  functional caching : {:.3} s",
+        cmp.functional.overall.mean
+    );
     println!("  LRU whole-object   : {:.3} s", cmp.lru.overall.mean);
     println!("  no cache           : {:.3} s", cmp.no_cache.overall.mean);
     println!(

@@ -25,7 +25,10 @@ fn converges_within_twenty_iterations_across_cache_sizes() {
         // Scale rates so the 12 paper servers see roughly the same aggregate
         // load from 40 files as they do from the paper's 1000 files.
         let rates: Vec<f64> = spec.files.iter().map(|f| f.arrival_rate * 25.0).collect();
-        let system = SproutSystem::new(spec).unwrap().with_arrival_rates(&rates).unwrap();
+        let system = SproutSystem::new(spec)
+            .unwrap()
+            .with_arrival_rates(&rates)
+            .unwrap();
 
         let config = OptimizerConfig::default();
         let plan = match &previous_plan {
@@ -95,7 +98,10 @@ fn objective_decreases_as_convex_function_of_cache_size() {
         objectives.push(plan.objective);
     }
     for w in objectives.windows(2) {
-        assert!(w[1] <= w[0] + 0.02, "latency must not increase with cache: {objectives:?}");
+        assert!(
+            w[1] <= w[0] + 0.02,
+            "latency must not increase with cache: {objectives:?}"
+        );
     }
     let first_gain = objectives[0] - objectives[1];
     let last_gain = objectives[objectives.len() - 2] - objectives[objectives.len() - 1];

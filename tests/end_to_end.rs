@@ -65,7 +65,9 @@ fn optimizer_plan_is_feasible_for_the_cluster_substrate() {
     let mut store = ErasureCodedStore::new(config).unwrap();
 
     for (i, placement) in system.placements().iter().enumerate() {
-        let data: Vec<u8> = (0..2 * chunk_bytes as usize).map(|b| (b + i) as u8).collect();
+        let data: Vec<u8> = (0..2 * chunk_bytes as usize)
+            .map(|b| (b + i) as u8)
+            .collect();
         store
             .put_with_placement(i as u64, &data, placement.clone())
             .unwrap();
@@ -89,7 +91,10 @@ fn fast_config_still_produces_valid_plans() {
     for (i, row) in plan.scheduling.iter().enumerate() {
         let sum: f64 = row.iter().sum();
         let expected = system.model().files()[i].k as f64 - plan.cached_chunks[i] as f64;
-        assert!((sum - expected).abs() < 1e-3, "file {i}: {sum} vs {expected}");
+        assert!(
+            (sum - expected).abs() < 1e-3,
+            "file {i}: {sum} vs {expected}"
+        );
     }
 }
 

@@ -1,0 +1,82 @@
+//! Workspace-wiring smoke test: exercises the public `sprout` facade
+//! end-to-end (build a spec, optimize a cache plan, validate by simulation)
+//! so the re-export surface promised by `core/src/lib.rs` is itself under
+//! test. If a re-export disappears or a layer crate is unplugged from the
+//! workspace, this file stops compiling.
+
+use sprout::{CachePolicyChoice, SproutSystem, SystemSpec, TimeBinManager};
+
+/// The spec builder, optimizer and simulator are reachable through the
+/// facade alone, and the pipeline produces self-consistent numbers.
+#[test]
+fn facade_spec_optimize_simulate_pipeline() {
+    let spec = SystemSpec::builder()
+        .node_service_rates(&[0.5, 0.5, 0.4, 0.4, 0.3, 0.3])
+        .uniform_files(8, 2, 4, 0.04)
+        .cache_capacity_chunks(8)
+        .build()
+        .expect("spec is valid");
+    let system = SproutSystem::new(spec).expect("system builds from spec");
+
+    let plan = system.optimize().expect("optimization succeeds");
+    assert!(
+        plan.cache_chunks_used() <= 8,
+        "plan respects cache capacity"
+    );
+    assert!(plan.objective > 0.0, "latency bound is positive");
+
+    let report = system.simulate(CachePolicyChoice::Functional, Some(&plan), 20_000.0, 7);
+    assert!(report.completed_requests > 0, "simulation served requests");
+    assert!(
+        report.overall.mean <= plan.objective * 1.1 + 0.5,
+        "simulated mean {} should be consistent with bound {}",
+        report.overall.mean,
+        plan.objective
+    );
+}
+
+/// Every layer crate re-exported by the facade is actually the crate the
+/// rest of the workspace links against (type identity across re-exports).
+#[test]
+fn facade_reexports_are_usable() {
+    // Coding layer.
+    let params = sprout::erasure::CodeParams::new(4, 2).expect("(4, 2) is a valid code");
+    let rs = sprout::erasure::ReedSolomon::new(params).expect("code constructs");
+    let encoded = rs.encode(&[1, 2, 3, 4]).expect("encode succeeds");
+    let chunks = encoded.chunks();
+    assert_eq!(chunks.len(), 4);
+    let decoded = rs.decode(&chunks[..2], 4).expect("any k chunks decode");
+    assert_eq!(decoded, vec![1, 2, 3, 4]);
+
+    // Field layer.
+    let a = sprout::gf::Gf256::new(7);
+    let b = sprout::gf::Gf256::new(9);
+    assert_eq!(a + b, b + a);
+
+    // Analysis layer.
+    let dist = sprout::queueing::dist::ServiceDistribution::exponential(0.5);
+    assert!((dist.mean() - 2.0).abs() < 1e-12);
+
+    // Workload layer.
+    let schedule = sprout::workload::timebins::table_i_schedule(50.0);
+    assert!(!schedule.is_empty(), "Table I schedule has bins");
+}
+
+/// The time-bin manager drives re-optimization across workload bins.
+#[test]
+fn facade_time_bin_manager_runs() {
+    let spec = SystemSpec::builder()
+        .node_service_rates(&[0.5, 0.5, 0.4, 0.4])
+        .uniform_files(4, 2, 4, 0.02)
+        .cache_capacity_chunks(4)
+        .build()
+        .expect("spec is valid");
+    let system = SproutSystem::new(spec).expect("system builds");
+    let schedule = sprout::workload::timebins::RateSchedule::new(vec![
+        sprout::workload::timebins::TimeBin::new(50.0, vec![0.02; 4]),
+        sprout::workload::timebins::TimeBin::new(50.0, vec![0.03; 4]),
+    ]);
+    let manager = TimeBinManager::new(system, sprout::optimizer::OptimizerConfig::default());
+    let outcomes = manager.run(&schedule).expect("all bins optimize");
+    assert_eq!(outcomes.len(), 2, "one outcome per time bin");
+}

@@ -1,0 +1,268 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace vendors
+//! the slice of the criterion API its benches use: [`Criterion`],
+//! [`BenchmarkGroup`], [`BenchmarkId`], [`Throughput`], [`Bencher::iter`] and
+//! the [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement is intentionally simple: each benchmark runs a warm-up pass,
+//! then `sample_size` timed samples, and prints the per-iteration mean and
+//! min alongside optional throughput. There is no statistical analysis, HTML
+//! report or baseline comparison — the goal is that `cargo bench` compiles,
+//! runs and prints comparable numbers, so the paper-reproduction path cannot
+//! rot. Swap in the real `criterion` for publication-grade statistics.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(name, self.sample_size, None, |b| f(b));
+        self
+    }
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 100 }
+    }
+}
+
+/// Units for reporting benchmark throughput.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// The benchmark processes this many bytes per iteration.
+    Bytes(u64),
+    /// The benchmark processes this many elements per iteration.
+    Elements(u64),
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id composed of a function name and a parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id that is just the parameter (the group provides the name).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of timed samples for this group.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Declares the work done per iteration, for throughput reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks `f` under `id`, passing it `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_benchmark(&label, self.sample_size, self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// Benchmarks `f` under the given name.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, name);
+        run_benchmark(&label, self.sample_size, self.throughput, |b| f(b));
+        self
+    }
+
+    /// Ends the group. (All reporting already happened per-benchmark.)
+    pub fn finish(self) {}
+}
+
+/// Timer handle passed to benchmark closures.
+pub struct Bencher {
+    /// Mean wall-clock time of one iteration across all samples.
+    mean: Duration,
+    /// Fastest observed sample.
+    min: Duration,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `routine`, running `sample_size` samples after one warm-up.
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        black_box(routine());
+        let mut total = Duration::ZERO;
+        let mut min = Duration::MAX;
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            let elapsed = start.elapsed();
+            total += elapsed;
+            min = min.min(elapsed);
+        }
+        self.mean = total / self.sample_size as u32;
+        self.min = min;
+    }
+}
+
+fn run_benchmark<F>(label: &str, sample_size: usize, throughput: Option<Throughput>, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut bencher = Bencher {
+        mean: Duration::ZERO,
+        min: Duration::ZERO,
+        sample_size,
+    };
+    f(&mut bencher);
+    let rate = throughput
+        .map(|t| {
+            let per_sec = |count: u64| count as f64 / bencher.mean.as_secs_f64();
+            match t {
+                Throughput::Bytes(n) => {
+                    format!("  ({:.1} MiB/s)", per_sec(n) / (1024.0 * 1024.0))
+                }
+                Throughput::Elements(n) => format!("  ({:.0} elem/s)", per_sec(n)),
+            }
+        })
+        .unwrap_or_default();
+    println!(
+        "bench: {label}: mean {:?}, min {:?} over {} samples{rate}",
+        bencher.mean, bencher.min, sample_size
+    );
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = <$crate::Criterion as ::core::default::Default>::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trivial(c: &mut Criterion) {
+        let mut group = c.benchmark_group("stub_smoke");
+        group.sample_size(3);
+        group.throughput(Throughput::Bytes(1024));
+        group.bench_with_input(BenchmarkId::from_parameter(1024), &1024u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>());
+        });
+        group.bench_function("plain", |b| b.iter(|| black_box(2 + 2)));
+        group.finish();
+    }
+
+    criterion_group! {
+        name = smoke;
+        config = Criterion::default().sample_size(3);
+        targets = trivial
+    }
+
+    #[test]
+    fn group_macro_and_harness_run() {
+        smoke();
+    }
+}

@@ -1,0 +1,117 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no access to crates.io, so this stub keeps the
+//! `#[derive(Serialize, Deserialize)]` annotations across the Sprout crates
+//! compiling without pulling in the real framework. [`Serialize`] and
+//! [`Deserialize`] are *marker traits only* — no data format can actually be
+//! read or written through them. When a real serialization format is needed
+//! (e.g. persisting cache plans), replace this vendored crate with the real
+//! `serde` and the derives pick up full implementations without any source
+//! changes in the workspace.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+// Lets the derives' generated `::serde::...` paths resolve inside this
+// crate's own tests.
+extern crate self as serde;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de>: Sized {}
+
+macro_rules! impl_markers {
+    ($($ty:ty),* $(,)?) => {
+        $(
+            impl Serialize for $ty {}
+            impl<'de> Deserialize<'de> for $ty {}
+        )*
+    };
+}
+
+impl_markers!(
+    (),
+    bool,
+    char,
+    u8,
+    u16,
+    u32,
+    u64,
+    u128,
+    usize,
+    i8,
+    i16,
+    i32,
+    i64,
+    i128,
+    isize,
+    f32,
+    f64,
+    String,
+);
+
+impl<T: Serialize> Serialize for Vec<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {}
+impl<T: Serialize> Serialize for Option<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {}
+impl<T: Serialize> Serialize for Box<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {}
+impl<T: Serialize> Serialize for [T] {}
+impl<T: Serialize> Serialize for &T where T: ?Sized {}
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {}
+impl<'de, A: Deserialize<'de>, B: Deserialize<'de>> Deserialize<'de> for (A, B) {}
+impl<K: Serialize, V: Serialize> Serialize for std::collections::HashMap<K, V> {}
+impl<'de, K: Deserialize<'de>, V: Deserialize<'de>> Deserialize<'de>
+    for std::collections::HashMap<K, V>
+{
+}
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {}
+impl<'de, K: Deserialize<'de>, V: Deserialize<'de>> Deserialize<'de>
+    for std::collections::BTreeMap<K, V>
+{
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Serialize, Deserialize)]
+    struct Plain {
+        _x: u32,
+    }
+
+    #[derive(Serialize, Deserialize)]
+    enum Choice {
+        _A,
+        _B(f64),
+    }
+
+    #[derive(Serialize, Deserialize)]
+    struct WithGenerics<T: Clone> {
+        _items: Vec<T>,
+    }
+
+    #[derive(Serialize, Deserialize)]
+    struct WithConst<const N: usize> {
+        _buf: [u8; N],
+    }
+
+    fn assert_serialize<T: Serialize>() {}
+    fn assert_deserialize<T: for<'de> Deserialize<'de>>() {}
+
+    #[test]
+    fn derives_produce_marker_impls() {
+        assert_serialize::<Plain>();
+        assert_deserialize::<Plain>();
+        assert_serialize::<Choice>();
+        assert_deserialize::<Choice>();
+        assert_serialize::<WithGenerics<u8>>();
+        assert_deserialize::<WithGenerics<u8>>();
+        assert_serialize::<WithConst<4>>();
+        assert_deserialize::<WithConst<4>>();
+    }
+}

@@ -1,0 +1,128 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The vendored `serde` stub defines `Serialize` / `Deserialize` as marker
+//! traits (see `vendor/serde`); these derives emit the corresponding empty
+//! impls so that `#[derive(Serialize, Deserialize)]` in the Sprout crates
+//! compiles unchanged. No serialization code is generated.
+//!
+//! The input is parsed with a token scan instead of `syn` (not available
+//! offline): the type name is the first identifier following the `struct`,
+//! `enum` or `union` keyword, and generic parameters are copied verbatim
+//! from the `<...>` group that follows it, if any.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// The derived type's name plus its generic parameter list (`<...>` or empty).
+struct Target {
+    name: String,
+    /// Generic parameter *declarations*, e.g. `<'a, T: Clone>`.
+    decl_generics: String,
+    /// Generic *arguments* for the use site, e.g. `<'a, T>`.
+    use_generics: String,
+}
+
+fn parse_target(input: TokenStream) -> Target {
+    let mut iter = input.into_iter().peekable();
+    while let Some(tt) = iter.next() {
+        let TokenTree::Ident(kw) = &tt else { continue };
+        let kw = kw.to_string();
+        if kw != "struct" && kw != "enum" && kw != "union" {
+            continue;
+        }
+        let Some(TokenTree::Ident(name)) = iter.next() else {
+            panic!("serde stub derive: expected a type name after `{kw}`");
+        };
+        let mut decl = String::new();
+        let mut args = String::new();
+        if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+            // Collect the raw generic declaration up to the matching `>`.
+            let mut depth = 0i32;
+            let mut params: Vec<String> = Vec::new();
+            let mut current = String::new();
+            for tt in iter.by_ref() {
+                let s = tt.to_string();
+                match s.as_str() {
+                    "<" => depth += 1,
+                    ">" => depth -= 1,
+                    _ => {}
+                }
+                decl.push_str(&s);
+                if s != "'" {
+                    // A lifetime tick must stay glued to its identifier.
+                    decl.push(' ');
+                }
+                if depth == 0 {
+                    break;
+                }
+                if depth == 1 && s != "<" {
+                    if s == "," {
+                        params.push(std::mem::take(&mut current));
+                    } else {
+                        current.push_str(&s);
+                        if s != "'" {
+                            current.push(' ');
+                        }
+                    }
+                }
+            }
+            if !current.trim().is_empty() {
+                params.push(current);
+            }
+            // Use-site arguments: each parameter name, stripped of bounds
+            // and defaults (`T: Clone = X` -> `T`, `'a: 'b` -> `'a`,
+            // `const N: usize` -> `N`).
+            let names: Vec<String> = params
+                .iter()
+                .map(|p| {
+                    let head = p.split([':', '=']).next().unwrap_or("").trim();
+                    head.strip_prefix("const ")
+                        .unwrap_or(head)
+                        .trim()
+                        .to_string()
+                })
+                .filter(|n| !n.is_empty())
+                .collect();
+            if !names.is_empty() {
+                args = format!("<{}>", names.join(", "));
+            } else {
+                decl.clear();
+            }
+        }
+        return Target {
+            name: name.to_string(),
+            decl_generics: decl,
+            use_generics: args,
+        };
+    }
+    panic!("serde stub derive: input does not define a struct, enum or union");
+}
+
+/// Derives the `serde::Serialize` marker impl.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let t = parse_target(input);
+    format!(
+        "impl {} ::serde::Serialize for {} {} {{}}",
+        t.decl_generics, t.name, t.use_generics
+    )
+    .parse()
+    .expect("serde stub derive: generated impl must parse")
+}
+
+/// Derives the `serde::Deserialize` marker impl.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let t = parse_target(input);
+    let decl = if t.decl_generics.is_empty() {
+        "<'de>".to_string()
+    } else {
+        // Insert 'de ahead of the existing parameters: `<T>` -> `<'de, T>`.
+        format!("<'de, {}", &t.decl_generics.trim_start()[1..])
+    };
+    format!(
+        "impl {decl} ::serde::Deserialize<'de> for {} {} {{}}",
+        t.name, t.use_generics
+    )
+    .parse()
+    .expect("serde stub derive: generated impl must parse")
+}
