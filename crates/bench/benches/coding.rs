@@ -2,46 +2,81 @@
 //! decoding from mixed cache/storage chunk sets, and functional cache-chunk
 //! construction (the per-request computational overhead the paper calls
 //! "very minimal").
+//!
+//! Every group runs once per slice kernel (`scalar` is the seed's log/exp
+//! reference; `table` and `word` are the fast kernels), so the ids read
+//! `rs_encode_7_4/word/1048576` and kernel-vs-kernel speedups can be read
+//! straight off one run. `cargo run -p sprout-bench --bin bench_coding`
+//! produces the same measurements as machine-readable `BENCH_coding.json`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use sprout::erasure::{CodeParams, FunctionalCacheCodec};
+use sprout::erasure::{Chunk, CodeParams, FunctionalCacheCodec, Kernel};
+use sprout::gf::{kernel, Gf256};
+
+const SIZES: [usize; 2] = [64 * 1024, 1024 * 1024];
+
+fn codec_with(kernel: Kernel) -> FunctionalCacheCodec {
+    FunctionalCacheCodec::with_kernel(CodeParams::new(7, 4).unwrap(), kernel).unwrap()
+}
+
+/// Raw slice-kernel throughput: one multiply–accumulate pass.
+fn mul_acc_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gf_mul_acc");
+    for &size in &SIZES {
+        let src: Vec<u8> = (0..size).map(|i| (i * 31 + 7) as u8).collect();
+        let mut dst = vec![0u8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        for k in Kernel::ALL {
+            group.bench_with_input(BenchmarkId::new(k.name(), size), &src, |b, src| {
+                b.iter(|| kernel::mul_acc_slice(k, Gf256::new(0x8E), src, &mut dst));
+            });
+        }
+    }
+    group.finish();
+}
 
 fn coding_benches(c: &mut Criterion) {
-    let sizes = [64 * 1024usize, 1024 * 1024];
-    let codec = FunctionalCacheCodec::new(CodeParams::new(7, 4).unwrap()).unwrap();
-
     let mut group = c.benchmark_group("rs_encode_7_4");
-    for &size in &sizes {
+    for &size in &SIZES {
         let data: Vec<u8> = (0..size).map(|i| i as u8).collect();
         group.throughput(Throughput::Bytes(size as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(size), &data, |b, data| {
-            b.iter(|| codec.encode(data).unwrap());
-        });
+        for k in Kernel::ALL {
+            let codec = codec_with(k);
+            group.bench_with_input(BenchmarkId::new(k.name(), size), &data, |b, data| {
+                b.iter(|| codec.encode(data).unwrap());
+            });
+        }
     }
     group.finish();
 
     let mut group = c.benchmark_group("functional_cache_chunks_7_4_d2");
-    for &size in &sizes {
+    for &size in &SIZES {
         let data: Vec<u8> = (0..size).map(|i| (i * 7) as u8).collect();
         group.throughput(Throughput::Bytes(size as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(size), &data, |b, data| {
-            b.iter(|| codec.cache_chunks(data, 2).unwrap());
-        });
+        for k in Kernel::ALL {
+            let codec = codec_with(k);
+            group.bench_with_input(BenchmarkId::new(k.name(), size), &data, |b, data| {
+                b.iter(|| codec.cache_chunks(data, 2).unwrap());
+            });
+        }
     }
     group.finish();
 
     let mut group = c.benchmark_group("decode_from_cache_plus_storage");
-    for &size in &sizes {
+    for &size in &SIZES {
         let data: Vec<u8> = (0..size).map(|i| (i * 13) as u8).collect();
-        let stored = codec.encode(&data).unwrap();
-        let cached = codec.cache_chunks(&data, 2).unwrap();
-        let mut have = cached;
-        have.push(stored.chunks()[5].clone());
-        have.push(stored.chunks()[6].clone());
         group.throughput(Throughput::Bytes(size as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(size), &have, |b, have| {
-            b.iter(|| codec.decode(have, size).unwrap());
-        });
+        for k in Kernel::ALL {
+            let codec = codec_with(k);
+            let stored = codec.encode(&data).unwrap();
+            let cached = codec.cache_chunks(&data, 2).unwrap();
+            let mut have: Vec<Chunk> = cached;
+            have.push(stored.chunks()[5].clone());
+            have.push(stored.chunks()[6].clone());
+            group.bench_with_input(BenchmarkId::new(k.name(), size), &have, |b, have| {
+                b.iter(|| codec.decode(have, size).unwrap());
+            });
+        }
     }
     group.finish();
 }
@@ -49,6 +84,6 @@ fn coding_benches(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = coding_benches
+    targets = mul_acc_benches, coding_benches
 }
 criterion_main!(benches);

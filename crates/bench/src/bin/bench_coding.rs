@@ -1,0 +1,128 @@
+//! Coding-layer throughput snapshot, emitted as `BENCH_coding.json`.
+//!
+//! Measures MB/s for the three coding-hot-path operations — `encode`,
+//! `decode` (2 cache + 2 storage chunks) and `cache_chunks` (d = 2) — at
+//! 64 KiB and 1 MiB objects, once per slice kernel (`scalar`, `table`,
+//! `word`), so the kernel-vs-kernel speedup and the absolute throughput
+//! trajectory are tracked from one JSON artifact per run.
+//!
+//! Usage:
+//!
+//! ```sh
+//! cargo run --release -p sprout-bench --bin bench_coding -- [--quick] [--out PATH]
+//! ```
+//!
+//! `--quick` shortens the per-measurement budget (CI smoke mode; numbers are
+//! noisier but the artifact shape is identical). `--out` defaults to
+//! `BENCH_coding.json` in the current directory.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use sprout::erasure::{Chunk, CodeParams, FunctionalCacheCodec, Kernel};
+
+const SIZES: [usize; 2] = [64 * 1024, 1024 * 1024];
+const CACHE_CHUNKS: usize = 2;
+
+struct Measurement {
+    op: &'static str,
+    kernel: &'static str,
+    size_bytes: usize,
+    mb_per_s: f64,
+}
+
+/// Runs `f` repeatedly until the time budget is spent and returns MB/s
+/// (throughput of `bytes` of input per call).
+fn throughput(bytes: usize, budget_secs: f64, mut f: impl FnMut()) -> f64 {
+    // Warm-up: populate lazy tables, page in buffers, settle the allocator.
+    f();
+    let mut iters = 0u64;
+    let start = Instant::now();
+    loop {
+        f();
+        iters += 1;
+        if start.elapsed().as_secs_f64() >= budget_secs && iters >= 3 {
+            break;
+        }
+    }
+    (bytes as f64 * iters as f64) / start.elapsed().as_secs_f64() / 1e6
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_coding.json".to_string());
+    let budget = if quick { 0.05 } else { 0.5 };
+
+    let params = CodeParams::new(7, 4).unwrap();
+    let mut results: Vec<Measurement> = Vec::new();
+
+    for kernel in Kernel::ALL {
+        let codec = FunctionalCacheCodec::with_kernel(params, kernel).unwrap();
+        for &size in &SIZES {
+            let data: Vec<u8> = (0..size).map(|i| (i * 31 + 7) as u8).collect();
+
+            let mbps = throughput(size, budget, || {
+                std::hint::black_box(codec.encode(&data).unwrap());
+            });
+            results.push(Measurement {
+                op: "encode",
+                kernel: kernel.name(),
+                size_bytes: size,
+                mb_per_s: mbps,
+            });
+
+            let mbps = throughput(size, budget, || {
+                std::hint::black_box(codec.cache_chunks(&data, CACHE_CHUNKS).unwrap());
+            });
+            results.push(Measurement {
+                op: "cache_chunks",
+                kernel: kernel.name(),
+                size_bytes: size,
+                mb_per_s: mbps,
+            });
+
+            // Decode from a non-systematic mix: 2 cache chunks + the last 2
+            // storage (parity) chunks, so real GF work happens on every row.
+            let stored = codec.encode(&data).unwrap();
+            let mut have: Vec<Chunk> = codec.cache_chunks(&data, CACHE_CHUNKS).unwrap();
+            have.push(stored.chunks()[5].clone());
+            have.push(stored.chunks()[6].clone());
+            let mbps = throughput(size, budget, || {
+                std::hint::black_box(codec.decode(&have, size).unwrap());
+            });
+            results.push(Measurement {
+                op: "decode",
+                kernel: kernel.name(),
+                size_bytes: size,
+                mb_per_s: mbps,
+            });
+        }
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"benchmark\": \"coding\",\n");
+    json.push_str("  \"code\": {\"n\": 7, \"k\": 4, \"cache_chunks_d\": 2},\n");
+    json.push_str("  \"unit\": \"MB/s of object bytes per operation\",\n");
+    let _ = writeln!(json, "  \"quick\": {quick},");
+    json.push_str("  \"results\": [\n");
+    for (i, m) in results.iter().enumerate() {
+        let comma = if i + 1 == results.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "    {{\"op\": \"{}\", \"kernel\": \"{}\", \"size_bytes\": {}, \"mb_per_s\": {:.1}}}{}",
+            m.op, m.kernel, m.size_bytes, m.mb_per_s, comma
+        );
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write(&out_path, &json).expect("failed to write benchmark JSON");
+    print!("{json}");
+    eprintln!("wrote {out_path}");
+}

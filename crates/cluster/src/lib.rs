@@ -22,6 +22,11 @@
 //! integrity through the cache/storage paths is tested end to end; latency
 //! is tracked in virtual time so experiments are deterministic and fast.
 //!
+//! Chunk payloads are reference-counted `bytes::Bytes` buffers: a chunk is
+//! encoded once and then *shared* — node storage, the cache tier and
+//! in-flight reads all clone the same `Chunk` in O(1) without copying
+//! payload bytes, so `store_chunk`/read paths never deep-copy data.
+//!
 //! # Example
 //!
 //! ```

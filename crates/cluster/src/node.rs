@@ -82,6 +82,13 @@ impl StorageNode {
         self.chunks.contains_key(&(object, index))
     }
 
+    /// Borrows a stored chunk without touching the service queue or
+    /// statistics (management paths; simulated reads go through
+    /// [`StorageNode::read`]).
+    pub fn chunk(&self, object: u64, index: usize) -> Option<&Chunk> {
+        self.chunks.get(&(object, index))
+    }
+
     /// The stored chunk indices for an object, in ascending order.
     pub fn chunk_indices(&self, object: u64) -> Vec<usize> {
         let mut v: Vec<usize> = self

@@ -370,12 +370,13 @@ impl ErasureCodedStore {
             return Ok(());
         }
         // Gather every available storage chunk (management path: no latency
-        // accounting, mirroring off-peak prefetch in the paper).
+        // accounting, mirroring off-peak prefetch in the paper). Chunk
+        // payloads are reference-counted, so these clones copy no data.
         let mut available = Vec::new();
         for &node in &meta.placement {
             for index in self.nodes[node].chunk_indices(object) {
-                if let Some(chunk) = self.peek_chunk(node, object, index) {
-                    available.push(chunk);
+                if let Some(chunk) = self.nodes[node].chunk(object, index) {
+                    available.push(chunk.clone());
                 }
             }
         }
@@ -406,17 +407,6 @@ impl ErasureCodedStore {
             Err(ClusterError::InvalidConfig(format!(
                 "cache capacity exceeded while installing {d} chunks of object {object}"
             )))
-        }
-    }
-
-    fn peek_chunk(&self, node: usize, object: u64, index: usize) -> Option<Chunk> {
-        if self.nodes[node].has_chunk(object, index) {
-            // Clone without touching the queue: management path.
-            let mut rng = StdRng::seed_from_u64(0);
-            let mut n = self.nodes[node].clone();
-            n.read(object, index, 0.0, &mut rng).map(|(c, _)| c)
-        } else {
-            None
         }
     }
 
@@ -503,7 +493,8 @@ impl ErasureCodedStore {
         let latency = storage_latency.max(cache_latency);
 
         // 4. Reconstruct and verify.
-        let mut all = cached.clone();
+        let cache_chunks_used = cached.len();
+        let mut all = cached;
         all.extend(storage_chunks);
         let data = self.codec.decode(&all, meta.len)?;
 
@@ -524,7 +515,7 @@ impl ErasureCodedStore {
             data,
             latency,
             storage_chunks_used: needed_from_storage,
-            cache_chunks_used: cached.len(),
+            cache_chunks_used,
             nodes_used,
         })
     }

@@ -7,8 +7,11 @@
 //! chunks. Any `k` distinct rows of the generator are linearly independent,
 //! so any `k` chunks — from storage, cache, or a mix — reconstruct the file.
 
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
 use bytes::Bytes;
-use sprout_gf::{builders, Gf256, Matrix};
+use sprout_gf::{builders, kernel, Kernel, Matrix};
 
 use crate::chunk::{Chunk, ChunkId, ChunkSource};
 use crate::error::CodingError;
@@ -140,10 +143,82 @@ pub struct ReedSolomon {
     params: CodeParams,
     /// Extended `(n + k) × k` systematic generator matrix.
     generator: Matrix,
+    /// Slice kernel used for all bulk GF(2^8) work.
+    kernel: Kernel,
+    /// Memo of inverted decode matrices, keyed by the sorted row subset.
+    ///
+    /// Shared (via `Arc`) between clones of the code, so a codec cloned into
+    /// several components still amortizes Gaussian eliminations.
+    decode_memo: Arc<Mutex<InverseMemo>>,
+}
+
+/// Bounded LRU memo mapping a sorted row subset to the inverse of the
+/// corresponding generator sub-matrix.
+///
+/// Real request streams decode the same cache/storage row mixes over and
+/// over (the scheduler only has `n + d choose k` subsets to pick from, and
+/// heavily skews toward the fastest nodes), so the O(k³) elimination is
+/// almost always a cache hit after warm-up.
+#[derive(Debug, Default)]
+struct InverseMemo {
+    entries: HashMap<Vec<usize>, MemoEntry>,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+}
+
+#[derive(Debug)]
+struct MemoEntry {
+    inverse: Arc<Matrix>,
+    last_used: u64,
+}
+
+/// Maximum number of inverted matrices kept per code.
+const DECODE_MEMO_CAP: usize = 64;
+
+impl InverseMemo {
+    fn get(&mut self, rows: &[usize]) -> Option<Arc<Matrix>> {
+        self.clock += 1;
+        let clock = self.clock;
+        match self.entries.get_mut(rows) {
+            Some(entry) => {
+                entry.last_used = clock;
+                self.hits += 1;
+                Some(Arc::clone(&entry.inverse))
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    fn insert(&mut self, rows: Vec<usize>, inverse: Arc<Matrix>) {
+        if self.entries.len() >= DECODE_MEMO_CAP {
+            // Evict the least recently used subset (linear scan: the memo is
+            // small and eviction is rare).
+            if let Some(victim) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                self.entries.remove(&victim);
+            }
+        }
+        let clock = self.clock;
+        self.entries.insert(
+            rows,
+            MemoEntry {
+                inverse,
+                last_used: clock,
+            },
+        );
+    }
 }
 
 impl ReedSolomon {
-    /// Builds the code for the given parameters.
+    /// Builds the code for the given parameters, using the default kernel.
     ///
     /// # Errors
     ///
@@ -151,13 +226,54 @@ impl ReedSolomon {
     /// the `Result` is kept so that alternative generator constructions
     /// (e.g. user-supplied matrices) can report errors uniformly.
     pub fn new(params: CodeParams) -> Result<Self, CodingError> {
+        Self::with_kernel(params, Kernel::default())
+    }
+
+    /// Builds the code with an explicit slice [`Kernel`] (used by the
+    /// differential tests and kernel-vs-kernel benchmarks).
+    ///
+    /// # Errors
+    ///
+    /// See [`ReedSolomon::new`].
+    pub fn with_kernel(params: CodeParams, kernel: Kernel) -> Result<Self, CodingError> {
         let generator = builders::systematic_mds(params.extended_rows(), params.k());
-        Ok(ReedSolomon { params, generator })
+        Ok(ReedSolomon {
+            params,
+            generator,
+            kernel,
+            decode_memo: Arc::new(Mutex::new(InverseMemo::default())),
+        })
     }
 
     /// The code parameters.
     pub fn params(&self) -> CodeParams {
         self.params
+    }
+
+    /// The slice kernel used for bulk GF(2^8) work.
+    pub fn kernel(&self) -> Kernel {
+        self.kernel
+    }
+
+    /// Switches the slice kernel. Results are unaffected — every kernel is
+    /// byte-identical — only throughput changes.
+    pub fn set_kernel(&mut self, kernel: Kernel) {
+        self.kernel = kernel;
+    }
+
+    /// Number of inverted decode matrices currently memoized.
+    pub fn memoized_decode_matrices(&self) -> usize {
+        self.decode_memo
+            .lock()
+            .expect("memo poisoned")
+            .entries
+            .len()
+    }
+
+    /// `(hits, misses)` counters of the decode-matrix memo.
+    pub fn decode_memo_stats(&self) -> (u64, u64) {
+        let memo = self.decode_memo.lock().expect("memo poisoned");
+        (memo.hits, memo.misses)
     }
 
     /// The extended `(n + k) × k` generator matrix.
@@ -167,20 +283,37 @@ impl ReedSolomon {
 
     /// Encodes a file into its `n` storage chunks.
     ///
+    /// The systematic prefix is produced without any GF arithmetic: the
+    /// first `k` payloads are the split data chunks themselves, moved (not
+    /// copied) into their [`Chunk`]s. Only the `n - k` parity rows run
+    /// through the multiply kernel.
+    ///
     /// # Errors
     ///
     /// This operation does not currently fail; the `Result` mirrors
     /// [`ReedSolomon::decode`] for API symmetry.
     pub fn encode(&self, file: &[u8]) -> Result<EncodedFile, CodingError> {
         let k = self.params.k();
+        let n = self.params.n();
         let (data_chunks, chunk_len) = stripe::split(file, k);
-        let rows: Vec<usize> = (0..self.params.n()).collect();
-        let payloads = self.encode_rows(&data_chunks, &rows);
-        let chunks = rows
-            .iter()
-            .zip(payloads)
-            .map(|(&row, payload)| Chunk::new(ChunkId::storage(row), payload))
-            .collect();
+        let data_refs: Vec<&[u8]> = data_chunks.iter().map(Vec::as_slice).collect();
+
+        // Parity rows first (they read every data chunk) ...
+        let parity_rows: Vec<usize> = (k..n).collect();
+        let mut parity: Vec<Vec<u8>> = parity_rows.iter().map(|_| vec![0u8; chunk_len]).collect();
+        {
+            let mut outs: Vec<&mut [u8]> = parity.iter_mut().map(Vec::as_mut_slice).collect();
+            self.encode_rows_into(&data_refs, &parity_rows, &mut outs);
+        }
+
+        // ... then the data chunks are moved into the systematic prefix.
+        let mut chunks = Vec::with_capacity(n);
+        for (row, data) in data_chunks.into_iter().enumerate() {
+            chunks.push(Chunk::new(ChunkId::storage(row), data));
+        }
+        for (&row, payload) in parity_rows.iter().zip(parity) {
+            chunks.push(Chunk::new(ChunkId::storage(row), payload));
+        }
         Ok(EncodedFile {
             chunks,
             original_len: file.len(),
@@ -191,34 +324,74 @@ impl ReedSolomon {
     /// Encodes the listed generator rows against already-split data chunks.
     ///
     /// This is the primitive used both for storage chunks (rows `0..n`) and
-    /// functional cache chunks (rows `n..n+d`).
+    /// functional cache chunks (rows `n..n+d`). Allocates one payload per
+    /// row; the zero-copy variant is [`ReedSolomon::encode_rows_into`].
     ///
     /// # Panics
     ///
     /// Panics if `data_chunks.len() != k`, the chunks have unequal lengths,
     /// or a row index exceeds `n + k`.
     pub fn encode_rows(&self, data_chunks: &[Vec<u8>], rows: &[usize]) -> Vec<Vec<u8>> {
+        let chunk_len = data_chunks.first().map_or(0, Vec::len);
+        let data_refs: Vec<&[u8]> = data_chunks.iter().map(Vec::as_slice).collect();
+        let mut payloads: Vec<Vec<u8>> = rows.iter().map(|_| vec![0u8; chunk_len]).collect();
+        let mut outs: Vec<&mut [u8]> = payloads.iter_mut().map(Vec::as_mut_slice).collect();
+        self.encode_rows_into(&data_refs, rows, &mut outs);
+        payloads
+    }
+
+    /// Encodes the listed generator rows into caller-provided output
+    /// buffers, allocating nothing.
+    ///
+    /// Each output buffer is fully overwritten (callers do not need to zero
+    /// it). Per-coefficient multiplication tables are the process-wide lazy
+    /// tables from [`sprout_gf::MulTable`], so a stripe of calls with the
+    /// same generator rows reuses them with no per-call setup.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data_chunks.len() != k`, the data chunks have unequal
+    /// lengths, `outputs.len() != rows.len()`, an output buffer's length
+    /// differs from the chunk length, or a row index exceeds `n + k`.
+    pub fn encode_rows_into(
+        &self,
+        data_chunks: &[&[u8]],
+        rows: &[usize],
+        outputs: &mut [&mut [u8]],
+    ) {
         let k = self.params.k();
         assert_eq!(data_chunks.len(), k, "expected exactly k data chunks");
-        let chunk_len = data_chunks.first().map_or(0, Vec::len);
+        let chunk_len = data_chunks.first().map_or(0, |c| c.len());
         assert!(
             data_chunks.iter().all(|c| c.len() == chunk_len),
             "all data chunks must have the same length"
         );
-        rows.iter()
-            .map(|&row| {
-                assert!(
-                    row < self.params.extended_rows(),
-                    "generator row {row} out of range"
-                );
-                let mut out = vec![0u8; chunk_len];
-                for (j, data) in data_chunks.iter().enumerate() {
-                    let coeff = self.generator.get(row, j);
-                    Gf256::mul_acc_slice(coeff, data, &mut out);
+        assert_eq!(
+            outputs.len(),
+            rows.len(),
+            "expected one output buffer per row"
+        );
+        for (&row, out) in rows.iter().zip(outputs.iter_mut()) {
+            assert!(
+                row < self.params.extended_rows(),
+                "generator row {row} out of range"
+            );
+            assert_eq!(
+                out.len(),
+                chunk_len,
+                "output buffer length must equal the chunk length"
+            );
+            for (j, data) in data_chunks.iter().enumerate() {
+                let coeff = self.generator.get(row, j);
+                if j == 0 {
+                    // Overwrite on the first source: skips reading the
+                    // (possibly uninitialized-for-our-purposes) buffer.
+                    kernel::mul_slice(self.kernel, coeff, data, out);
+                } else {
+                    kernel::mul_acc_slice(self.kernel, coeff, data, out);
                 }
-                out
-            })
-            .collect()
+            }
+        }
     }
 
     /// Decodes the original file from any `k` distinct chunks.
@@ -280,22 +453,54 @@ impl ReedSolomon {
             });
         }
 
-        // Build and invert the k x k decoding matrix.
+        // Sorting the selected chunks by row makes the decode matrix a pure
+        // function of the row *subset* (memo key) — and leaves the decoded
+        // bytes unchanged, since permuting the equation system permutes the
+        // inverse's columns identically.
+        selected.sort_by_key(|c| c.id.index);
         let rows: Vec<usize> = selected.iter().map(|c| c.id.index).collect();
-        let sub = self.generator.select_rows(&rows);
-        let inv = sub
-            .inverted()
-            .map_err(|_| CodingError::SingularDecodeMatrix)?;
+        let inv = self.decode_matrix(&rows)?;
 
-        // data_chunk[i] = sum_j inv[i][j] * selected[j]
-        let mut data_chunks = vec![vec![0u8; chunk_len]; k];
-        for (i, data) in data_chunks.iter_mut().enumerate() {
+        // data_chunk[i] = sum_j inv[i][j] * selected[j], written directly
+        // into one flat output buffer (chunk i occupies bytes
+        // i*chunk_len..(i+1)*chunk_len of the decoded file), so no per-chunk
+        // buffers or join copy are needed.
+        let mut flat = vec![0u8; k * chunk_len];
+        for (i, data) in flat.chunks_mut(chunk_len.max(1)).enumerate() {
             for (j, chunk) in selected.iter().enumerate() {
                 let coeff = inv.get(i, j);
-                Gf256::mul_acc_slice(coeff, &chunk.data, data);
+                if j == 0 {
+                    kernel::mul_slice(self.kernel, coeff, &chunk.data, data);
+                } else {
+                    kernel::mul_acc_slice(self.kernel, coeff, &chunk.data, data);
+                }
             }
         }
-        Ok(stripe::join(&data_chunks, original_len))
+        flat.truncate(original_len);
+        Ok(flat)
+    }
+
+    /// The inverse of the generator sub-matrix for a sorted row subset,
+    /// served from the LRU memo when the same mix of cache/storage rows has
+    /// been decoded before.
+    fn decode_matrix(&self, rows: &[usize]) -> Result<Arc<Matrix>, CodingError> {
+        if let Some(inverse) = self.decode_memo.lock().expect("memo poisoned").get(rows) {
+            return Ok(inverse);
+        }
+        // Miss: run the O(k³) elimination *outside* the lock so concurrent
+        // decodes (and memo hits) are never serialized behind it. A racing
+        // decode of the same subset may recompute the inverse; that is
+        // harmless — the result is deterministic and insert is last-wins.
+        let sub = self.generator.select_rows(rows);
+        let inverse = Arc::new(
+            sub.inverted()
+                .map_err(|_| CodingError::SingularDecodeMatrix)?,
+        );
+        self.decode_memo
+            .lock()
+            .expect("memo poisoned")
+            .insert(rows.to_vec(), Arc::clone(&inverse));
+        Ok(inverse)
     }
 
     /// Produces a single coded chunk for the given generator row from a raw file.
@@ -505,6 +710,91 @@ mod tests {
         }
         let cache_chunk = rs.encode_row_from_file(&file, 8);
         assert_eq!(cache_chunk.id.source, ChunkSource::Cache);
+    }
+
+    #[test]
+    fn decode_memo_caches_row_subsets() {
+        let rs = ReedSolomon::new(CodeParams::new(7, 4).unwrap()).unwrap();
+        let file = sample_file(64);
+        let encoded = rs.encode(&file).unwrap();
+        let subset: Vec<Chunk> = encoded.chunks()[1..5].to_vec();
+        assert_eq!(rs.memoized_decode_matrices(), 0);
+        for _ in 0..5 {
+            assert_eq!(rs.decode(&subset, file.len()).unwrap(), file);
+        }
+        assert_eq!(rs.memoized_decode_matrices(), 1);
+        let (hits, misses) = rs.decode_memo_stats();
+        assert_eq!((hits, misses), (4, 1));
+        // Chunk order does not create a new entry: the key is the sorted set.
+        let mut shuffled = subset.clone();
+        shuffled.reverse();
+        assert_eq!(rs.decode(&shuffled, file.len()).unwrap(), file);
+        assert_eq!(rs.memoized_decode_matrices(), 1);
+        // A different subset adds a second entry.
+        let other: Vec<Chunk> = encoded.chunks()[3..7].to_vec();
+        assert_eq!(rs.decode(&other, file.len()).unwrap(), file);
+        assert_eq!(rs.memoized_decode_matrices(), 2);
+        // Clones share the memo.
+        let clone = rs.clone();
+        assert_eq!(clone.memoized_decode_matrices(), 2);
+    }
+
+    #[test]
+    fn decode_memo_is_bounded() {
+        // (16, 2): plenty of 2-subsets to overflow the 64-entry memo.
+        let rs = ReedSolomon::new(CodeParams::new(16, 2).unwrap()).unwrap();
+        let file = sample_file(32);
+        let encoded = rs.encode(&file).unwrap();
+        for a in 0..16 {
+            for b in a + 1..16 {
+                let subset = vec![encoded.chunks()[a].clone(), encoded.chunks()[b].clone()];
+                assert_eq!(rs.decode(&subset, file.len()).unwrap(), file);
+            }
+        }
+        assert!(rs.memoized_decode_matrices() <= 64);
+    }
+
+    #[test]
+    fn every_kernel_produces_identical_chunks_and_decodes() {
+        let file = sample_file(1000 + 13); // unaligned tail
+        let reference =
+            ReedSolomon::with_kernel(CodeParams::new(7, 4).unwrap(), sprout_gf::Kernel::Scalar)
+                .unwrap();
+        let want = reference.encode(&file).unwrap();
+        for kernel in sprout_gf::Kernel::ALL {
+            let rs = ReedSolomon::with_kernel(CodeParams::new(7, 4).unwrap(), kernel).unwrap();
+            assert_eq!(rs.kernel(), kernel);
+            let got = rs.encode(&file).unwrap();
+            assert_eq!(got, want, "encode must be byte-identical for {kernel}");
+            let subset: Vec<Chunk> = got.chunks()[2..6].to_vec();
+            assert_eq!(rs.decode(&subset, file.len()).unwrap(), file);
+        }
+    }
+
+    #[test]
+    fn encode_rows_into_matches_encode_rows() {
+        let rs = ReedSolomon::new(CodeParams::new(7, 4).unwrap()).unwrap();
+        let file = sample_file(301);
+        let (data_chunks, chunk_len) = stripe::split(&file, 4);
+        let rows = vec![0usize, 3, 6, 9];
+        let want = rs.encode_rows(&data_chunks, &rows);
+        let data_refs: Vec<&[u8]> = data_chunks.iter().map(Vec::as_slice).collect();
+        // Dirty buffers: encode_rows_into must fully overwrite them.
+        let mut bufs = vec![vec![0xEEu8; chunk_len]; rows.len()];
+        let mut outs: Vec<&mut [u8]> = bufs.iter_mut().map(Vec::as_mut_slice).collect();
+        rs.encode_rows_into(&data_refs, &rows, &mut outs);
+        assert_eq!(bufs, want);
+    }
+
+    #[test]
+    #[should_panic(expected = "one output buffer per row")]
+    fn encode_rows_into_requires_matching_outputs() {
+        let rs = ReedSolomon::new(CodeParams::new(5, 2).unwrap()).unwrap();
+        let data = [vec![1u8, 2], vec![3u8, 4]];
+        let data_refs: Vec<&[u8]> = data.iter().map(Vec::as_slice).collect();
+        let mut buf = vec![0u8; 2];
+        let mut outs: Vec<&mut [u8]> = vec![&mut buf];
+        rs.encode_rows_into(&data_refs, &[0, 1], &mut outs);
     }
 
     #[test]

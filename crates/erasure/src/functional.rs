@@ -9,6 +9,8 @@
 //! The [`FunctionalCacheCodec`] wraps a [`ReedSolomon`] code whose generator
 //! already has `n + k` rows; cache chunks simply use rows `n..n + d`.
 
+use sprout_gf::Kernel;
+
 use crate::chunk::{Chunk, ChunkId};
 use crate::code::{CodeParams, EncodedFile, ReedSolomon};
 use crate::error::CodingError;
@@ -49,6 +51,28 @@ impl FunctionalCacheCodec {
         Ok(FunctionalCacheCodec {
             code: ReedSolomon::new(params)?,
         })
+    }
+
+    /// Creates a codec with an explicit slice [`Kernel`] (results are
+    /// byte-identical across kernels; only throughput changes).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CodingError::InvalidParams`] from code construction.
+    pub fn with_kernel(params: CodeParams, kernel: Kernel) -> Result<Self, CodingError> {
+        Ok(FunctionalCacheCodec {
+            code: ReedSolomon::with_kernel(params, kernel)?,
+        })
+    }
+
+    /// The slice kernel used for bulk GF(2^8) work.
+    pub fn kernel(&self) -> Kernel {
+        self.code.kernel()
+    }
+
+    /// Switches the slice kernel.
+    pub fn set_kernel(&mut self, kernel: Kernel) {
+        self.code.set_kernel(kernel);
     }
 
     /// Wraps an existing Reed–Solomon code.

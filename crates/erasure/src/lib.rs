@@ -45,3 +45,6 @@ pub use chunk::{Chunk, ChunkId, ChunkSource};
 pub use code::{CodeParams, EncodedFile, ReedSolomon};
 pub use error::CodingError;
 pub use functional::FunctionalCacheCodec;
+// Re-exported so coding callers can pick a slice kernel without a direct
+// `sprout-gf` dependency.
+pub use sprout_gf::Kernel;

@@ -4,7 +4,7 @@
 use proptest::prelude::*;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
-use sprout_erasure::{Chunk, CodeParams, FunctionalCacheCodec, ReedSolomon};
+use sprout_erasure::{Chunk, CodeParams, FunctionalCacheCodec, Kernel, ReedSolomon};
 
 /// Strategy producing valid (n, k) pairs small enough for exhaustive checks.
 fn params() -> impl Strategy<Value = (usize, usize)> {
@@ -73,6 +73,43 @@ proptest! {
         payload[0] ^= byte;
         chunks[n - 1] = Chunk::new(chunks[n - 1].id, payload);
         prop_assert!(!rs.verify(&chunks).unwrap());
+    }
+
+    #[test]
+    fn public_results_are_kernel_independent(
+        (n, k) in params(),
+        d in 0usize..=6,
+        file in proptest::collection::vec(any::<u8>(), 0..300),
+        seed in any::<u64>(),
+    ) {
+        // encode / decode / cache_chunks must be byte-identical across every
+        // slice kernel (the word and table kernels are differentially tested
+        // against the scalar reference end to end, not just per-slice).
+        let d = d.min(k);
+        let reference = FunctionalCacheCodec::with_kernel(
+            CodeParams::new(n, k).unwrap(),
+            Kernel::Scalar,
+        ).unwrap();
+        let want_encoded = reference.encode(&file).unwrap();
+        let want_cached = reference.cache_chunks(&file, d).unwrap();
+
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut have: Vec<Chunk> = want_cached.clone();
+        let mut storage: Vec<Chunk> = want_encoded.chunks().to_vec();
+        storage.shuffle(&mut rng);
+        have.extend(storage.iter().take(k - d).cloned());
+        let want_decoded = reference.decode(&have, file.len()).unwrap();
+        prop_assert_eq!(&want_decoded, &file);
+
+        for kernel in [Kernel::Table, Kernel::Word] {
+            let codec = FunctionalCacheCodec::with_kernel(
+                CodeParams::new(n, k).unwrap(),
+                kernel,
+            ).unwrap();
+            prop_assert_eq!(codec.encode(&file).unwrap(), want_encoded.clone());
+            prop_assert_eq!(codec.cache_chunks(&file, d).unwrap(), want_cached.clone());
+            prop_assert_eq!(codec.decode(&have, file.len()).unwrap(), want_decoded.clone());
+        }
     }
 
     #[test]

@@ -161,51 +161,48 @@ impl Gf256 {
 
     /// Multiply-accumulate over byte slices: `dst[i] ^= coeff * src[i]`.
     ///
-    /// This is the hot inner loop of Reed–Solomon encoding; it is provided
-    /// here so that the coding crate does not need to reach into the tables.
+    /// This is the hot inner loop of Reed–Solomon encoding; it dispatches to
+    /// the default word-parallel kernel (see [`crate::kernel`]). Callers that
+    /// need a specific implementation — e.g. the scalar reference for
+    /// differential testing — use [`crate::kernel::mul_acc_slice`] directly.
     ///
     /// # Panics
     ///
     /// Panics if the slices have different lengths.
     pub fn mul_acc_slice(coeff: Gf256, src: &[u8], dst: &mut [u8]) {
-        assert_eq!(
-            src.len(),
-            dst.len(),
-            "mul_acc_slice requires equal-length slices"
-        );
-        if coeff.is_zero() {
-            return;
-        }
-        if coeff == Gf256::ONE {
-            for (d, s) in dst.iter_mut().zip(src.iter()) {
-                *d ^= s;
-            }
-            return;
-        }
-        let clog = TABLES.log[coeff.0 as usize] as usize;
-        for (d, s) in dst.iter_mut().zip(src.iter()) {
-            if *s != 0 {
-                let idx = clog + TABLES.log[*s as usize] as usize;
-                *d ^= TABLES.exp[idx];
-            }
-        }
+        crate::kernel::mul_acc_slice(crate::kernel::Kernel::default(), coeff, src, dst);
     }
 
-    /// Multiplies every byte in `buf` by `coeff` in place.
+    /// Multiplies every byte in `buf` by `coeff` in place, using the default
+    /// table-driven kernel.
     pub fn scale_slice(coeff: Gf256, buf: &mut [u8]) {
-        if coeff == Gf256::ONE {
-            return;
+        crate::kernel::scale_slice(crate::kernel::Kernel::default(), coeff, buf);
+    }
+}
+
+/// The seed's byte-at-a-time multiply–accumulate loop over the log/exp
+/// tables, preserved verbatim as the scalar reference kernel.
+///
+/// Callers have already handled the `coeff == 0` / `coeff == 1` fast paths
+/// and checked slice lengths.
+pub(crate) fn scalar_mul_acc(coeff: Gf256, src: &[u8], dst: &mut [u8]) {
+    let clog = TABLES.log[coeff.0 as usize] as usize;
+    for (d, s) in dst.iter_mut().zip(src.iter()) {
+        if *s != 0 {
+            let idx = clog + TABLES.log[*s as usize] as usize;
+            *d ^= TABLES.exp[idx];
         }
-        if coeff.is_zero() {
-            buf.iter_mut().for_each(|b| *b = 0);
-            return;
-        }
-        let clog = TABLES.log[coeff.0 as usize] as usize;
-        for b in buf.iter_mut() {
-            if *b != 0 {
-                let idx = clog + TABLES.log[*b as usize] as usize;
-                *b = TABLES.exp[idx];
-            }
+    }
+}
+
+/// The seed's byte-at-a-time in-place scale loop, preserved verbatim as the
+/// scalar reference kernel (fast paths handled by the caller).
+pub(crate) fn scalar_scale(coeff: Gf256, buf: &mut [u8]) {
+    let clog = TABLES.log[coeff.0 as usize] as usize;
+    for b in buf.iter_mut() {
+        if *b != 0 {
+            let idx = clog + TABLES.log[*b as usize] as usize;
+            *b = TABLES.exp[idx];
         }
     }
 }

@@ -32,7 +32,9 @@
 
 pub mod builders;
 pub mod field;
+pub mod kernel;
 pub mod matrix;
 
 pub use field::Gf256;
+pub use kernel::{Kernel, MulTable};
 pub use matrix::{Matrix, MatrixError};

@@ -254,45 +254,29 @@ impl Matrix {
     }
 
     /// Computes the rank of the matrix via Gaussian elimination.
+    ///
+    /// The elimination runs in place on a single flat working copy of the
+    /// element buffer (no per-step row clones or checked element accessors).
     pub fn rank(&self) -> usize {
-        let mut m = self.clone();
+        let mut work = self.data.clone();
         let mut rank = 0usize;
-        let mut pivot_row = 0usize;
-        for col in 0..m.cols {
-            if pivot_row >= m.rows {
+        for col in 0..self.cols {
+            if rank >= self.rows {
                 break;
             }
-            // find a pivot
-            let mut pivot = None;
-            for r in pivot_row..m.rows {
-                if !m.get(r, col).is_zero() {
-                    pivot = Some(r);
-                    break;
-                }
+            if eliminate_column(&mut work, self.rows, self.cols, rank, col) {
+                rank += 1;
             }
-            let Some(p) = pivot else { continue };
-            m.swap_rows(p, pivot_row);
-            let inv = m.get(pivot_row, col).inverse();
-            for c in col..m.cols {
-                let v = m.get(pivot_row, c) * inv;
-                m.set(pivot_row, c, v);
-            }
-            for r in 0..m.rows {
-                if r != pivot_row && !m.get(r, col).is_zero() {
-                    let factor = m.get(r, col);
-                    for c in col..m.cols {
-                        let v = m.get(r, c) + factor * m.get(pivot_row, c);
-                        m.set(r, c, v);
-                    }
-                }
-            }
-            pivot_row += 1;
-            rank += 1;
         }
         rank
     }
 
     /// Inverts a square matrix.
+    ///
+    /// Gauss–Jordan elimination runs in place on one flat augmented buffer
+    /// `[self | I]`; rows are manipulated as disjoint slices (via
+    /// `split_at_mut`), so no intermediate matrices or row copies are
+    /// allocated beyond the augmented buffer itself.
     ///
     /// # Errors
     ///
@@ -306,49 +290,27 @@ impl Matrix {
             });
         }
         let n = self.rows;
-        // augmented [self | I]
-        let mut aug = Matrix::zero(n, 2 * n);
+        let width = 2 * n;
+        // augmented [self | I], one flat row-major buffer
+        let mut aug = vec![Gf256::ZERO; n * width];
         for i in 0..n {
-            for j in 0..n {
-                aug.set(i, j, self.get(i, j));
-            }
-            aug.set(i, n + i, Gf256::ONE);
+            aug[i * width..i * width + n].copy_from_slice(self.row(i));
+            aug[i * width + n + i] = Gf256::ONE;
         }
-        // forward elimination with partial pivoting (any nonzero pivot works in a field)
         for col in 0..n {
-            let mut pivot = None;
-            for r in col..n {
-                if !aug.get(r, col).is_zero() {
-                    pivot = Some(r);
-                    break;
-                }
-            }
-            let Some(p) = pivot else {
+            if !eliminate_column(&mut aug, n, width, col, col) {
                 return Err(MatrixError::Singular);
-            };
-            aug.swap_rows(p, col);
-            let inv = aug.get(col, col).inverse();
-            for c in 0..2 * n {
-                let v = aug.get(col, c) * inv;
-                aug.set(col, c, v);
-            }
-            for r in 0..n {
-                if r != col && !aug.get(r, col).is_zero() {
-                    let factor = aug.get(r, col);
-                    for c in 0..2 * n {
-                        let v = aug.get(r, c) + factor * aug.get(col, c);
-                        aug.set(r, c, v);
-                    }
-                }
             }
         }
-        let mut out = Matrix::zero(n, n);
+        let mut out = Vec::with_capacity(n * n);
         for i in 0..n {
-            for j in 0..n {
-                out.set(i, j, aug.get(i, n + j));
-            }
+            out.extend_from_slice(&aug[i * width + n..(i + 1) * width]);
         }
-        Ok(out)
+        Ok(Matrix {
+            rows: n,
+            cols: n,
+            data: out,
+        })
     }
 
     /// Returns `true` if the square matrix is invertible.
@@ -366,6 +328,60 @@ impl Matrix {
             self.data.swap(a * self.cols + c, b * self.cols + c);
         }
     }
+}
+
+/// One Gauss–Jordan pivot step, in place, on a flat row-major buffer of
+/// `rows` rows of `width` elements each.
+///
+/// Searches column `col` for a nonzero pivot among rows `pivot_row..rows`
+/// (any nonzero element works in a field); if found, swaps it into
+/// `pivot_row`, normalizes that row, and cancels column `col` in every other
+/// row. Row pairs are accessed as disjoint slices via `split_at_mut`, and
+/// all row arithmetic starts at `col` — entries to the left are already
+/// zero by the elimination invariant. Returns whether a pivot existed.
+fn eliminate_column(
+    data: &mut [Gf256],
+    rows: usize,
+    width: usize,
+    pivot_row: usize,
+    col: usize,
+) -> bool {
+    let Some(p) = (pivot_row..rows).find(|&r| !data[r * width + col].is_zero()) else {
+        return false;
+    };
+    if p != pivot_row {
+        let (head, tail) = data.split_at_mut(p * width);
+        head[pivot_row * width..(pivot_row + 1) * width].swap_with_slice(&mut tail[..width]);
+    }
+    let inv = data[pivot_row * width + col].inverse();
+    if inv != Gf256::ONE {
+        for v in &mut data[pivot_row * width + col..(pivot_row + 1) * width] {
+            *v *= inv;
+        }
+    }
+    for r in 0..rows {
+        if r == pivot_row {
+            continue;
+        }
+        let factor = data[r * width + col];
+        if factor.is_zero() {
+            continue;
+        }
+        let (row, pivot): (&mut [Gf256], &[Gf256]) = if r < pivot_row {
+            let (head, tail) = data.split_at_mut(pivot_row * width);
+            (&mut head[r * width..(r + 1) * width], &tail[..width])
+        } else {
+            let (head, tail) = data.split_at_mut(r * width);
+            (
+                &mut tail[..width],
+                &head[pivot_row * width..(pivot_row + 1) * width],
+            )
+        };
+        for (d, s) in row[col..].iter_mut().zip(&pivot[col..]) {
+            *d += factor * *s;
+        }
+    }
+    true
 }
 
 impl fmt::Display for Matrix {

@@ -13,7 +13,7 @@ use crate::config::SimConfig;
 use crate::event::EventQueue;
 use crate::metrics::{LatencySummary, SlotCounts};
 use crate::policy::{CacheScheme, SchedulingRule};
-use crate::scheduler::{systematic_sample, uniform_sample};
+use crate::scheduler::{systematic_sample_into, uniform_sample_into};
 
 /// A file as seen by the simulator: its arrival rate, code dimension `k` and
 /// the storage nodes hosting its chunks.
@@ -76,6 +76,20 @@ struct NodeState {
     queue: VecDeque<usize>, // request ids waiting for this node
     serving: Option<usize>,
     busy_time: f64,
+}
+
+/// Reusable buffers for the per-arrival planning step.
+///
+/// `plan_request` runs once per simulated request — millions of times at the
+/// paper's horizons — so its working sets (sampling marginals, the sampled
+/// index set, and the chosen node list) live here instead of being allocated
+/// per call.
+#[derive(Debug, Default)]
+struct PlanScratch {
+    marginals: Vec<f64>,
+    picks: Vec<usize>,
+    /// Output: the storage nodes chosen to serve the request.
+    nodes: Vec<usize>,
 }
 
 /// A configured simulation, ready to run.
@@ -142,20 +156,21 @@ impl Simulation {
         let mut lru_last: HashMap<usize, u64> = HashMap::new();
         let mut lru_used_chunks: usize = 0;
         let mut lru_tick: u64 = 0;
+        let mut scratch = PlanScratch::default();
 
         while let Some((now, event)) = events.pop() {
             match event {
                 Event::Arrival(idx) => {
                     let file = trace[idx].file;
-                    let spec = &self.files[file];
-                    let (cache_chunks, storage_nodes) = self.plan_request(
+                    let cache_chunks = self.plan_request(
                         file,
                         &mut rng,
                         &mut lru_last,
                         &mut lru_used_chunks,
                         &mut lru_tick,
+                        &mut scratch,
                     );
-                    slots.record(now, cache_chunks as u64, storage_nodes.len() as u64);
+                    slots.record(now, cache_chunks as u64, scratch.nodes.len() as u64);
 
                     let cache_latency = if cache_chunks > 0 {
                         self.config.cache_chunk_latency
@@ -163,7 +178,7 @@ impl Simulation {
                         0.0
                     };
 
-                    if storage_nodes.is_empty() {
+                    if scratch.nodes.is_empty() {
                         // Served entirely from the cache.
                         full_cache_hits += 1;
                         completed += 1;
@@ -173,17 +188,16 @@ impl Simulation {
                         continue;
                     }
 
-                    let _ = spec;
                     requests.insert(
                         idx,
                         RequestState {
                             file,
                             start: now,
-                            outstanding: storage_nodes.len(),
+                            outstanding: scratch.nodes.len(),
                             last_completion: now + cache_latency,
                         },
                     );
-                    for node in storage_nodes {
+                    for &node in &scratch.nodes {
                         self.enqueue_chunk(node, idx, now, &mut nodes, &mut events, &mut rng);
                     }
                 }
@@ -229,7 +243,9 @@ impl Simulation {
     }
 
     /// Decides, for one request of `file`, how many chunks the cache serves
-    /// and which storage nodes serve the rest.
+    /// (the return value) and which storage nodes serve the rest (written to
+    /// `scratch.nodes`). All working sets live in `scratch`, so the arrival
+    /// hot loop allocates nothing.
     fn plan_request(
         &self,
         file: usize,
@@ -237,12 +253,17 @@ impl Simulation {
         lru_last: &mut HashMap<usize, u64>,
         lru_used_chunks: &mut usize,
         lru_tick: &mut u64,
-    ) -> (usize, Vec<usize>) {
+        scratch: &mut PlanScratch,
+    ) -> usize {
         let spec = &self.files[file];
+        scratch.nodes.clear();
         match &self.scheme {
             CacheScheme::NoCache => {
-                let chosen = uniform_sample(spec.placement.len(), spec.k, rng);
-                (0, chosen.into_iter().map(|i| spec.placement[i]).collect())
+                uniform_sample_into(spec.placement.len(), spec.k, rng, &mut scratch.picks);
+                scratch
+                    .nodes
+                    .extend(scratch.picks.iter().map(|&i| spec.placement[i]));
+                0
             }
             CacheScheme::Functional {
                 cached_chunks,
@@ -252,24 +273,26 @@ impl Simulation {
                 let d = cached_chunks.get(file).copied().unwrap_or(0).min(spec.k);
                 let needed = spec.k - d;
                 if needed == 0 {
-                    return (d, Vec::new());
+                    return d;
                 }
-                let nodes = match rule {
+                match rule {
                     SchedulingRule::Probabilistic => {
-                        let marginals: Vec<f64> = spec
-                            .placement
-                            .iter()
-                            .map(|&j| scheduling[file].get(j).copied().unwrap_or(0.0))
-                            .collect();
-                        let picks = systematic_sample(&marginals, rng);
-                        picks.into_iter().map(|i| spec.placement[i]).collect()
+                        scratch.marginals.clear();
+                        scratch.marginals.extend(
+                            spec.placement
+                                .iter()
+                                .map(|&j| scheduling[file].get(j).copied().unwrap_or(0.0)),
+                        );
+                        systematic_sample_into(&scratch.marginals, rng, &mut scratch.picks);
                     }
-                    SchedulingRule::Uniform => uniform_sample(spec.placement.len(), needed, rng)
-                        .into_iter()
-                        .map(|i| spec.placement[i])
-                        .collect(),
-                };
-                (d, nodes)
+                    SchedulingRule::Uniform => {
+                        uniform_sample_into(spec.placement.len(), needed, rng, &mut scratch.picks);
+                    }
+                }
+                scratch
+                    .nodes
+                    .extend(scratch.picks.iter().map(|&i| spec.placement[i]));
+                d
             }
             CacheScheme::Exact {
                 cached_chunks,
@@ -278,28 +301,32 @@ impl Simulation {
                 let d = cached_chunks.get(file).copied().unwrap_or(0).min(spec.k);
                 let needed = spec.k - d;
                 if needed == 0 {
-                    return (d, Vec::new());
+                    return d;
                 }
                 // The first d placement entries host the exactly-cached rows
                 // and cannot serve the request.
-                let eligible: Vec<usize> = spec.placement[d..].to_vec();
-                let marginals: Vec<f64> = eligible
-                    .iter()
-                    .map(|&j| scheduling[file].get(j).copied().unwrap_or(0.0))
-                    .collect();
-                let total: f64 = marginals.iter().sum();
-                let nodes = if (total - needed as f64).abs() < 1e-6 {
-                    systematic_sample(&marginals, rng)
-                        .into_iter()
-                        .map(|i| eligible[i])
-                        .collect()
+                let eligible = &spec.placement[d..];
+                scratch.marginals.clear();
+                scratch.marginals.extend(
+                    eligible
+                        .iter()
+                        .map(|&j| scheduling[file].get(j).copied().unwrap_or(0.0)),
+                );
+                let total: f64 = scratch.marginals.iter().sum();
+                if (total - needed as f64).abs() < 1e-6 {
+                    systematic_sample_into(&scratch.marginals, rng, &mut scratch.picks);
                 } else {
-                    uniform_sample(eligible.len(), needed.min(eligible.len()), rng)
-                        .into_iter()
-                        .map(|i| eligible[i])
-                        .collect()
-                };
-                (d, nodes)
+                    uniform_sample_into(
+                        eligible.len(),
+                        needed.min(eligible.len()),
+                        rng,
+                        &mut scratch.picks,
+                    );
+                }
+                scratch
+                    .nodes
+                    .extend(scratch.picks.iter().map(|&i| eligible[i]));
+                d
             }
             CacheScheme::LruReplicated {
                 capacity_chunks,
@@ -308,10 +335,13 @@ impl Simulation {
                 *lru_tick += 1;
                 if let Entry::Occupied(mut hit) = lru_last.entry(file) {
                     hit.insert(*lru_tick);
-                    return (spec.k, Vec::new());
+                    return spec.k;
                 }
                 // Miss: read k chunks from storage, then promote the object.
-                let chosen = uniform_sample(spec.placement.len(), spec.k, rng);
+                uniform_sample_into(spec.placement.len(), spec.k, rng, &mut scratch.picks);
+                scratch
+                    .nodes
+                    .extend(scratch.picks.iter().map(|&i| spec.placement[i]));
                 let footprint = spec.k * *replication as usize;
                 if footprint <= *capacity_chunks {
                     while *lru_used_chunks + footprint > *capacity_chunks {
@@ -330,7 +360,7 @@ impl Simulation {
                         *lru_used_chunks += footprint;
                     }
                 }
-                (0, chosen.into_iter().map(|i| spec.placement[i]).collect())
+                0
             }
         }
     }

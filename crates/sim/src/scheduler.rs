@@ -18,9 +18,27 @@ use rand::Rng;
 /// Panics if a marginal is outside `[0, 1 + ε]`.
 pub fn systematic_sample<R: Rng + ?Sized>(marginals: &[f64], rng: &mut R) -> Vec<usize> {
     let mut selected = Vec::new();
+    systematic_sample_into(marginals, rng, &mut selected);
+    selected
+}
+
+/// Allocation-free variant of [`systematic_sample`]: clears `selected` and
+/// fills it with the drawn indices, reusing its capacity. The simulator's
+/// arrival loop calls this once per request, so avoiding a fresh `Vec` per
+/// call matters at long horizons.
+///
+/// # Panics
+///
+/// Panics if a marginal is outside `[0, 1 + ε]`.
+pub fn systematic_sample_into<R: Rng + ?Sized>(
+    marginals: &[f64],
+    rng: &mut R,
+    selected: &mut Vec<usize>,
+) {
+    selected.clear();
     let total: f64 = marginals.iter().sum();
     if total <= 1e-12 {
-        return selected;
+        return;
     }
     let u: f64 = rng.gen_range(0.0..1.0);
     let mut cum = 0.0;
@@ -37,7 +55,6 @@ pub fn systematic_sample<R: Rng + ?Sized>(marginals: &[f64], rng: &mut R) -> Vec
             next_mark += 1.0;
         }
     }
-    selected
 }
 
 /// Chooses `count` distinct indices uniformly at random from `0..n`
@@ -47,15 +64,32 @@ pub fn systematic_sample<R: Rng + ?Sized>(marginals: &[f64], rng: &mut R) -> Vec
 ///
 /// Panics if `count > n`.
 pub fn uniform_sample<R: Rng + ?Sized>(n: usize, count: usize, rng: &mut R) -> Vec<usize> {
+    let mut selected = Vec::new();
+    uniform_sample_into(n, count, rng, &mut selected);
+    selected
+}
+
+/// Allocation-free variant of [`uniform_sample`]: `selected` doubles as the
+/// partial Fisher–Yates pool, so its capacity is reused across calls.
+///
+/// # Panics
+///
+/// Panics if `count > n`.
+pub fn uniform_sample_into<R: Rng + ?Sized>(
+    n: usize,
+    count: usize,
+    rng: &mut R,
+    selected: &mut Vec<usize>,
+) {
     assert!(count <= n, "cannot choose {count} distinct items from {n}");
-    // Partial Fisher-Yates.
-    let mut pool: Vec<usize> = (0..n).collect();
+    // Partial Fisher-Yates over the reused pool.
+    selected.clear();
+    selected.extend(0..n);
     for i in 0..count {
         let j = rng.gen_range(i..n);
-        pool.swap(i, j);
+        selected.swap(i, j);
     }
-    pool.truncate(count);
-    pool
+    selected.truncate(count);
 }
 
 #[cfg(test)]

@@ -15,27 +15,32 @@ use std::fmt;
 use std::ops::Deref;
 use std::sync::Arc;
 
-/// A cheaply cloneable, immutable byte buffer backed by `Arc<[u8]>`.
+/// A cheaply cloneable, immutable byte buffer backed by `Arc<Vec<u8>>`.
 ///
 /// Cloning is O(1) and never copies the payload; all reads go through
 /// `Deref<Target = [u8]>`, so any `&[u8]` API works on a `Bytes`.
+///
+/// Backing the buffer with the original `Vec` allocation (rather than
+/// `Arc<[u8]>`) makes [`From<Vec<u8>>`] a true zero-copy move — the same
+/// guarantee the real `bytes` crate gives — which matters on the coding hot
+/// path where freshly encoded chunk payloads are wrapped into `Bytes`.
 #[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Bytes {
-    data: Arc<[u8]>,
+    data: Arc<Vec<u8>>,
 }
 
 impl Bytes {
     /// Creates an empty buffer.
     pub fn new() -> Self {
         Bytes {
-            data: Arc::from(&[][..]),
+            data: Arc::new(Vec::new()),
         }
     }
 
     /// Copies the given slice into a new buffer.
     pub fn copy_from_slice(data: &[u8]) -> Self {
         Bytes {
-            data: Arc::from(data),
+            data: Arc::new(data.to_vec()),
         }
     }
 
@@ -77,14 +82,17 @@ impl Borrow<[u8]> for Bytes {
 }
 
 impl From<Vec<u8>> for Bytes {
+    /// Takes ownership of the vector without copying its contents.
     fn from(v: Vec<u8>) -> Self {
-        Bytes { data: v.into() }
+        Bytes { data: Arc::new(v) }
     }
 }
 
 impl From<Box<[u8]>> for Bytes {
     fn from(v: Box<[u8]>) -> Self {
-        Bytes { data: v.into() }
+        Bytes {
+            data: Arc::new(v.into_vec()),
+        }
     }
 }
 
@@ -142,6 +150,16 @@ mod tests {
         assert_eq!(b.len(), 3);
         assert_eq!(&b[..], &[1, 2, 3]);
         assert_eq!(b.to_vec(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn from_vec_is_zero_copy() {
+        let v = vec![1u8, 2, 3];
+        let p = v.as_ptr();
+        let b = Bytes::from(v);
+        assert_eq!(b.as_ref().as_ptr(), p, "From<Vec<u8>> must not copy");
+        let c = b.clone();
+        assert_eq!(c.as_ref().as_ptr(), p, "Clone must not copy");
     }
 
     #[test]
