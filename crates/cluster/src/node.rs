@@ -118,6 +118,9 @@ impl StorageNode {
     /// node is offline or does not hold the chunk. Service time is sampled
     /// from the device model for the chunk's size, and the node's FIFO queue
     /// advances accordingly.
+    ///
+    /// The returned chunk *shares* the stored payload (`Bytes` is
+    /// `Arc`-backed): handing it out is a refcount bump, not a byte copy.
     pub fn read<R: Rng + ?Sized>(
         &mut self,
         object: u64,
@@ -224,5 +227,19 @@ mod tests {
         let node = StorageNode::new(0, DeviceModel::ssd());
         assert_eq!(node.utilization(0.0), 0.0);
         assert_eq!(node.utilization(10.0), 0.0);
+    }
+
+    #[test]
+    fn read_shares_the_stored_payload_without_copying() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let mut node = StorageNode::new(0, DeviceModel::ssd());
+        node.store_chunk(1, chunk(0, 64));
+        let stored_ptr = node.chunk(1, 0).unwrap().data.as_ptr();
+        let (served, _) = node.read(1, 0, 0.0, &mut rng).unwrap();
+        assert_eq!(
+            served.data.as_ptr(),
+            stored_ptr,
+            "a served chunk must alias the stored allocation (refcount bump, not a copy)"
+        );
     }
 }

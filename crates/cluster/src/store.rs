@@ -271,6 +271,41 @@ impl ErasureCodedStore {
         self.objects.get(&object).map(|m| m.placement.as_slice())
     }
 
+    /// The stored length of an object in bytes.
+    pub fn object_len(&self, object: u64) -> Option<usize> {
+        self.objects.get(&object).map(|m| m.len)
+    }
+
+    /// Borrows the chunk of `object` hosted on `node` (the row the placement
+    /// assigns to that node), if the node holds it. Management path: no
+    /// queueing or latency accounting — external schedulers (the simulation
+    /// engine's byte-accurate backend) fetch bytes this way after deciding
+    /// the timing themselves.
+    pub fn chunk_on_node(&self, object: u64, node: usize) -> Option<&Chunk> {
+        let meta = self.objects.get(&object)?;
+        let row = meta.placement.iter().position(|&n| n == node)?;
+        self.nodes[node].chunk(object, row)
+    }
+
+    /// Decodes an object from caller-gathered chunks (any `k` distinct rows
+    /// of the extended code), trimming to the object's stored length.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::UnknownObject`] for unknown objects and
+    /// propagates coding errors (too few chunks, duplicate rows).
+    pub fn decode_with_chunks(
+        &self,
+        object: u64,
+        chunks: &[Chunk],
+    ) -> Result<Vec<u8>, ClusterError> {
+        let meta = self
+            .objects
+            .get(&object)
+            .ok_or(ClusterError::UnknownObject(object))?;
+        Ok(self.codec.decode(chunks, meta.len)?)
+    }
+
     /// Writes an object, placing its `n` coded chunks via the placement map.
     ///
     /// # Errors
@@ -311,9 +346,12 @@ impl ErasureCodedStore {
         }
         // Remove any previous version of the object.
         self.delete(object);
+        // Chunks are *moved* onto their nodes: payloads are `Bytes`
+        // (`Arc`-backed since PR 2), so no byte is copied and no refcount is
+        // even touched on this path.
         let encoded = self.codec.encode(data)?;
-        for (chunk, &node) in encoded.chunks().iter().zip(&placement) {
-            self.nodes[node].store_chunk(object, chunk.clone());
+        for (chunk, &node) in encoded.into_chunks().into_iter().zip(&placement) {
+            self.nodes[node].store_chunk(object, chunk);
         }
         self.objects.insert(
             object,
@@ -745,6 +783,65 @@ mod tests {
             ErasureCodedStore::new(bad_code),
             Err(ClusterError::Coding(_))
         ));
+    }
+
+    #[test]
+    fn chunk_on_node_follows_the_placement() {
+        let mut s = store(CachePolicy::None);
+        let data = payload(9_000, 12);
+        s.put(4, &data).unwrap();
+        assert_eq!(s.object_len(4), Some(9_000));
+        let placement = s.object_placement(4).unwrap().to_vec();
+        for (row, &node) in placement.iter().enumerate() {
+            let c = s.chunk_on_node(4, node).unwrap();
+            assert_eq!(c.id.index, row);
+        }
+        // A node outside the placement hosts nothing.
+        let outside = (0..8).find(|n| !placement.contains(n)).unwrap();
+        assert!(s.chunk_on_node(4, outside).is_none());
+        assert!(s.chunk_on_node(999, placement[0]).is_none());
+    }
+
+    #[test]
+    fn decode_with_chunks_reconstructs_from_any_k_rows() {
+        let mut s = store(CachePolicy::None);
+        let data = payload(11_000, 13);
+        s.put(6, &data).unwrap();
+        let placement = s.object_placement(6).unwrap().to_vec();
+        // Gather rows 3..7 (parity-heavy subset) by node.
+        let chunks: Vec<Chunk> = placement[3..7]
+            .iter()
+            .map(|&n| s.chunk_on_node(6, n).unwrap().clone())
+            .collect();
+        assert_eq!(s.decode_with_chunks(6, &chunks).unwrap(), data);
+        assert!(matches!(
+            s.decode_with_chunks(7, &chunks),
+            Err(ClusterError::UnknownObject(7))
+        ));
+        assert!(s.decode_with_chunks(6, &chunks[..2]).is_err());
+    }
+
+    #[test]
+    fn stored_and_cached_chunks_share_payload_allocations() {
+        let mut s = store(CachePolicy::Exact);
+        let data = payload(12_000, 14);
+        s.put(8, &data).unwrap();
+        s.set_cached_chunks(8, 2).unwrap();
+        let placement = s.object_placement(8).unwrap().to_vec();
+        // Exact caching copies storage rows 0 and 1 into the cache: the cache
+        // entry must alias the node's allocation, not duplicate it.
+        let node_chunk_ptr = s.chunk_on_node(8, placement[0]).unwrap().data.as_ptr();
+        let cached = s.cache().peek(8).unwrap();
+        let cache_ptr = cached
+            .iter()
+            .find(|c| c.id.index == 0)
+            .expect("row 0 is cached")
+            .data
+            .as_ptr();
+        assert_eq!(
+            cache_ptr, node_chunk_ptr,
+            "exact-cached chunk must share the stored allocation"
+        );
     }
 
     #[test]

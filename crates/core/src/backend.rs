@@ -1,0 +1,250 @@
+//! The byte-accurate simulation backend: the event loop of `sprout_sim`
+//! driving the real [`ErasureCodedStore`].
+//!
+//! The analytic backend treats chunks as abstract tokens; [`StoreBackend`]
+//! stores every object's actual coded bytes on the cluster substrate,
+//! installs the plan's functional (or exact) cache chunks, and — on every
+//! completed request — fetches exactly the chunks the engine scheduled,
+//! decodes them and verifies the reconstruction against the original
+//! payload. Degraded reads after scenario node failures therefore exercise
+//! the real erasure decoder, not a model of it.
+//!
+//! Planning randomness lives in the engine and service randomness in the
+//! backend, so an analytic run and a byte-accurate run with the same seed
+//! make identical chunk-source decisions — see the differential root test.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sprout_cluster::{CachePolicy, ClusterConfig, ErasureCodedStore};
+use sprout_erasure::Chunk;
+use sprout_queueing::dist::ServiceDistribution;
+use sprout_sim::{CacheScheme, ChunkBackend, FinishedRequest};
+
+/// Default payload size for files whose spec declares `size_bytes = 0`
+/// (abstract-model specs that never touched bytes before).
+pub const DEFAULT_OBJECT_BYTES: u64 = 4096;
+
+/// A [`ChunkBackend`] over the in-memory erasure-coded object store.
+#[derive(Debug)]
+pub struct StoreBackend {
+    store: ErasureCodedStore,
+    dists: Vec<ServiceDistribution>,
+    rng: StdRng,
+    originals: Vec<Vec<u8>>,
+    verified: u64,
+    failed: u64,
+    plan_apply_failures: u64,
+}
+
+impl StoreBackend {
+    /// Builds a backend from an already-populated store. `dists` are the
+    /// per-node service-time distributions (usually the same ones the
+    /// analytic backend uses, so latency statistics stay comparable);
+    /// `originals[file]` is the payload written for file `file` (object id
+    /// `file as u64`), kept for reconstruction verification.
+    pub fn new(
+        store: ErasureCodedStore,
+        dists: Vec<ServiceDistribution>,
+        originals: Vec<Vec<u8>>,
+        seed: u64,
+    ) -> Self {
+        assert_eq!(
+            dists.len(),
+            store.config().num_nodes,
+            "one service distribution per storage node"
+        );
+        StoreBackend {
+            store,
+            dists,
+            rng: StdRng::seed_from_u64(seed ^ 0x570B_ACE0),
+            originals,
+            verified: 0,
+            failed: 0,
+            plan_apply_failures: 0,
+        }
+    }
+
+    /// The underlying store (cache statistics, node contents, ...).
+    pub fn store(&self) -> &ErasureCodedStore {
+        &self.store
+    }
+
+    /// Completed requests whose bytes decoded to the original payload.
+    pub fn verified_reconstructions(&self) -> u64 {
+        self.verified
+    }
+
+    /// Completed requests whose reconstruction failed (missing chunks or a
+    /// mismatching decode).
+    pub fn failed_reconstructions(&self) -> u64 {
+        self.failed
+    }
+
+    /// Cache-plan swaps that could not be applied to the store (e.g. cache
+    /// capacity exceeded).
+    pub fn plan_apply_failures(&self) -> u64 {
+        self.plan_apply_failures
+    }
+
+    fn gather(&self, request: &FinishedRequest<'_>) -> Option<Vec<Chunk>> {
+        let object = request.file as u64;
+        let mut chunks: Vec<Chunk> =
+            Vec::with_capacity(request.cache_chunks + request.storage_nodes.len());
+        if request.cache_chunks > 0 {
+            let cached = self.store.cache().peek(object)?;
+            if cached.len() < request.cache_chunks {
+                return None;
+            }
+            chunks.extend(cached.iter().take(request.cache_chunks).cloned());
+        }
+        for &node in request.storage_nodes {
+            chunks.push(self.store.chunk_on_node(object, node)?.clone());
+        }
+        Some(chunks)
+    }
+}
+
+impl ChunkBackend for StoreBackend {
+    fn num_nodes(&self) -> usize {
+        self.store.config().num_nodes
+    }
+
+    fn is_online(&self, node: usize) -> bool {
+        self.store.node(node).is_online()
+    }
+
+    fn set_node_online(&mut self, node: usize, online: bool) {
+        self.store.set_node_online(node, online);
+    }
+
+    fn sample_service(&mut self, node: usize, _file: usize) -> f64 {
+        self.dists[node].sample(&mut self.rng)
+    }
+
+    fn finish_request(&mut self, request: FinishedRequest<'_>) -> bool {
+        let ok = match self.gather(&request) {
+            Some(chunks) => self
+                .store
+                .decode_with_chunks(request.file as u64, &chunks)
+                .map(|data| data == self.originals[request.file])
+                .unwrap_or(false),
+            None => false,
+        };
+        if ok {
+            self.verified += 1;
+        } else {
+            self.failed += 1;
+        }
+        ok
+    }
+
+    fn apply_scheme(&mut self, scheme: &CacheScheme) {
+        let counts = match scheme {
+            CacheScheme::Functional { cached_chunks, .. }
+            | CacheScheme::Exact { cached_chunks, .. } => cached_chunks.as_slice(),
+            // A NoCache swap keeps no planner-managed content; stale store
+            // cache entries are harmless because the engine stops planning
+            // cache chunks.
+            CacheScheme::NoCache => return,
+            // An LRU swap would make the engine report k-chunk cache hits
+            // this store never populated, silently miscounting every hit as
+            // a reconstruction failure — fail fast instead (mirrors the
+            // byte_backend construction-time rejection).
+            CacheScheme::LruReplicated { .. } => {
+                panic!("the byte-accurate backend does not model the LRU cache tier")
+            }
+        };
+        for (file, &d) in counts.iter().enumerate() {
+            if file >= self.originals.len() {
+                break;
+            }
+            if self.store.set_cached_chunks(file as u64, d).is_err() {
+                self.plan_apply_failures += 1;
+            }
+        }
+    }
+}
+
+/// Deterministic pseudo-random payload for file `file` (so reconstruction
+/// checks catch any row mixup).
+pub fn synthetic_payload(file: usize, len: usize, seed: u64) -> Vec<u8> {
+    let mut state = seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(file as u64 + 1);
+    (0..len)
+        .map(|_| {
+            // xorshift64*: cheap, full-period, good enough for test payloads
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            (state.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 56) as u8
+        })
+        .collect()
+}
+
+/// Builds a populated store for a uniform-code file population.
+///
+/// Used by [`crate::SproutSystem::byte_backend`]; exposed for tests that
+/// want direct control.
+///
+/// # Errors
+///
+/// Propagates cluster construction and write errors.
+pub fn populate_store(
+    config: ClusterConfig,
+    placements: &[Vec<usize>],
+    payloads: &[Vec<u8>],
+    plan_counts: Option<&[usize]>,
+) -> Result<ErasureCodedStore, sprout_cluster::ClusterError> {
+    let mut store = ErasureCodedStore::new(config)?;
+    for (file, (placement, payload)) in placements.iter().zip(payloads).enumerate() {
+        store.put_with_placement(file as u64, payload, placement.clone())?;
+    }
+    if let Some(counts) = plan_counts {
+        if store.config().cache_policy.is_planned() {
+            for (file, &d) in counts.iter().enumerate().take(payloads.len()) {
+                store.set_cached_chunks(file as u64, d)?;
+            }
+        }
+    }
+    Ok(store)
+}
+
+/// Maps a facade cache-policy choice onto the cluster substrate's policy.
+/// The LRU tier is engine-side state, so the byte backend does not support
+/// it yet.
+pub fn cluster_policy_for(policy: crate::system::CachePolicyChoice) -> Option<CachePolicy> {
+    match policy {
+        crate::system::CachePolicyChoice::NoCache => Some(CachePolicy::None),
+        crate::system::CachePolicyChoice::Functional => Some(CachePolicy::Functional),
+        crate::system::CachePolicyChoice::Exact => Some(CachePolicy::Exact),
+        crate::system::CachePolicyChoice::LruReplicated => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_payloads_are_deterministic_and_distinct() {
+        let a = synthetic_payload(0, 256, 7);
+        let b = synthetic_payload(0, 256, 7);
+        let c = synthetic_payload(1, 256, 7);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.len(), 256);
+    }
+
+    #[test]
+    fn policy_mapping_covers_planned_policies_only() {
+        use crate::system::CachePolicyChoice as C;
+        assert_eq!(cluster_policy_for(C::NoCache), Some(CachePolicy::None));
+        assert_eq!(
+            cluster_policy_for(C::Functional),
+            Some(CachePolicy::Functional)
+        );
+        assert_eq!(cluster_policy_for(C::Exact), Some(CachePolicy::Exact));
+        assert_eq!(cluster_policy_for(C::LruReplicated), None);
+    }
+}

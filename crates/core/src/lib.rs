@@ -58,12 +58,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod error;
+pub mod scenario;
 pub mod spec;
 pub mod system;
 pub mod timebins;
 
+pub use backend::StoreBackend;
 pub use error::SproutError;
+pub use scenario::{ScenarioActionSpec, ScenarioEventSpec, ScenarioSpec};
 pub use spec::{FileConfig, SystemSpec, SystemSpecBuilder};
 pub use system::{CachePolicyChoice, PolicyComparison, SproutSystem};
 pub use timebins::{BinOutcome, CacheDelta, TimeBinManager};

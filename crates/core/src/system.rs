@@ -24,6 +24,16 @@ pub enum CachePolicyChoice {
     NoCache,
 }
 
+impl CachePolicyChoice {
+    /// Whether this policy needs an optimized [`CachePlan`] to simulate.
+    pub fn requires_plan(&self) -> bool {
+        matches!(
+            self,
+            CachePolicyChoice::Functional | CachePolicyChoice::Exact
+        )
+    }
+}
+
 /// Simulated latency of every policy on the same workload, plus the analytic
 /// bound for the functional plan — the comparison behind Figs. 10 and 11.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -199,7 +209,24 @@ impl SproutSystem {
         plan: Option<&CachePlan>,
         config: SimConfig,
     ) -> SimReport {
-        let scheme = self.scheme_for(policy, plan);
+        self.simulation(policy, plan, config).run()
+    }
+
+    /// Builds the configured [`Simulation`] without running it, so callers
+    /// can attach a [`sprout_sim::Scenario`], a rate schedule, or run it on
+    /// an explicit backend (e.g. [`crate::backend::StoreBackend`]) or the
+    /// replication runner.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a plan is required but not supplied.
+    pub fn simulation(
+        &self,
+        policy: CachePolicyChoice,
+        plan: Option<&CachePlan>,
+        config: SimConfig,
+    ) -> Simulation {
+        let scheme = self.cache_scheme(policy, plan);
         let sim_files: Vec<SimFile> = self
             .spec
             .files
@@ -207,7 +234,90 @@ impl SproutSystem {
             .zip(&self.placements)
             .map(|(f, p)| SimFile::new(f.arrival_rate, f.k, p.clone()))
             .collect();
-        Simulation::new(self.spec.node_services.clone(), sim_files, scheme, config).run()
+        Simulation::new(self.spec.node_services.clone(), sim_files, scheme, config)
+    }
+
+    /// Builds a byte-accurate [`StoreBackend`](crate::backend::StoreBackend)
+    /// for this system: every file's actual coded bytes are written onto an
+    /// [`sprout_cluster::ErasureCodedStore`] (object id = file index, the
+    /// system's resolved placements), and the plan's cache chunks are
+    /// installed. Run it with [`Simulation::run_on`] against the simulation
+    /// built by [`SproutSystem::simulation`] for the same policy and plan.
+    ///
+    /// Files with `size_bytes = 0` get
+    /// [`crate::backend::DEFAULT_OBJECT_BYTES`]-byte synthetic payloads; all
+    /// payload bytes are deterministic in the spec seed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SproutError::InvalidSpec`] if the policy is
+    /// [`CachePolicyChoice::LruReplicated`] (the LRU tier is engine-side
+    /// state, not yet modelled byte-accurately), if files disagree on
+    /// `(n, k)`, or if a required plan is missing; propagates cluster and
+    /// coding errors.
+    pub fn byte_backend(
+        &self,
+        policy: CachePolicyChoice,
+        plan: Option<&CachePlan>,
+        seed: u64,
+    ) -> Result<crate::backend::StoreBackend, SproutError> {
+        use crate::backend::{
+            cluster_policy_for, populate_store, synthetic_payload, StoreBackend,
+            DEFAULT_OBJECT_BYTES,
+        };
+
+        let cluster_policy = cluster_policy_for(policy).ok_or_else(|| {
+            SproutError::InvalidSpec(
+                "the byte-accurate backend does not model the LRU cache tier".into(),
+            )
+        })?;
+        let first = &self.spec.files[0];
+        let (n, k) = (first.n, first.k);
+        if !self.spec.files.iter().all(|f| f.n == n && f.k == k) {
+            return Err(SproutError::InvalidSpec(
+                "the byte-accurate backend requires a uniform (n, k) across files".into(),
+            ));
+        }
+        if policy.requires_plan() && plan.is_none() {
+            return Err(SproutError::InvalidSpec(format!(
+                "policy {policy:?} requires an optimized plan"
+            )));
+        }
+
+        let payloads: Vec<Vec<u8>> = self
+            .spec
+            .files
+            .iter()
+            .enumerate()
+            .map(|(i, f)| {
+                let len = if f.size_bytes == 0 {
+                    DEFAULT_OBJECT_BYTES
+                } else {
+                    f.size_bytes
+                } as usize;
+                synthetic_payload(i, len, self.spec.seed)
+            })
+            .collect();
+        let total_bytes: u64 = payloads.iter().map(|p| p.len() as u64).sum();
+
+        let config = sprout_cluster::ClusterConfig::builder()
+            .nodes(self.spec.node_services.len())
+            .code(n, k)
+            .uniform_device(sprout_cluster::DeviceModel::ssd())
+            .cache_policy(cluster_policy)
+            // Generous: planner-managed caches hold at most k of n chunks
+            // per object, so total object bytes always fit.
+            .cache_capacity_bytes(total_bytes.max(1) * 2)
+            .seed(self.spec.seed)
+            .build();
+        let plan_counts = plan.map(|p| p.cached_chunks.as_slice());
+        let store = populate_store(config, &self.placements, &payloads, plan_counts)?;
+        Ok(StoreBackend::new(
+            store,
+            self.spec.node_services.clone(),
+            payloads,
+            seed,
+        ))
     }
 
     /// Simulates all four policies on the same workload and reports the
@@ -222,7 +332,15 @@ impl SproutSystem {
         }
     }
 
-    fn scheme_for(&self, policy: CachePolicyChoice, plan: Option<&CachePlan>) -> CacheScheme {
+    /// The engine-level [`CacheScheme`] a policy choice resolves to. `plan`
+    /// is required for [`CachePolicyChoice::Functional`] and
+    /// [`CachePolicyChoice::Exact`]; it is ignored by the other policies.
+    /// Used directly when building scenario plan swaps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a plan is required but not supplied.
+    pub fn cache_scheme(&self, policy: CachePolicyChoice, plan: Option<&CachePlan>) -> CacheScheme {
         match policy {
             CachePolicyChoice::NoCache => CacheScheme::NoCache,
             CachePolicyChoice::LruReplicated => {

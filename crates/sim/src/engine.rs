@@ -1,18 +1,37 @@
 //! The discrete-event simulation engine.
+//!
+//! The engine is a *streaming*, *backend-generic*, *scenario-driven* runtime:
+//!
+//! * **Streaming arrivals** — each file keeps exactly one pending arrival
+//!   event (drawn lazily from an [`ArrivalStream`]), so event-heap residency
+//!   is O(files + nodes + scenario events) regardless of how many requests
+//!   the horizon produces. [`SimReport::peak_event_queue`] records the
+//!   high-water mark as a regression guard.
+//! * **Pluggable backends** — everything that decides *which* chunks serve a
+//!   request lives here; what a chunk read *costs* (and, for byte-accurate
+//!   backends, the actual bytes) is delegated to a [`ChunkBackend`]. Planning
+//!   and service randomness are decoupled, so two backends on the same seed
+//!   make identical chunk-source decisions.
+//! * **Dynamic scenarios** — timed [`Scenario`] events (node failures and
+//!   recoveries, arrival-rate shifts, online cache-plan swaps) interleave
+//!   deterministically with the workload.
 
 use std::collections::hash_map::Entry;
 use std::collections::{HashMap, VecDeque};
 
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use sprout_queueing::dist::ServiceDistribution;
-use sprout_workload::arrivals::PoissonArrivals;
+use sprout_workload::arrivals::{ArrivalStream, RateProfile};
+use sprout_workload::timebins::RateSchedule;
 
+use crate::backend::{AnalyticBackend, ChunkBackend, FinishedRequest};
 use crate::config::SimConfig;
 use crate::event::EventQueue;
 use crate::metrics::{LatencySummary, SlotCounts};
 use crate::policy::{CacheScheme, SchedulingRule};
+use crate::scenario::{Scenario, ScenarioAction};
 use crate::scheduler::{systematic_sample_into, uniform_sample_into};
 
 /// A file as seen by the simulator: its arrival rate, code dimension `k` and
@@ -53,14 +72,30 @@ pub struct SimReport {
     pub full_cache_hits: u64,
     /// Total completed requests (including warm-up).
     pub completed_requests: u64,
+    /// Chunks scheduled onto each storage node (the engine's chunk-source
+    /// decisions; backend-independent for a fixed seed).
+    pub node_chunks_served: Vec<u64>,
+    /// Requests that could not be served because node failures left fewer
+    /// than the needed number of online hosts.
+    pub failed_requests: u64,
+    /// Completed requests whose backend reconstruction failed (always zero
+    /// for the analytic backend).
+    pub reconstruction_failures: u64,
+    /// High-water mark of the event queue — O(files + nodes + scenario
+    /// events) under streaming arrivals, *not* O(total requests).
+    pub peak_event_queue: usize,
 }
 
 #[derive(Debug, Clone, PartialEq)]
 enum Event {
-    /// A file request arrives (index into the pre-generated trace).
-    Arrival(usize),
+    /// The next request of a file arrives. The epoch stamps the arrival
+    /// stream generation: rate-shift scenario events bump it, so stale
+    /// pre-shift arrivals are discarded when popped.
+    Arrival { file: usize, epoch: u32 },
     /// A storage node finishes the chunk it was serving.
     NodeComplete(usize),
+    /// A scenario action fires (index into the scenario's event list).
+    Scenario(usize),
 }
 
 #[derive(Debug, Clone)]
@@ -69,27 +104,104 @@ struct RequestState {
     start: f64,
     outstanding: usize,
     last_completion: f64,
+    cache_chunks: usize,
+    nodes: Vec<usize>,
 }
 
 #[derive(Debug, Default, Clone)]
 struct NodeState {
-    queue: VecDeque<usize>, // request ids waiting for this node
-    serving: Option<usize>,
+    queue: VecDeque<(u64, usize)>, // (request id, file) waiting for this node
+    serving: Option<u64>,
     busy_time: f64,
+}
+
+/// Per-node FIFO service queues in virtual time. Service durations come from
+/// the backend; this struct only sequences them.
+#[derive(Debug, Default)]
+struct ServiceQueues {
+    nodes: Vec<NodeState>,
+}
+
+impl ServiceQueues {
+    fn new(count: usize) -> Self {
+        ServiceQueues {
+            nodes: vec![NodeState::default(); count],
+        }
+    }
+
+    fn enqueue<B: ChunkBackend>(
+        &mut self,
+        node: usize,
+        request: u64,
+        file: usize,
+        now: f64,
+        events: &mut EventQueue<Event>,
+        backend: &mut B,
+    ) {
+        if self.nodes[node].serving.is_none() {
+            self.start(node, request, file, now, events, backend);
+        } else {
+            self.nodes[node].queue.push_back((request, file));
+        }
+    }
+
+    fn start<B: ChunkBackend>(
+        &mut self,
+        node: usize,
+        request: u64,
+        file: usize,
+        now: f64,
+        events: &mut EventQueue<Event>,
+        backend: &mut B,
+    ) {
+        let service = backend.sample_service(node, file);
+        let state = &mut self.nodes[node];
+        state.serving = Some(request);
+        state.busy_time += service;
+        events.push(now + service, Event::NodeComplete(node));
+    }
+}
+
+/// LRU cache bookkeeping for [`CacheScheme::LruReplicated`].
+#[derive(Debug, Default)]
+struct LruState {
+    last: HashMap<usize, u64>, // object id -> last access tick
+    used_chunks: usize,
+    tick: u64,
 }
 
 /// Reusable buffers for the per-arrival planning step.
 ///
 /// `plan_request` runs once per simulated request — millions of times at the
 /// paper's horizons — so its working sets (sampling marginals, the sampled
-/// index set, and the chosen node list) live here instead of being allocated
-/// per call.
+/// index set, the chosen node list and the offline-repair pool) live here
+/// instead of being allocated per call.
 #[derive(Debug, Default)]
 struct PlanScratch {
     marginals: Vec<f64>,
     picks: Vec<usize>,
+    /// Online candidates used to repair a plan that picked failed nodes.
+    avail: Vec<usize>,
     /// Output: the storage nodes chosen to serve the request.
     nodes: Vec<usize>,
+}
+
+/// SplitMix64 finalizer: decorrelates seeds derived from a base seed.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// The seed of replication `r` derived from a base seed — what
+/// [`Simulation::run_replications`] gives each replication.
+pub fn replication_seed(base: u64, replication: usize) -> u64 {
+    splitmix64(base ^ (replication as u64).wrapping_mul(0xD6E8_FEB8_6659_FD93))
+}
+
+fn stream_seed(base: u64, file: usize) -> u64 {
+    splitmix64(base ^ (file as u64).wrapping_mul(0xA24B_AED4_963E_E407))
 }
 
 /// A configured simulation, ready to run.
@@ -99,6 +211,8 @@ pub struct Simulation {
     files: Vec<SimFile>,
     scheme: CacheScheme,
     config: SimConfig,
+    scenario: Scenario,
+    profiles: Option<Vec<RateProfile>>,
 }
 
 impl Simulation {
@@ -125,84 +239,196 @@ impl Simulation {
                 "file {i} references a node out of range"
             );
         }
+        scheme.validate(files.len());
         Simulation {
             nodes,
             files,
             scheme,
             config,
+            scenario: Scenario::default(),
+            profiles: None,
         }
     }
 
-    /// Runs the simulation and returns the measured report.
+    /// Attaches a dynamic scenario (node failures, rate shifts, plan swaps).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scenario references nodes or files out of range.
+    pub fn with_scenario(mut self, scenario: Scenario) -> Self {
+        scenario.validate(self.nodes.len(), self.files.len());
+        self.scenario = scenario;
+        self
+    }
+
+    /// Drives arrivals from a piecewise-constant rate schedule instead of the
+    /// per-file constant rates (the rate is zero past the schedule's end).
+    ///
+    /// A [`ScenarioAction::SetRates`]/[`ScenarioAction::SetFileRate`] event
+    /// supersedes the remaining schedule for the affected files: from the
+    /// event on, the scenario's rate holds as a constant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the schedule's file count differs from the simulation's.
+    pub fn with_rate_schedule(mut self, schedule: &RateSchedule) -> Self {
+        assert_eq!(
+            schedule.num_files(),
+            self.files.len(),
+            "rate schedule covers {} files but the simulation has {}",
+            schedule.num_files(),
+            self.files.len()
+        );
+        self.profiles = Some(schedule.file_profiles());
+        self
+    }
+
+    /// Replaces the run seed (used by the replication runner).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// The simulation configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Runs the simulation on the analytic backend and returns the report.
     pub fn run(&self) -> SimReport {
-        let mut rng = StdRng::seed_from_u64(self.config.seed ^ 0x5EED);
-        let mut arrivals_rng = PoissonArrivals::new(self.config.seed);
-        let rates: Vec<f64> = self.files.iter().map(|f| f.arrival_rate).collect();
-        let trace = arrivals_rng.generate(&rates, self.config.horizon);
+        let mut backend = AnalyticBackend::new(self.nodes.clone(), self.config.seed);
+        self.run_on(&mut backend)
+    }
+
+    /// Runs the simulation on an explicit backend (e.g. the byte-accurate
+    /// `StoreBackend` of the facade crate).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the backend's node count differs from the simulation's.
+    pub fn run_on<B: ChunkBackend>(&self, backend: &mut B) -> SimReport {
+        assert_eq!(
+            backend.num_nodes(),
+            self.nodes.len(),
+            "backend has {} nodes but the simulation has {}",
+            backend.num_nodes(),
+            self.nodes.len()
+        );
+        let horizon = self.config.horizon;
+        let mut plan_rng = StdRng::seed_from_u64(self.config.seed ^ 0x5EED);
+        let mut scheme = self.scheme.clone();
+
+        // One lazily-sampled arrival stream per file; exactly one pending
+        // arrival event per file lives in the queue at any time.
+        let mut streams: Vec<ArrivalStream> = self
+            .files
+            .iter()
+            .enumerate()
+            .map(|(i, f)| {
+                let profile = match &self.profiles {
+                    Some(p) => p[i].clone(),
+                    None => RateProfile::constant(f.arrival_rate),
+                };
+                ArrivalStream::new(profile, stream_seed(self.config.seed, i))
+            })
+            .collect();
+        let mut epochs = vec![0u32; self.files.len()];
 
         let mut events: EventQueue<Event> = EventQueue::new();
-        for (idx, req) in trace.iter().enumerate() {
-            events.push(req.time, Event::Arrival(idx));
+        for (i, ev) in self.scenario.events().iter().enumerate() {
+            if ev.at < horizon {
+                events.push(ev.at, Event::Scenario(i));
+            }
+        }
+        for (file, stream) in streams.iter_mut().enumerate() {
+            if let Some(t) = stream.next_arrival(0.0, horizon) {
+                events.push(t, Event::Arrival { file, epoch: 0 });
+            }
         }
 
-        let mut nodes: Vec<NodeState> = vec![NodeState::default(); self.nodes.len()];
-        let mut requests: HashMap<usize, RequestState> = HashMap::new();
+        let mut queues = ServiceQueues::new(self.nodes.len());
+        let mut requests: HashMap<u64, RequestState> = HashMap::new();
+        let mut next_request: u64 = 0;
         let mut latencies: Vec<Vec<f64>> = vec![Vec::new(); self.files.len()];
-        let mut slots = SlotCounts::new(self.config.horizon, self.config.slot_length);
+        let mut slots = SlotCounts::new(horizon, self.config.slot_length);
+        let mut node_chunks_served = vec![0u64; self.nodes.len()];
         let mut full_cache_hits = 0u64;
         let mut completed = 0u64;
-
-        // LRU cache state (object id -> last access tick), capacity in chunks.
-        let mut lru_last: HashMap<usize, u64> = HashMap::new();
-        let mut lru_used_chunks: usize = 0;
-        let mut lru_tick: u64 = 0;
+        let mut failed = 0u64;
+        let mut reconstruction_failures = 0u64;
+        let mut lru = LruState::default();
         let mut scratch = PlanScratch::default();
+        let mut peak_events = events.len();
 
         while let Some((now, event)) = events.pop() {
             match event {
-                Event::Arrival(idx) => {
-                    let file = trace[idx].file;
-                    let cache_chunks = self.plan_request(
-                        file,
-                        &mut rng,
-                        &mut lru_last,
-                        &mut lru_used_chunks,
-                        &mut lru_tick,
-                        &mut scratch,
-                    );
-                    slots.record(now, cache_chunks as u64, scratch.nodes.len() as u64);
-
-                    let cache_latency = if cache_chunks > 0 {
-                        self.config.cache_chunk_latency
-                    } else {
-                        0.0
-                    };
-
-                    if scratch.nodes.is_empty() {
-                        // Served entirely from the cache.
-                        full_cache_hits += 1;
-                        completed += 1;
-                        if now >= self.config.warmup {
-                            latencies[file].push(cache_latency);
-                        }
-                        continue;
+                Event::Arrival { file, epoch } => {
+                    if epoch != epochs[file] {
+                        continue; // stale arrival from before a rate shift
                     }
+                    // Keep the stream primed: schedule this file's next
+                    // arrival before processing the current one.
+                    if let Some(t) = streams[file].next_arrival(now, horizon) {
+                        events.push(t, Event::Arrival { file, epoch });
+                    }
+                    match self.plan_request(
+                        file,
+                        &scheme,
+                        backend,
+                        &mut plan_rng,
+                        &mut lru,
+                        &mut scratch,
+                    ) {
+                        None => failed += 1,
+                        Some(cache_chunks) => {
+                            slots.record(now, cache_chunks as u64, scratch.nodes.len() as u64);
+                            for &node in &scratch.nodes {
+                                node_chunks_served[node] += 1;
+                            }
+                            let cache_latency = if cache_chunks > 0 {
+                                self.config.cache_chunk_latency
+                            } else {
+                                0.0
+                            };
 
-                    requests.insert(
-                        idx,
-                        RequestState {
-                            file,
-                            start: now,
-                            outstanding: scratch.nodes.len(),
-                            last_completion: now + cache_latency,
-                        },
-                    );
-                    for &node in &scratch.nodes {
-                        self.enqueue_chunk(node, idx, now, &mut nodes, &mut events, &mut rng);
+                            if scratch.nodes.is_empty() {
+                                // Served entirely from the cache.
+                                if !backend.finish_request(FinishedRequest {
+                                    file,
+                                    cache_chunks,
+                                    storage_nodes: &[],
+                                }) {
+                                    reconstruction_failures += 1;
+                                }
+                                full_cache_hits += 1;
+                                completed += 1;
+                                if now >= self.config.warmup {
+                                    latencies[file].push(cache_latency);
+                                }
+                                continue;
+                            }
+
+                            let id = next_request;
+                            next_request += 1;
+                            requests.insert(
+                                id,
+                                RequestState {
+                                    file,
+                                    start: now,
+                                    outstanding: scratch.nodes.len(),
+                                    last_completion: now + cache_latency,
+                                    cache_chunks,
+                                    nodes: scratch.nodes.clone(),
+                                },
+                            );
+                            for &node in &scratch.nodes {
+                                queues.enqueue(node, id, file, now, &mut events, backend);
+                            }
+                        }
                     }
                 }
                 Event::NodeComplete(node) => {
-                    let finished = nodes[node]
+                    let finished = queues.nodes[node]
                         .serving
                         .take()
                         .expect("completion without a job");
@@ -211,6 +437,13 @@ impl Simulation {
                         req.last_completion = req.last_completion.max(now);
                         if req.outstanding == 0 {
                             let req = requests.remove(&finished).expect("request state present");
+                            if !backend.finish_request(FinishedRequest {
+                                file: req.file,
+                                cache_chunks: req.cache_chunks,
+                                storage_nodes: &req.nodes,
+                            }) {
+                                reconstruction_failures += 1;
+                            }
                             completed += 1;
                             if req.start >= self.config.warmup {
                                 latencies[req.file].push(req.last_completion - req.start);
@@ -218,11 +451,44 @@ impl Simulation {
                         }
                     }
                     // Start the next queued chunk, if any.
-                    if let Some(next) = nodes[node].queue.pop_front() {
-                        self.start_service(node, next, now, &mut nodes, &mut events, &mut rng);
+                    if let Some((next, file)) = queues.nodes[node].queue.pop_front() {
+                        queues.start(node, next, file, now, &mut events, backend);
                     }
                 }
+                Event::Scenario(i) => match &self.scenario.events()[i].action {
+                    ScenarioAction::NodeDown { node } => backend.set_node_online(*node, false),
+                    ScenarioAction::NodeUp { node } => backend.set_node_online(*node, true),
+                    ScenarioAction::SetRates { rates } => {
+                        for (file, &rate) in rates.iter().enumerate() {
+                            Self::retarget_rate(
+                                file,
+                                rate,
+                                now,
+                                horizon,
+                                &mut streams,
+                                &mut epochs,
+                                &mut events,
+                            );
+                        }
+                    }
+                    ScenarioAction::SetFileRate { file, rate } => {
+                        Self::retarget_rate(
+                            *file,
+                            *rate,
+                            now,
+                            horizon,
+                            &mut streams,
+                            &mut epochs,
+                            &mut events,
+                        );
+                    }
+                    ScenarioAction::SwapScheme { scheme: next } => {
+                        scheme = next.clone();
+                        backend.apply_scheme(&scheme);
+                    }
+                },
             }
+            peak_events = peak_events.max(events.len());
         }
 
         let all: Vec<f64> = latencies.iter().flatten().copied().collect();
@@ -232,38 +498,71 @@ impl Simulation {
                 .iter()
                 .map(|l| LatencySummary::from_samples(l))
                 .collect(),
-            node_utilization: nodes
+            node_utilization: queues
+                .nodes
                 .iter()
-                .map(|n| (n.busy_time / self.config.horizon).min(1.0))
+                .map(|n| (n.busy_time / horizon).min(1.0))
                 .collect(),
             slots,
             full_cache_hits,
             completed_requests: completed,
+            node_chunks_served,
+            failed_requests: failed,
+            reconstruction_failures,
+            peak_event_queue: peak_events,
+        }
+    }
+
+    /// Re-seats a file's arrival process at a new constant rate from `now`
+    /// on. By Poisson memorylessness the pending pre-shift arrival can simply
+    /// be discarded (the epoch bump invalidates it) and a fresh interarrival
+    /// drawn at the new rate.
+    fn retarget_rate(
+        file: usize,
+        rate: f64,
+        now: f64,
+        horizon: f64,
+        streams: &mut [ArrivalStream],
+        epochs: &mut [u32],
+        events: &mut EventQueue<Event>,
+    ) {
+        epochs[file] = epochs[file].wrapping_add(1);
+        streams[file].set_rate(rate);
+        if let Some(t) = streams[file].next_arrival(now, horizon) {
+            events.push(
+                t,
+                Event::Arrival {
+                    file,
+                    epoch: epochs[file],
+                },
+            );
         }
     }
 
     /// Decides, for one request of `file`, how many chunks the cache serves
-    /// (the return value) and which storage nodes serve the rest (written to
-    /// `scratch.nodes`). All working sets live in `scratch`, so the arrival
-    /// hot loop allocates nothing.
-    fn plan_request(
+    /// and which storage nodes serve the rest (written to `scratch.nodes`).
+    /// Returns `None` when node failures leave fewer online hosts than the
+    /// request needs. All working sets live in `scratch`, so the arrival hot
+    /// loop allocates nothing beyond per-request state.
+    fn plan_request<B: ChunkBackend>(
         &self,
         file: usize,
+        scheme: &CacheScheme,
+        backend: &B,
         rng: &mut StdRng,
-        lru_last: &mut HashMap<usize, u64>,
-        lru_used_chunks: &mut usize,
-        lru_tick: &mut u64,
+        lru: &mut LruState,
         scratch: &mut PlanScratch,
-    ) -> usize {
+    ) -> Option<usize> {
         let spec = &self.files[file];
         scratch.nodes.clear();
-        match &self.scheme {
+        match scheme {
             CacheScheme::NoCache => {
                 uniform_sample_into(spec.placement.len(), spec.k, rng, &mut scratch.picks);
                 scratch
                     .nodes
                     .extend(scratch.picks.iter().map(|&i| spec.placement[i]));
-                0
+                self.repair_offline(&spec.placement, backend, rng, scratch)
+                    .then_some(0)
             }
             CacheScheme::Functional {
                 cached_chunks,
@@ -273,7 +572,7 @@ impl Simulation {
                 let d = cached_chunks.get(file).copied().unwrap_or(0).min(spec.k);
                 let needed = spec.k - d;
                 if needed == 0 {
-                    return d;
+                    return Some(d);
                 }
                 match rule {
                     SchedulingRule::Probabilistic => {
@@ -292,7 +591,8 @@ impl Simulation {
                 scratch
                     .nodes
                     .extend(scratch.picks.iter().map(|&i| spec.placement[i]));
-                d
+                self.repair_offline(&spec.placement, backend, rng, scratch)
+                    .then_some(d)
             }
             CacheScheme::Exact {
                 cached_chunks,
@@ -301,7 +601,7 @@ impl Simulation {
                 let d = cached_chunks.get(file).copied().unwrap_or(0).min(spec.k);
                 let needed = spec.k - d;
                 if needed == 0 {
-                    return d;
+                    return Some(d);
                 }
                 // The first d placement entries host the exactly-cached rows
                 // and cannot serve the request.
@@ -326,74 +626,80 @@ impl Simulation {
                 scratch
                     .nodes
                     .extend(scratch.picks.iter().map(|&i| eligible[i]));
-                d
+                self.repair_offline(eligible, backend, rng, scratch)
+                    .then_some(d)
             }
             CacheScheme::LruReplicated {
                 capacity_chunks,
                 replication,
             } => {
-                *lru_tick += 1;
-                if let Entry::Occupied(mut hit) = lru_last.entry(file) {
-                    hit.insert(*lru_tick);
-                    return spec.k;
+                lru.tick += 1;
+                if let Entry::Occupied(mut hit) = lru.last.entry(file) {
+                    hit.insert(lru.tick);
+                    return Some(spec.k);
                 }
                 // Miss: read k chunks from storage, then promote the object.
                 uniform_sample_into(spec.placement.len(), spec.k, rng, &mut scratch.picks);
                 scratch
                     .nodes
                     .extend(scratch.picks.iter().map(|&i| spec.placement[i]));
+                if !self.repair_offline(&spec.placement, backend, rng, scratch) {
+                    return None;
+                }
                 let footprint = spec.k * *replication as usize;
                 if footprint <= *capacity_chunks {
-                    while *lru_used_chunks + footprint > *capacity_chunks {
+                    while lru.used_chunks + footprint > *capacity_chunks {
                         // Evict the least recently used object.
-                        let victim = lru_last.iter().min_by_key(|(_, &t)| t).map(|(&f, _)| f);
+                        let victim = lru.last.iter().min_by_key(|(_, &t)| t).map(|(&f, _)| f);
                         match victim {
                             Some(v) => {
-                                lru_last.remove(&v);
-                                *lru_used_chunks -= self.files[v].k * *replication as usize;
+                                lru.last.remove(&v);
+                                lru.used_chunks -= self.files[v].k * *replication as usize;
                             }
                             None => break,
                         }
                     }
-                    if *lru_used_chunks + footprint <= *capacity_chunks {
-                        lru_last.insert(file, *lru_tick);
-                        *lru_used_chunks += footprint;
+                    if lru.used_chunks + footprint <= *capacity_chunks {
+                        lru.last.insert(file, lru.tick);
+                        lru.used_chunks += footprint;
                     }
                 }
-                0
+                Some(0)
             }
         }
     }
 
-    fn enqueue_chunk(
+    /// Replaces planned reads that landed on offline nodes with draws from
+    /// the online remainder of `pool`. Returns `false` (degraded beyond
+    /// repair) when fewer online candidates exist than chunks are needed.
+    /// Draws happen only when a failure is actually present, so runs without
+    /// scenarios consume the planning RNG exactly as before.
+    fn repair_offline<B: ChunkBackend>(
         &self,
-        node: usize,
-        request: usize,
-        now: f64,
-        nodes: &mut [NodeState],
-        events: &mut EventQueue<Event>,
+        pool: &[usize],
+        backend: &B,
         rng: &mut StdRng,
-    ) {
-        if nodes[node].serving.is_none() {
-            self.start_service(node, request, now, nodes, events, rng);
-        } else {
-            nodes[node].queue.push_back(request);
+        scratch: &mut PlanScratch,
+    ) -> bool {
+        if scratch.nodes.iter().all(|&n| backend.is_online(n)) {
+            return true;
         }
-    }
-
-    fn start_service(
-        &self,
-        node: usize,
-        request: usize,
-        now: f64,
-        nodes: &mut [NodeState],
-        events: &mut EventQueue<Event>,
-        rng: &mut StdRng,
-    ) {
-        let service = self.nodes[node].sample(rng);
-        nodes[node].serving = Some(request);
-        nodes[node].busy_time += service;
-        events.push(now + service, Event::NodeComplete(node));
+        let target = scratch.nodes.len();
+        scratch.nodes.retain(|&n| backend.is_online(n));
+        scratch.avail.clear();
+        scratch.avail.extend(
+            pool.iter()
+                .copied()
+                .filter(|&n| backend.is_online(n) && !scratch.nodes.contains(&n)),
+        );
+        while scratch.nodes.len() < target {
+            if scratch.avail.is_empty() {
+                return false;
+            }
+            let j = rng.gen_range(0..scratch.avail.len());
+            scratch.nodes.push(scratch.avail.swap_remove(j));
+        }
+        true
     }
 }
 
@@ -432,6 +738,12 @@ mod tests {
             report.overall.mean
         );
         assert!(report.node_utilization[0] > 0.45 && report.node_utilization[0] < 0.55);
+        assert_eq!(report.failed_requests, 0);
+        assert_eq!(report.reconstruction_failures, 0);
+        assert_eq!(
+            report.node_chunks_served[0], report.completed_requests,
+            "every request reads one chunk from the only node"
+        );
     }
 
     #[test]
@@ -584,8 +896,159 @@ mod tests {
             SimConfig::new(5_000.0, 77),
         )
         .run();
-        assert_eq!(a.overall, b.overall);
-        assert_eq!(a.completed_requests, b.completed_requests);
+        assert_eq!(a, b, "same seed must give a bit-identical report");
+    }
+
+    #[test]
+    fn event_heap_residency_is_bounded_by_files_and_nodes() {
+        let files = simple_files(8, 0.5, 2, 6);
+        let report = Simulation::new(
+            nodes(6, 2.0),
+            files,
+            CacheScheme::NoCache,
+            SimConfig::new(10_000.0, 4),
+        )
+        .run();
+        assert!(report.completed_requests > 10_000);
+        // 8 pending arrivals + at most 6 in-service completions.
+        assert!(
+            report.peak_event_queue <= 8 + 6,
+            "peak {} exceeds files + nodes",
+            report.peak_event_queue
+        );
+    }
+
+    #[test]
+    fn node_failure_degrades_and_recovery_restores_service() {
+        let files = simple_files(3, 0.1, 2, 4);
+        let horizon = 40_000.0;
+        let baseline = Simulation::new(
+            nodes(4, 0.6),
+            files.clone(),
+            CacheScheme::NoCache,
+            SimConfig::new(horizon, 12),
+        );
+        let with_failure = baseline.clone().with_scenario(
+            Scenario::default()
+                .node_down(10_000.0, 0)
+                .node_up(30_000.0, 0),
+        );
+        let a = baseline.run();
+        let b = with_failure.run();
+        assert_eq!(b.failed_requests, 0, "3 online hosts still cover k = 2");
+        assert!(
+            b.node_chunks_served[0] < a.node_chunks_served[0],
+            "the failed node must serve fewer chunks ({} vs {})",
+            b.node_chunks_served[0],
+            a.node_chunks_served[0]
+        );
+        assert!(
+            b.overall.mean > a.overall.mean,
+            "losing a node concentrates load and raises latency ({} vs {})",
+            b.overall.mean,
+            a.overall.mean
+        );
+    }
+
+    #[test]
+    fn failure_beyond_redundancy_fails_requests() {
+        let sim = Simulation::new(
+            nodes(2, 0.8),
+            vec![SimFile::new(0.2, 2, vec![0, 1])],
+            CacheScheme::NoCache,
+            SimConfig::new(2_000.0, 3),
+        )
+        .with_scenario(Scenario::default().node_down(500.0, 0));
+        let report = sim.run();
+        assert!(report.failed_requests > 0);
+        assert!(report.completed_requests > 0);
+    }
+
+    #[test]
+    fn rate_shift_scenario_changes_throughput() {
+        let sim = Simulation::new(
+            nodes(4, 2.0),
+            simple_files(2, 0.5, 1, 4),
+            CacheScheme::NoCache,
+            SimConfig::new(10_000.0, 8),
+        )
+        .with_scenario(Scenario::default().set_rates(5_000.0, vec![2.0, 2.0]));
+        let report = sim.run();
+        let base = Simulation::new(
+            nodes(4, 2.0),
+            simple_files(2, 0.5, 1, 4),
+            CacheScheme::NoCache,
+            SimConfig::new(10_000.0, 8),
+        )
+        .run();
+        // Doubling both rates halfway through adds ~1.5e4 requests over the
+        // baseline's ~1e4; allow generous slack.
+        assert!(
+            report.completed_requests as f64 > base.completed_requests as f64 * 1.8,
+            "{} vs {}",
+            report.completed_requests,
+            base.completed_requests
+        );
+    }
+
+    #[test]
+    fn rate_schedule_stops_arrivals_past_the_last_bin() {
+        use sprout_workload::timebins::{RateSchedule, TimeBin};
+        let schedule = RateSchedule::new(vec![
+            TimeBin::new(1_000.0, vec![1.0, 0.0]),
+            TimeBin::new(1_000.0, vec![0.0, 1.0]),
+        ]);
+        let sim = Simulation::new(
+            nodes(4, 5.0),
+            simple_files(2, 123.0, 1, 4), // constant rates are overridden
+            CacheScheme::NoCache,
+            SimConfig::new(10_000.0, 5).with_warmup(0.0),
+        )
+        .with_rate_schedule(&schedule);
+        let report = sim.run();
+        let total = report.completed_requests as f64;
+        assert!(
+            (total - 2_000.0).abs() < 300.0,
+            "~1 req/s over 2000 s expected, got {total}"
+        );
+    }
+
+    #[test]
+    fn swap_scheme_scenario_takes_effect() {
+        let m = 4;
+        let files = simple_files(2, 0.2, 2, m);
+        let scheduling: Vec<Vec<f64>> = files
+            .iter()
+            .map(|f| {
+                let mut row = vec![0.0; m];
+                for &j in &f.placement {
+                    row[j] = 0.0;
+                }
+                row
+            })
+            .collect();
+        let full_cache = CacheScheme::Functional {
+            cached_chunks: vec![2, 2],
+            scheduling,
+            rule: SchedulingRule::Probabilistic,
+        };
+        let sim = Simulation::new(
+            nodes(m, 0.8),
+            files,
+            CacheScheme::NoCache,
+            SimConfig::new(10_000.0, 21).with_warmup(0.0),
+        )
+        .with_scenario(Scenario::default().swap_scheme(5_000.0, full_cache));
+        let report = sim.run();
+        assert!(
+            report.full_cache_hits > 0,
+            "after the swap every request is a full cache hit"
+        );
+        let frac = report.full_cache_hits as f64 / report.completed_requests as f64;
+        assert!(
+            (frac - 0.5).abs() < 0.1,
+            "~half the horizon runs fully cached, got {frac}"
+        );
     }
 
     #[test]
@@ -597,5 +1060,17 @@ mod tests {
             CacheScheme::NoCache,
             SimConfig::new(10.0, 0),
         );
+    }
+
+    #[test]
+    #[should_panic(expected = "references node")]
+    fn scenario_with_bad_node_panics() {
+        let _ = Simulation::new(
+            nodes(2, 0.5),
+            vec![SimFile::new(0.1, 1, vec![0, 1])],
+            CacheScheme::NoCache,
+            SimConfig::new(10.0, 0),
+        )
+        .with_scenario(Scenario::default().node_down(1.0, 9));
     }
 }

@@ -28,14 +28,20 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod config;
 pub mod engine;
 pub mod event;
 pub mod metrics;
 pub mod policy;
+pub mod replicate;
+pub mod scenario;
 pub mod scheduler;
 
+pub use backend::{AnalyticBackend, ChunkBackend, FinishedRequest};
 pub use config::SimConfig;
-pub use engine::{SimFile, SimReport, Simulation};
+pub use engine::{replication_seed, SimFile, SimReport, Simulation};
 pub use metrics::{LatencySummary, SlotCounts};
 pub use policy::CacheScheme;
+pub use replicate::{run_replications, MeanCi, ReplicationSummary};
+pub use scenario::{Scenario, ScenarioAction, ScenarioEvent};

@@ -72,6 +72,27 @@ impl CacheScheme {
             _ => 0,
         }
     }
+
+    /// Checks the scheme can plan requests for `num_files` files: the
+    /// planned schemes index `scheduling[file]` on every arrival, so a short
+    /// scheduling matrix must fail fast here rather than mid-run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a Functional/Exact scheduling matrix has fewer rows than
+    /// `num_files`.
+    pub fn validate(&self, num_files: usize) {
+        match self {
+            CacheScheme::Functional { scheduling, .. } | CacheScheme::Exact { scheduling, .. } => {
+                assert!(
+                    scheduling.len() >= num_files,
+                    "cache scheme has {} scheduling rows but the system has {num_files} files",
+                    scheduling.len()
+                );
+            }
+            CacheScheme::NoCache | CacheScheme::LruReplicated { .. } => {}
+        }
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,251 @@
+//! Parallel replication runs with mean / confidence-interval aggregation.
+//!
+//! A single simulation run is one sample path; the paper's figures (and any
+//! serious latency claim) need several independent replications. The runner
+//! executes `R` seeded replications across `std::thread` workers and folds
+//! the per-replication [`SimReport`]s into [`MeanCi`] summaries.
+//!
+//! Determinism: replication `r` always uses
+//! [`replication_seed`]`(base, r)` and results are aggregated in replication
+//! order, so the summary is **bit-identical for any worker count** — the
+//! thread pool only changes wall-clock time, never the numbers.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use serde::{Deserialize, Serialize};
+
+use crate::engine::{replication_seed, SimReport, Simulation};
+
+/// Two-sided 97.5 % Student-t quantiles for `df = 1..=30`; beyond 30 the
+/// normal quantile 1.96 is close enough. Replication counts are small (4–16
+/// in the scenario suite), where the normal approximation would understate
+/// a 95 % interval by up to 2x.
+const T_975: [f64; 30] = [
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+    2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+    2.052, 2.048, 2.045, 2.042,
+];
+
+fn t_quantile_975(df: usize) -> f64 {
+    if df == 0 {
+        0.0
+    } else if df <= T_975.len() {
+        T_975[df - 1]
+    } else {
+        1.96
+    }
+}
+
+/// Sample mean with spread: sample standard deviation and a 95 % Student-t
+/// confidence half-width over replication-level values.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MeanCi {
+    /// Number of replications aggregated.
+    pub replications: usize,
+    /// Mean over replications.
+    pub mean: f64,
+    /// Sample standard deviation (Bessel-corrected) over replications.
+    pub std_dev: f64,
+    /// Half-width of the 95 % confidence interval
+    /// (`t_{0.975, R−1} · s / √R`; zero for a single replication).
+    pub ci95: f64,
+}
+
+impl MeanCi {
+    /// Aggregates replication-level values (empty input yields all zeros).
+    pub fn from_values(values: &[f64]) -> Self {
+        let n = values.len();
+        if n == 0 {
+            return MeanCi {
+                replications: 0,
+                mean: 0.0,
+                std_dev: 0.0,
+                ci95: 0.0,
+            };
+        }
+        let mean = values.iter().sum::<f64>() / n as f64;
+        let (std_dev, ci95) = if n > 1 {
+            let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n as f64 - 1.0);
+            let std_dev = var.sqrt();
+            (std_dev, t_quantile_975(n - 1) * std_dev / (n as f64).sqrt())
+        } else {
+            (0.0, 0.0)
+        };
+        MeanCi {
+            replications: n,
+            mean,
+            std_dev,
+            ci95,
+        }
+    }
+
+    /// Lower edge of the 95 % interval.
+    pub fn lo(&self) -> f64 {
+        self.mean - self.ci95
+    }
+
+    /// Upper edge of the 95 % interval.
+    pub fn hi(&self) -> f64 {
+        self.mean + self.ci95
+    }
+}
+
+/// Aggregated outcome of `R` replications.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReplicationSummary {
+    /// Mean request latency across replications.
+    pub mean_latency: MeanCi,
+    /// 95th-percentile latency across replications.
+    pub p95_latency: MeanCi,
+    /// Completed requests summed over replications.
+    pub completed_requests: u64,
+    /// Failed (unservable) requests summed over replications.
+    pub failed_requests: u64,
+    /// Backend reconstruction failures summed over replications.
+    pub reconstruction_failures: u64,
+    /// The per-replication reports, in replication order.
+    pub reports: Vec<SimReport>,
+}
+
+impl ReplicationSummary {
+    /// Folds per-replication reports (in replication order).
+    pub fn from_reports(reports: Vec<SimReport>) -> Self {
+        let means: Vec<f64> = reports.iter().map(|r| r.overall.mean).collect();
+        let p95s: Vec<f64> = reports.iter().map(|r| r.overall.p95).collect();
+        ReplicationSummary {
+            mean_latency: MeanCi::from_values(&means),
+            p95_latency: MeanCi::from_values(&p95s),
+            completed_requests: reports.iter().map(|r| r.completed_requests).sum(),
+            failed_requests: reports.iter().map(|r| r.failed_requests).sum(),
+            reconstruction_failures: reports.iter().map(|r| r.reconstruction_failures).sum(),
+            reports,
+        }
+    }
+}
+
+/// Runs `replications` independent runs across up to `threads` OS threads.
+///
+/// `run(r)` must produce replication `r`'s report; it is called at most once
+/// per index, from worker threads. Workers pull indices from a shared
+/// counter, so an expensive replication does not stall the others; results
+/// land in an index-addressed slot table, so aggregation order (and thus the
+/// summary) is independent of scheduling.
+pub fn run_replications<F>(replications: usize, threads: usize, run: F) -> ReplicationSummary
+where
+    F: Fn(usize) -> SimReport + Sync,
+{
+    let workers = threads.max(1).min(replications.max(1));
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<SimReport>>> =
+        (0..replications).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let r = next.fetch_add(1, Ordering::Relaxed);
+                if r >= replications {
+                    break;
+                }
+                let report = run(r);
+                *slots[r].lock().expect("no panics while holding the slot") = Some(report);
+            });
+        }
+    });
+    let reports: Vec<SimReport> = slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("worker did not panic")
+                .expect("every replication index was claimed")
+        })
+        .collect();
+    ReplicationSummary::from_reports(reports)
+}
+
+impl Simulation {
+    /// Runs `replications` seeded replications of this simulation across
+    /// `threads` workers on the analytic backend. Replication `r` runs with
+    /// [`replication_seed`]`(seed, r)`; the summary is identical for any
+    /// thread count.
+    pub fn run_replications(&self, replications: usize, threads: usize) -> ReplicationSummary {
+        let base = self.config().seed;
+        run_replications(replications, threads, |r| {
+            self.clone().with_seed(replication_seed(base, r)).run()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_ci_of_known_values() {
+        let m = MeanCi::from_values(&[1.0, 2.0, 3.0]);
+        assert_eq!(m.replications, 3);
+        assert!((m.mean - 2.0).abs() < 1e-12);
+        // Sample (Bessel-corrected) standard deviation: var = (1+0+1)/2 = 1.
+        assert!((m.std_dev - 1.0).abs() < 1e-12);
+        // t_{0.975, df=2} = 4.303, so ci95 = 4.303 / sqrt(3).
+        assert!((m.ci95 - 4.303 / 3.0f64.sqrt()).abs() < 1e-9);
+        assert!(m.lo() < m.mean && m.mean < m.hi());
+        let single = MeanCi::from_values(&[5.0]);
+        assert_eq!(single.ci95, 0.0);
+        assert_eq!(MeanCi::from_values(&[]).replications, 0);
+    }
+
+    #[test]
+    fn small_sample_intervals_are_wider_than_normal_theory() {
+        // At R = 4 the t half-width must exceed the z half-width by ~62 %.
+        let values = [1.0, 2.0, 3.0, 4.0];
+        let m = MeanCi::from_values(&values);
+        let z_halfwidth = 1.96 * m.std_dev / 2.0;
+        assert!(m.ci95 > z_halfwidth * 1.5, "{} vs {z_halfwidth}", m.ci95);
+        // Large samples converge to the normal quantile.
+        let big: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let b = MeanCi::from_values(&big);
+        assert!((b.ci95 - 1.96 * b.std_dev / 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn replication_seeds_are_distinct_and_stable() {
+        let a = replication_seed(7, 0);
+        let b = replication_seed(7, 1);
+        assert_ne!(a, b);
+        assert_eq!(a, replication_seed(7, 0));
+        assert_ne!(replication_seed(8, 0), a);
+    }
+
+    #[test]
+    fn runner_visits_every_index_exactly_once() {
+        use std::sync::atomic::AtomicU64;
+        let calls = AtomicU64::new(0);
+        let summary = run_replications(9, 4, |r| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            let mut report = dummy_report();
+            report.completed_requests = r as u64;
+            report
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 9);
+        assert_eq!(summary.reports.len(), 9);
+        for (r, report) in summary.reports.iter().enumerate() {
+            assert_eq!(report.completed_requests, r as u64);
+        }
+        assert_eq!(summary.completed_requests, (0..9).sum::<u64>());
+    }
+
+    fn dummy_report() -> SimReport {
+        SimReport {
+            overall: crate::metrics::LatencySummary::from_samples(&[1.0]),
+            per_file: vec![],
+            node_utilization: vec![],
+            slots: crate::metrics::SlotCounts::new(1.0, 1.0),
+            full_cache_hits: 0,
+            completed_requests: 0,
+            node_chunks_served: vec![],
+            failed_requests: 0,
+            reconstruction_failures: 0,
+            peak_event_queue: 0,
+        }
+    }
+}

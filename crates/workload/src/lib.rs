@@ -41,7 +41,7 @@ pub mod spec;
 pub mod timebins;
 pub mod zipf;
 
-pub use arrivals::{PoissonArrivals, Request};
+pub use arrivals::{ArrivalStream, PoissonArrivals, RateProfile, Request};
 pub use estimator::SlidingWindowEstimator;
 pub use spec::{FileSpec, ObjectSizeClass, WorkloadSpec};
 pub use timebins::{RateSchedule, TimeBin};

@@ -1,0 +1,120 @@
+//! Differential test between the analytic and byte-accurate backends.
+//!
+//! Chunk-source decisions (which requests are served by the cache and which
+//! storage nodes serve the rest) are made by the engine from its own
+//! planning RNG; backends only supply service times and bytes. Two runs with
+//! the same seed — one on the analytic backend, one driving the real
+//! `ErasureCodedStore` — must therefore make **identical** decisions, while
+//! the byte-accurate run additionally decodes and verifies every request's
+//! actual coded bytes.
+
+use sprout::{CachePolicyChoice, SproutSystem, SystemSpec};
+use sprout_sim::{Scenario, SimConfig};
+
+fn system() -> SproutSystem {
+    let spec = SystemSpec::builder()
+        .node_service_rates(&[0.6, 0.6, 0.45, 0.45, 0.3, 0.3])
+        .uniform_files(6, 2, 4, 0.04)
+        .cache_capacity_chunks(6)
+        .seed(3)
+        .build()
+        .unwrap();
+    SproutSystem::new(spec).unwrap()
+}
+
+#[test]
+fn analytic_and_byte_backends_make_identical_chunk_source_decisions() {
+    let system = system();
+    let plan = system.optimize().unwrap();
+    let config = SimConfig::new(15_000.0, 77);
+    let sim = system.simulation(CachePolicyChoice::Functional, Some(&plan), config);
+
+    let analytic = sim.run();
+    let mut backend = system
+        .byte_backend(CachePolicyChoice::Functional, Some(&plan), 77)
+        .unwrap();
+    let byte = sim.run_on(&mut backend);
+
+    // Identical decisions...
+    assert_eq!(analytic.slots, byte.slots, "chunk-source slot counts");
+    assert_eq!(
+        analytic.node_chunks_served, byte.node_chunks_served,
+        "per-node chunk assignments"
+    );
+    assert_eq!(analytic.completed_requests, byte.completed_requests);
+    assert_eq!(analytic.full_cache_hits, byte.full_cache_hits);
+    assert_eq!(analytic.failed_requests, 0);
+    assert_eq!(byte.failed_requests, 0);
+
+    // ...and every byte-accurate request decoded back to the original bytes.
+    assert_eq!(byte.reconstruction_failures, 0);
+    assert_eq!(backend.failed_reconstructions(), 0);
+    assert_eq!(
+        backend.verified_reconstructions(),
+        byte.completed_requests,
+        "every completed request must be byte-verified"
+    );
+    assert!(byte.completed_requests > 500, "the run must be non-trivial");
+}
+
+#[test]
+fn decisions_stay_identical_under_a_node_failure_scenario() {
+    let system = system();
+    let plan = system.optimize().unwrap();
+    let config = SimConfig::new(12_000.0, 5);
+    let scenario = Scenario::default()
+        .node_down(4_000.0, 0)
+        .node_up(8_000.0, 0);
+    let sim = system
+        .simulation(CachePolicyChoice::Functional, Some(&plan), config)
+        .with_scenario(scenario);
+
+    let analytic = sim.run();
+    let mut backend = system
+        .byte_backend(CachePolicyChoice::Functional, Some(&plan), 5)
+        .unwrap();
+    let byte = sim.run_on(&mut backend);
+
+    assert_eq!(analytic.slots, byte.slots);
+    assert_eq!(analytic.node_chunks_served, byte.node_chunks_served);
+    assert_eq!(analytic.completed_requests, byte.completed_requests);
+    assert_eq!(analytic.failed_requests, byte.failed_requests);
+    assert_eq!(
+        byte.reconstruction_failures, 0,
+        "degraded reads reconstruct"
+    );
+}
+
+#[test]
+fn byte_backend_rejects_unsupported_configurations() {
+    let system = system();
+    let plan = system.optimize().unwrap();
+    // LRU tier is engine-side state: not byte-modelled yet.
+    assert!(system
+        .byte_backend(CachePolicyChoice::LruReplicated, None, 1)
+        .is_err());
+    // Planned policies need a plan.
+    assert!(system
+        .byte_backend(CachePolicyChoice::Functional, None, 1)
+        .is_err());
+    // NoCache needs neither.
+    assert!(system
+        .byte_backend(CachePolicyChoice::NoCache, None, 1)
+        .is_ok());
+    assert!(system
+        .byte_backend(CachePolicyChoice::Exact, Some(&plan), 1)
+        .is_ok());
+}
+
+#[test]
+#[should_panic(expected = "LRU cache tier")]
+fn lru_scheme_swap_panics_on_the_byte_backend_instead_of_miscounting() {
+    use sprout_sim::ChunkBackend;
+    let system = system();
+    let mut backend = system
+        .byte_backend(CachePolicyChoice::NoCache, None, 1)
+        .unwrap();
+    // Swapping the LRU tier in mid-run would make the engine report cache
+    // hits this store never populated; the backend must reject it loudly.
+    backend.apply_scheme(&sprout_sim::CacheScheme::ceph_lru(100));
+}
