@@ -6,30 +6,26 @@
 //! `word`), so the kernel-vs-kernel speedup and the absolute throughput
 //! trajectory are tracked from one JSON artifact per run.
 //!
+//! The kernel × size grid runs on the shared sweep harness, but **defaults
+//! to `--threads 1`**: unlike the simulation sweeps, these cells measure
+//! wall-clock throughput, and concurrent cells would contend for cores and
+//! corrupt each other's numbers. (`--threads` is still honoured for a quick
+//! parallel smoke where absolute numbers do not matter.)
+//!
 //! Usage:
 //!
 //! ```sh
 //! cargo run --release -p sprout-bench --bin bench_coding -- [--quick] [--out PATH]
 //! ```
-//!
-//! `--quick` shortens the per-measurement budget (CI smoke mode; numbers are
-//! noisier but the artifact shape is identical). `--out` defaults to
-//! `BENCH_coding.json` in the current directory.
 
-use std::fmt::Write as _;
 use std::time::Instant;
 
 use sprout::erasure::{Chunk, CodeParams, FunctionalCacheCodec, Kernel};
+use sprout::sim::sweep::{Sample, SweepGrid};
+use sprout_bench::{emit, FigureCli};
 
 const SIZES: [usize; 2] = [64 * 1024, 1024 * 1024];
 const CACHE_CHUNKS: usize = 2;
-
-struct Measurement {
-    op: &'static str,
-    kernel: &'static str,
-    size_bytes: usize,
-    mb_per_s: f64,
-}
 
 /// Runs `f` repeatedly until the time budget is spent and returns MB/s
 /// (throughput of `bytes` of input per call).
@@ -49,80 +45,49 @@ fn throughput(bytes: usize, budget_secs: f64, mut f: impl FnMut()) -> f64 {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let out_path = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1))
-        .cloned()
-        .unwrap_or_else(|| "BENCH_coding.json".to_string());
-    let budget = if quick { 0.05 } else { 0.5 };
+    let cli = FigureCli::parse();
+    let budget = if cli.quick { 0.05 } else { 0.5 };
+    let params = CodeParams::new(7, 4).expect("(7, 4) is a valid code");
 
-    let params = CodeParams::new(7, 4).unwrap();
-    let mut results: Vec<Measurement> = Vec::new();
+    let grid = SweepGrid::named("bench_coding", 0)
+        .axis("kernel", Kernel::ALL.iter().map(|k| k.name()))
+        .axis("size_bytes", SIZES.iter().map(|s| s.to_string()));
+    let report = grid.run(cli.threads_or(1), |cell, _, _| {
+        let kernel = Kernel::ALL[cell.idx("kernel")];
+        let size = SIZES[cell.idx("size_bytes")];
+        let codec = FunctionalCacheCodec::with_kernel(params, kernel).expect("valid kernel");
+        let data: Vec<u8> = (0..size).map(|i| (i * 31 + 7) as u8).collect();
 
-    for kernel in Kernel::ALL {
-        let codec = FunctionalCacheCodec::with_kernel(params, kernel).unwrap();
-        for &size in &SIZES {
-            let data: Vec<u8> = (0..size).map(|i| (i * 31 + 7) as u8).collect();
+        let encode = throughput(size, budget, || {
+            std::hint::black_box(codec.encode(&data).unwrap());
+        });
+        let cache = throughput(size, budget, || {
+            std::hint::black_box(codec.cache_chunks(&data, CACHE_CHUNKS).unwrap());
+        });
 
-            let mbps = throughput(size, budget, || {
-                std::hint::black_box(codec.encode(&data).unwrap());
-            });
-            results.push(Measurement {
-                op: "encode",
-                kernel: kernel.name(),
-                size_bytes: size,
-                mb_per_s: mbps,
-            });
+        // Decode from a non-systematic mix: 2 cache chunks + the last 2
+        // storage (parity) chunks, so real GF work happens on every row.
+        let stored = codec.encode(&data).unwrap();
+        let mut have: Vec<Chunk> = codec.cache_chunks(&data, CACHE_CHUNKS).unwrap();
+        have.push(stored.chunks()[5].clone());
+        have.push(stored.chunks()[6].clone());
+        let decode = throughput(size, budget, || {
+            std::hint::black_box(codec.decode(&have, size).unwrap());
+        });
 
-            let mbps = throughput(size, budget, || {
-                std::hint::black_box(codec.cache_chunks(&data, CACHE_CHUNKS).unwrap());
-            });
-            results.push(Measurement {
-                op: "cache_chunks",
-                kernel: kernel.name(),
-                size_bytes: size,
-                mb_per_s: mbps,
-            });
+        Sample::new()
+            .metric("encode_mb_per_s", encode)
+            .metric("cache_chunks_mb_per_s", cache)
+            .metric("decode_mb_per_s", decode)
+    });
 
-            // Decode from a non-systematic mix: 2 cache chunks + the last 2
-            // storage (parity) chunks, so real GF work happens on every row.
-            let stored = codec.encode(&data).unwrap();
-            let mut have: Vec<Chunk> = codec.cache_chunks(&data, CACHE_CHUNKS).unwrap();
-            have.push(stored.chunks()[5].clone());
-            have.push(stored.chunks()[6].clone());
-            let mbps = throughput(size, budget, || {
-                std::hint::black_box(codec.decode(&have, size).unwrap());
-            });
-            results.push(Measurement {
-                op: "decode",
-                kernel: kernel.name(),
-                size_bytes: size,
-                mb_per_s: mbps,
-            });
-        }
-    }
-
-    let mut json = String::new();
-    json.push_str("{\n");
-    json.push_str("  \"benchmark\": \"coding\",\n");
-    json.push_str("  \"code\": {\"n\": 7, \"k\": 4, \"cache_chunks_d\": 2},\n");
-    json.push_str("  \"unit\": \"MB/s of object bytes per operation\",\n");
-    let _ = writeln!(json, "  \"quick\": {quick},");
-    json.push_str("  \"results\": [\n");
-    for (i, m) in results.iter().enumerate() {
-        let comma = if i + 1 == results.len() { "" } else { "," };
-        let _ = writeln!(
-            json,
-            "    {{\"op\": \"{}\", \"kernel\": \"{}\", \"size_bytes\": {}, \"mb_per_s\": {:.1}}}{}",
-            m.op, m.kernel, m.size_bytes, m.mb_per_s, comma
+    let report = report
+        .with_meta("quick", cli.quick.to_string())
+        .with_meta("code", "(7, 4), cache_chunks_d = 2")
+        .with_meta("unit", "MB/s of object bytes per operation")
+        .with_note(
+            "wall-clock throughput: numbers vary run to run (no thresholds gated on them) \
+             and are only comparable within a --threads 1 run",
         );
-    }
-    json.push_str("  ]\n}\n");
-
-    std::fs::write(&out_path, &json).expect("failed to write benchmark JSON");
-    print!("{json}");
-    eprintln!("wrote {out_path}");
+    emit(&report, cli.out_or("BENCH_coding.json"));
 }

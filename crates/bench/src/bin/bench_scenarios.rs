@@ -3,34 +3,25 @@
 //! Runs the streaming runtime through a small suite of dynamic scenarios on
 //! the paper's §V-A system — steady state, mid-horizon node churn (analytic
 //! *and* byte-accurate), and a flash crowd with an online re-optimization —
-//! each as R seeded replications spread across worker threads, and records
-//! mean latency ± 95 % CI, throughput counters and the event-heap high-water
-//! mark (the streaming-arrivals regression guard).
+//! as one [`SimSweep`]: scenario × backend cells, each as R seeded
+//! replications on the work-stealing pool, recording mean latency ± 95 % CI,
+//! throughput counters and the event-heap/in-flight high-water marks (the
+//! streaming-arrivals and pooled-allocation regression guards).
+//!
+//! The artifact is the determinism canary of the whole sweep subsystem: CI
+//! runs this binary with `--threads 1`, `2` and `4` and requires the three
+//! JSON files to be byte-identical.
 //!
 //! Usage:
 //!
 //! ```sh
-//! cargo run --release -p sprout-bench --bin bench_scenarios -- [--quick] [--out PATH]
+//! cargo run --release -p sprout-bench --bin bench_scenarios -- \
+//!     [--quick] [--threads N] [--out PATH]
 //! ```
-//!
-//! `--quick` shortens horizons and replication counts (CI smoke mode; the
-//! artifact shape is identical). `--out` defaults to `BENCH_scenarios.json`.
 
-use std::fmt::Write as _;
-use std::time::Instant;
-
-use sprout::optimizer::OptimizerConfig;
-use sprout::sim::{replication_seed, run_replications, ReplicationSummary, Scenario, SimConfig};
-use sprout::{CachePolicyChoice, ScenarioActionSpec, ScenarioSpec, SproutSystem};
-use sprout_bench::{paper_system, scale_cache};
-
-struct Row {
-    scenario: &'static str,
-    backend: &'static str,
-    summary: ReplicationSummary,
-    peak_event_queue: usize,
-    wall_ms: u128,
-}
+use sprout::sim::SimConfig;
+use sprout::{ScenarioActionSpec, ScenarioSpec, SimSweep, SproutSystem, SweepBackend};
+use sprout_bench::{emit, paper_scale, paper_system, scale_cache, FigureCli};
 
 fn churn(horizon: f64) -> ScenarioSpec {
     ScenarioSpec::named("node_churn")
@@ -43,7 +34,7 @@ fn flash_crowd(system: &SproutSystem, horizon: f64) -> ScenarioSpec {
     // the optimizer is re-run online against the new rates.
     let mut rates: Vec<f64> = system.spec().files.iter().map(|f| f.arrival_rate).collect();
     let mut hottest: Vec<usize> = (0..rates.len()).collect();
-    hottest.sort_by(|&a, &b| rates[b].partial_cmp(&rates[a]).unwrap());
+    hottest.sort_by(|&a, &b| rates[b].partial_cmp(&rates[a]).expect("rates are finite"));
     for &f in hottest.iter().take(10) {
         rates[f] *= 2.0;
     }
@@ -53,161 +44,56 @@ fn flash_crowd(system: &SproutSystem, horizon: f64) -> ScenarioSpec {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let out_path = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1))
-        .cloned()
-        .unwrap_or_else(|| "BENCH_scenarios.json".to_string());
-    let horizon = if quick { 10_000.0 } else { 50_000.0 };
-    let replications = if quick { 4 } else { 8 };
-    let byte_replications = if quick { 2 } else { 4 };
-    let threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
-        .min(replications);
+    let cli = FigureCli::parse();
+    let horizon = if cli.quick { 10_000.0 } else { 50_000.0 };
+    let replications = if cli.quick { 4 } else { 8 };
+    let byte_replications = if cli.quick { 2 } else { 4 };
 
     let system = paper_system(scale_cache(500));
-    let plan = system.optimize().expect("the paper system is stable");
-    let optimizer = OptimizerConfig::default();
-    let base_seed = 2016u64;
+    let sweep = SimSweep::new("bench_scenarios", &system, SimConfig::new(horizon, 2016))
+        .scenarios(vec![
+            ScenarioSpec::named("steady"),
+            churn(horizon),
+            flash_crowd(&system, horizon),
+        ])
+        .backends(vec![SweepBackend::Analytic, SweepBackend::Byte])
+        // The paper spec declares 100 MB objects; storing real bytes at that
+        // size would need ~20 GB, so the byte leg runs the same system shape
+        // with 64 KiB objects — plans, placements and scheduling decisions are
+        // size-independent, only the stored payloads shrink.
+        .byte_object_bytes(64 * 1024)
+        .replications(replications)
+        .byte_replications(byte_replications);
 
-    let scenarios: Vec<(&'static str, Scenario)> = vec![
-        ("steady", Scenario::default()),
-        (
-            "node_churn",
-            churn(horizon)
-                .compile(&system, &optimizer)
-                .expect("churn scenario compiles"),
-        ),
-        (
-            "flash_crowd_reoptimize",
-            flash_crowd(&system, horizon)
-                .compile(&system, &optimizer)
-                .expect("flash-crowd scenario compiles"),
-        ),
-    ];
+    // Byte-accurate replications (with per-request decode verification) are
+    // expensive, so the byte leg covers the node-churn scenario only.
+    let cells: Vec<_> = sweep
+        .cells()
+        .into_iter()
+        .filter(|c| c.coord("backend") == "analytic" || c.coord("scenario") == "node_churn")
+        .collect();
+    let report = sweep
+        .run_cells(cells, cli.threads_or(FigureCli::available_threads()))
+        .expect("the paper system is stable under every suite scenario");
 
-    let mut rows: Vec<Row> = Vec::new();
-    for (name, scenario) in &scenarios {
-        let sim = system
-            .simulation(
-                CachePolicyChoice::Functional,
-                Some(&plan),
-                SimConfig::new(horizon, base_seed),
-            )
-            .with_scenario(scenario.clone());
-        let start = Instant::now();
-        let summary = sim.run_replications(replications, threads);
-        let wall_ms = start.elapsed().as_millis();
-        let peak = summary
-            .reports
-            .iter()
-            .map(|r| r.peak_event_queue)
-            .max()
-            .unwrap_or(0);
-        rows.push(Row {
-            scenario: name,
-            backend: "analytic",
-            summary,
-            peak_event_queue: peak,
-            wall_ms,
-        });
-    }
-
-    // Byte-accurate churn: the same event loop driving the real
-    // erasure-coded store, with every completed request decode-verified.
-    // The paper spec declares 100 MB objects; storing real bytes at that
-    // size would need ~20 GB, so the byte leg runs the same system shape
-    // with 64 KiB objects — plans, placements and scheduling decisions are
-    // size-independent, only the stored payloads shrink.
-    {
-        let mut byte_spec = system.spec().clone();
-        for f in &mut byte_spec.files {
-            f.size_bytes = 64 * 1024;
-        }
-        let byte_system = SproutSystem::new(byte_spec).expect("resized spec stays valid");
-        let scenario = scenarios[1].1.clone();
-        let sim = byte_system
-            .simulation(
-                CachePolicyChoice::Functional,
-                Some(&plan),
-                SimConfig::new(horizon, base_seed),
-            )
-            .with_scenario(scenario);
-        let start = Instant::now();
-        let summary = run_replications(byte_replications, threads.min(byte_replications), |r| {
-            let seed = replication_seed(base_seed, r);
-            let mut backend = byte_system
-                .byte_backend(CachePolicyChoice::Functional, Some(&plan), seed)
-                .expect("byte backend builds for the paper system");
-            let report = sim.clone().with_seed(seed).run_on(&mut backend);
-            assert_eq!(
-                backend.verified_reconstructions(),
-                report.completed_requests,
-                "byte backend must verify every request"
-            );
-            report
-        });
-        let wall_ms = start.elapsed().as_millis();
-        let peak = summary
-            .reports
-            .iter()
-            .map(|r| r.peak_event_queue)
-            .max()
-            .unwrap_or(0);
-        rows.push(Row {
-            scenario: "node_churn",
-            backend: "byte",
-            summary,
-            peak_event_queue: peak,
-            wall_ms,
-        });
-    }
-
-    let mut json = String::new();
-    json.push_str("{\n");
-    json.push_str("  \"benchmark\": \"scenarios\",\n");
-    let _ = writeln!(json, "  \"quick\": {quick},");
-    let _ = writeln!(
-        json,
-        "  \"system\": {{\"nodes\": {}, \"files\": {}, \"code\": {{\"n\": {}, \"k\": {}}}}},",
-        system.spec().node_services.len(),
-        system.spec().files.len(),
-        system.spec().files[0].n,
-        system.spec().files[0].k
-    );
-    let _ = writeln!(json, "  \"horizon_s\": {horizon},");
-    let _ = writeln!(json, "  \"threads\": {threads},");
-    json.push_str("  \"results\": [\n");
-    for (i, row) in rows.iter().enumerate() {
-        let comma = if i + 1 == rows.len() { "" } else { "," };
-        let s = &row.summary;
-        let _ = writeln!(
-            json,
-            "    {{\"scenario\": \"{}\", \"backend\": \"{}\", \"replications\": {}, \
-             \"mean_latency_s\": {:.6}, \"ci95_s\": {:.6}, \"p95_latency_s\": {:.6}, \
-             \"completed\": {}, \"failed\": {}, \"reconstruction_failures\": {}, \
-             \"peak_event_queue\": {}, \"wall_ms\": {}}}{}",
-            row.scenario,
-            row.backend,
-            s.mean_latency.replications,
-            s.mean_latency.mean,
-            s.mean_latency.ci95,
-            s.p95_latency.mean,
-            s.completed_requests,
-            s.failed_requests,
-            s.reconstruction_failures,
-            row.peak_event_queue,
-            row.wall_ms,
-            comma
+    let spec = system.spec();
+    let report = report
+        .with_meta("scale", if paper_scale() { "paper" } else { "reduced" })
+        .with_meta("quick", cli.quick.to_string())
+        .with_meta(
+            "system",
+            format!(
+                "{} nodes, {} files, ({}, {}) code",
+                spec.node_services.len(),
+                spec.files.len(),
+                spec.files[0].n,
+                spec.files[0].k
+            ),
+        )
+        .with_meta("horizon_s", format!("{horizon}"))
+        .with_note(
+            "byte cells decode-verify every completed request against the stored payloads; \
+             reconstruction_failures must stay 0",
         );
-    }
-    json.push_str("  ]\n}\n");
-
-    std::fs::write(&out_path, &json).expect("write benchmark artifact");
-    print!("{json}");
-    eprintln!("wrote {out_path}");
+    emit(&report, cli.out_or("BENCH_scenarios.json"));
 }

@@ -4,43 +4,59 @@
 //! files) and shows the average latency falling from ~23 s to 0 s as a convex,
 //! diminishing-returns curve.
 //!
-//! Output: cache size (in paper chunks) and the optimized mean latency bound.
+//! One sweep cell per cache size (each optimized cold, in parallel).
+//! Artifact: `FIG_04.json` — cache size (in paper chunks) against the
+//! optimized mean latency bound.
 
-use sprout_bench::{experiment_config, header, paper_system, scale_cache};
+use sprout::sim::sweep::{Sample, SweepGrid};
+use sprout_bench::{emit, experiment_config, paper_scale, paper_system, scale_cache, FigureCli};
 
 fn main() {
-    header(
-        "Fig. 4: average file latency vs cache size",
-        &["cache_chunks_paper", "latency_s"],
-    );
-    let config = experiment_config();
-    let mut previous = None;
+    let cli = FigureCli::parse();
     let sweep = [
         0usize, 250, 500, 750, 1000, 1500, 2000, 2500, 3000, 3500, 4000,
     ];
-    let mut series = Vec::new();
-    for &paper_c in &sweep {
-        let cache = if paper_c == 0 {
-            0
-        } else {
-            scale_cache(paper_c)
-        };
-        let system = paper_system(cache);
-        let plan = match &previous {
-            Some(prev) => system.optimize_warm(&config, prev),
-            None => system.optimize_with(&config),
-        }
-        .expect("stable system");
-        println!("{paper_c}\t{:.4}", plan.objective);
-        series.push(plan.objective);
-        previous = Some(plan);
-    }
+
+    let grid = SweepGrid::named("fig04_latency_vs_cache", 2016)
+        .axis("cache_chunks_paper", sweep.iter().map(|c| c.to_string()));
+    let config = experiment_config();
+    let report = grid.run(
+        cli.threads_or(FigureCli::available_threads()),
+        |cell, _, _| {
+            let paper_c: usize = cell
+                .coord("cache_chunks_paper")
+                .parse()
+                .expect("axis label");
+            let cache = if paper_c == 0 {
+                0
+            } else {
+                scale_cache(paper_c)
+            };
+            let plan = paper_system(cache)
+                .optimize_with(&config)
+                .expect("stable system");
+            Sample::new().metric("latency_s", plan.objective)
+        },
+    );
+
+    let series: Vec<f64> = report
+        .rows
+        .iter()
+        .map(|row| row.metric("latency_s").expect("metric present").mean)
+        .collect();
     let first = series.first().copied().unwrap_or(0.0);
     let last = series.last().copied().unwrap_or(0.0);
-    println!(
-        "# paper shape: ~23 s with no cache, 0 s once all 4 chunks of every file fit (4000 chunks)"
-    );
-    println!("# measured   : {first:.2} s with no cache, {last:.2} s at full capacity");
     let monotone = series.windows(2).all(|w| w[1] <= w[0] + 0.05);
-    println!("# monotone non-increasing: {monotone}");
+    let report = report
+        .with_meta("scale", if paper_scale() { "paper" } else { "reduced" })
+        .with_meta("quick", cli.quick.to_string())
+        .with_note(
+            "paper shape: ~23 s with no cache, 0 s once all 4 chunks of every file fit \
+             (4000 chunks)",
+        )
+        .with_note(format!(
+            "measured: {first:.2} s with no cache, {last:.2} s at full capacity"
+        ))
+        .with_note(format!("monotone non-increasing: {monotone}"));
+    emit(&report, cli.out_or("FIG_04.json"));
 }

@@ -8,14 +8,45 @@
 //! shows that the first two files only start earning cache chunks once their
 //! rate is high enough to outweigh their lightly-loaded placement.
 //!
-//! Output: one line per swept arrival rate with the cache chunks allocated to
-//! the first two files and to the last six files.
+//! One sweep cell per swept arrival rate. Artifact: `FIG_06.json` — per
+//! rate, the cache chunks earned by files 1–2, 3–4 and 5–10.
 
 use sprout::optimizer::OptimizerConfig;
+use sprout::sim::sweep::{Sample, SweepGrid};
 use sprout::{FileConfig, SproutSystem, SystemSpec};
-use sprout_bench::header;
+use sprout_bench::{emit, FigureCli};
+
+/// As in fig05, rates are boosted so that 10 files create the per-node load
+/// the paper's full population would; the *relative* rates are unchanged.
+const RATE_BOOST: f64 = 60.0;
+const CACHE_CHUNKS: usize = 10;
+
+fn system_with_first_two_at(lambda: f64) -> SproutSystem {
+    let mut builder = SystemSpec::builder();
+    builder
+        .node_service_rates(&sprout::workload::spec::paper_server_service_rates())
+        .cache_capacity_chunks(CACHE_CHUNKS)
+        .seed(6);
+    let first_seven: Vec<usize> = (0..7).collect();
+    let last_seven: Vec<usize> = (5..12).collect();
+    for i in 0..10usize {
+        // Fixed rates: files 3-4 at 0.0000962, files 5-10 at 0.0001042.
+        let (rate, placement) = match i {
+            0 | 1 => (lambda, first_seven.clone()),
+            2 => (0.000_096_2, first_seven.clone()),
+            3 => (0.000_096_2, last_seven.clone()),
+            _ => (0.000_104_2, last_seven.clone()),
+        };
+        builder.file(
+            FileConfig::new(rate * RATE_BOOST, 7, 4, 100 * sprout::workload::spec::MB)
+                .with_placement(placement),
+        );
+    }
+    SproutSystem::new(builder.build().expect("valid spec")).expect("valid system")
+}
 
 fn main() {
+    let cli = FigureCli::parse();
     // The paper's swept arrival rates for files 1-2 (requests/second).
     let sweep = [
         0.000_125,
@@ -25,54 +56,37 @@ fn main() {
         0.000_25,
         0.000_277_8,
     ];
-    // Fixed rates: files 3-4 at 0.0000962, files 5-10 at 0.0001042.
-    // As in fig05, rates are boosted so that 10 files create the per-node load
-    // the paper's full population would; the *relative* rates are unchanged.
-    let boost = 60.0;
-    let cache_chunks = 10;
 
-    header(
-        "Fig. 6: cache chunks vs arrival rate of the first two files",
-        &[
-            "lambda_first_two_paper",
-            "chunks_files_1_2",
-            "chunks_files_3_4",
-            "chunks_files_5_10",
-        ],
+    let grid = SweepGrid::named("fig06_placement_sensitivity", 6).axis(
+        "lambda_first_two_paper",
+        sweep.iter().map(|l| format!("{l:.7}")),
+    );
+    let report = grid.run(
+        cli.threads_or(FigureCli::available_threads()),
+        |cell, _, _| {
+            let lambda: f64 = cell
+                .coord("lambda_first_two_paper")
+                .parse()
+                .expect("axis label");
+            let plan = system_with_first_two_at(lambda)
+                .optimize_with(&OptimizerConfig::default())
+                .expect("stable system");
+            let d = &plan.cached_chunks;
+            Sample::new()
+                .metric("chunks_files_1_2", d[..2].iter().sum::<usize>() as f64)
+                .metric("chunks_files_3_4", d[2..4].iter().sum::<usize>() as f64)
+                .metric("chunks_files_5_10", d[4..].iter().sum::<usize>() as f64)
+        },
     );
 
-    for &lambda in &sweep {
-        let mut builder = SystemSpec::builder();
-        builder
-            .node_service_rates(&sprout::workload::spec::paper_server_service_rates())
-            .cache_capacity_chunks(cache_chunks)
-            .seed(6);
-        let first_seven: Vec<usize> = (0..7).collect();
-        let last_seven: Vec<usize> = (5..12).collect();
-        for i in 0..10usize {
-            let (rate, placement) = match i {
-                0 | 1 => (lambda, first_seven.clone()),
-                2 => (0.000_096_2, first_seven.clone()),
-                3 => (0.000_096_2, last_seven.clone()),
-                _ => (0.000_104_2, last_seven.clone()),
-            };
-            builder.file(
-                FileConfig::new(rate * boost, 7, 4, 100 * sprout::workload::spec::MB)
-                    .with_placement(placement),
-            );
-        }
-        let system = SproutSystem::new(builder.build().expect("valid spec")).expect("valid system");
-        let plan = system
-            .optimize_with(&OptimizerConfig::default())
-            .expect("stable system");
-        let d = &plan.cached_chunks;
-        let first_two: usize = d[..2].iter().sum();
-        let mid: usize = d[2..4].iter().sum();
-        let last_six: usize = d[4..].iter().sum();
-        println!("{lambda:.7}\t{first_two}\t{mid}\t{last_six}");
-    }
-    println!(
-        "# paper shape: at the lowest rate the first two files get no cache despite having the"
-    );
-    println!("# highest arrival rate (their servers are lightly loaded); their share grows with the rate.");
+    let report = report
+        .with_meta("quick", cli.quick.to_string())
+        .with_meta("cache_capacity_chunks", CACHE_CHUNKS.to_string())
+        .with_meta("rate_boost", format!("{RATE_BOOST}"))
+        .with_note(
+            "paper shape: at the lowest rate the first two files get no cache despite having \
+             the highest arrival rate (their servers are lightly loaded); their share grows \
+             with the rate.",
+        );
+    emit(&report, cli.out_or("FIG_06.json"));
 }

@@ -6,54 +6,53 @@
 //! 1000 objects (each needing 4 chunks), roughly a third of the chunks come
 //! from the cache under both intensities.
 //!
-//! Output: per slot, the chunk counts from cache and storage, for both
-//! workloads.
+//! One [`SimSweep`] cell per intensity (the load axis), each re-optimizing
+//! the plan for its rates and recording the per-slot chunk-source counts.
+//! Artifact: `FIG_07.json` — the cache fraction as a metric plus
+//! `cache_chunks_per_slot` / `storage_chunks_per_slot` series.
 
-use sprout::{CachePolicyChoice, SproutSystem};
-use sprout_bench::{experiment_config, header, paper_system, scale_cache};
-
-fn run(system: &SproutSystem, label: &str, rate_multiplier: f64) {
-    let rates: Vec<f64> = system
-        .spec()
-        .files
-        .iter()
-        .map(|f| f.arrival_rate * rate_multiplier)
-        .collect();
-    let system = system.with_arrival_rates(&rates).expect("valid rates");
-    let plan = system
-        .optimize_with(&experiment_config())
-        .expect("stable system");
-    // One 100-second time bin, 5-second slots; warm-up disabled so the counts
-    // cover the whole bin like the paper's plot.
-    let report = system.simulate(CachePolicyChoice::Functional, Some(&plan), 100.0, 7);
-    for (slot, (&cache, &storage)) in report
-        .slots
-        .cache_chunks
-        .iter()
-        .zip(&report.slots.storage_chunks)
-        .enumerate()
-    {
-        println!("{label}\t{}\t{cache}\t{storage}", slot + 1);
-    }
-    println!(
-        "# {label}: cache fraction over the bin = {:.1}% (paper reports ~33%)",
-        report.slots.cache_fraction() * 100.0
-    );
-}
+use sprout::sim::SimConfig;
+use sprout::SimSweep;
+use sprout_bench::{emit, paper_scale, paper_system, scale_cache, FigureCli};
 
 fn main() {
-    header(
-        "Fig. 7: chunk requests served by cache vs storage per 5-second slot",
-        &["workload", "slot", "cache_chunks", "storage_chunks"],
-    );
-    // The paper's Fig. 7 uses 200 MB objects and a 62.5 GB cache = 1250 chunks
-    // of 50 MB, i.e. 1250 cache chunks for 4000 total chunks (~31%).
+    let cli = FigureCli::parse();
+    // The paper's Fig. 7 uses 200 MB objects and a 62.5 GB cache = 1250
+    // chunks of 50 MB, i.e. 1250 cache chunks for 4000 total chunks (~31%).
     let system = paper_system(scale_cache(1250));
     // Two intensities; the paper's absolute per-object rates (0.0225/s and
-    // 0.0384/s) are far above its own simulation rates, so we express them as
-    // two intensities in the same 1:1.3 ratio region that keeps every node stable (x0.75 and x1.0).
-    run(&system, "lambda=0.0225", 0.75);
-    run(&system, "lambda=0.0384", 1.0);
-    println!("# paper shape: more chunks come from storage than from cache in every slot, and the");
-    println!("# cache share stays roughly constant (~1/3) when the arrival rate scales up.");
+    // 0.0384/s) are far above its own simulation rates, so we express them
+    // as two intensities in the same 1:1.3 ratio region that keeps every
+    // node stable (x0.75 and x1.0).
+    let report = SimSweep::new("fig07_chunk_scheduling", &system, SimConfig::new(100.0, 7))
+        .load_points(vec![0.75, 1.0])
+        .record_slots(true)
+        .run(cli.threads_or(FigureCli::available_threads()))
+        .expect("the paper system is stable at both intensities");
+
+    let fractions: Vec<String> = report
+        .rows
+        .iter()
+        .map(|row| {
+            format!(
+                "load {}: cache fraction {:.1}%",
+                row.coord("load"),
+                row.metric("cache_fraction").expect("metric present").mean * 100.0
+            )
+        })
+        .collect();
+    let report = report
+        .with_meta("scale", if paper_scale() { "paper" } else { "reduced" })
+        .with_meta("quick", cli.quick.to_string())
+        .with_meta("slot_length_s", "5")
+        .with_meta("load_labels", "0.75 ~ lambda=0.0225, 1 ~ lambda=0.0384")
+        .with_note(
+            "paper shape: more chunks come from storage than from cache in every slot, and \
+             the cache share stays roughly constant (~1/3) when the arrival rate scales up.",
+        )
+        .with_note(format!(
+            "measured (paper reports ~33%): {}",
+            fractions.join("; ")
+        ));
+    emit(&report, cli.out_or("FIG_07.json"));
 }

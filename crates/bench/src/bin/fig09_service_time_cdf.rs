@@ -3,45 +3,73 @@
 //! The paper measures the CDF of chunk read service times on its Ceph testbed
 //! for chunk sizes of 1, 4, 16 and 64 MB (256 MB is reported separately) and
 //! tabulates the mean and variance (Table IV). Our HDD device model is
-//! calibrated to those numbers; this binary samples it and prints both the
-//! CDF points and the mean/variance comparison.
+//! calibrated to those numbers; one sweep cell per chunk size samples it and
+//! reports both the CDF points and the mean/variance comparison.
+//!
+//! Artifact: `FIG_09.json` — per chunk size, model-vs-paper moments as
+//! metrics and the service-time CDF (at the percentiles in `cdf_levels`) as
+//! a series.
 
+use rand::SeedableRng;
 use sprout::cluster::DeviceModel;
-use sprout_bench::header;
+use sprout::sim::sweep::{Sample, SweepGrid};
+use sprout_bench::{emit, FigureCli};
+
+const CDF_LEVELS: [usize; 9] = [1, 5, 10, 25, 50, 75, 90, 95, 99];
 
 fn main() {
-    use rand::SeedableRng;
-    let mut rng = rand::rngs::StdRng::seed_from_u64(9);
-    let device = DeviceModel::hdd();
+    let cli = FigureCli::parse();
     let sizes_mb = [1u64, 4, 16, 64];
-    let samples_per_size = 20_000;
+    let samples_per_size = if cli.quick { 4_000 } else { 20_000 };
 
-    header(
-        "Fig. 9: CDF of chunk service time (seconds) for read operations",
-        &["chunk_size_mb", "service_time_s", "cdf"],
+    let grid = SweepGrid::named("fig09_service_time_cdf", 9)
+        .axis("chunk_size_mb", sizes_mb.iter().map(|m| m.to_string()));
+    let report = grid.run(
+        cli.threads_or(FigureCli::available_threads()),
+        |cell, _, seed| {
+            let mb: u64 = cell.coord("chunk_size_mb").parse().expect("axis label");
+            let bytes = mb * 1_000_000;
+            let device = DeviceModel::hdd();
+            let dist = device.service_distribution(bytes);
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let mut samples: Vec<f64> = (0..samples_per_size)
+                .map(|_| dist.sample(&mut rng))
+                .collect();
+            samples.sort_by(|a, b| a.partial_cmp(b).expect("service times are finite"));
+            let cdf: Vec<f64> = CDF_LEVELS
+                .iter()
+                .map(|&pct| samples[(samples.len() - 1) * pct / 100])
+                .collect();
+
+            let moments = device.service_moments(bytes);
+            let (paper_mean_ms, paper_var_ms2) = sprout::workload::spec::table_iv_hdd_service_ms()
+                .into_iter()
+                .find(|&(b, _, _)| b == bytes)
+                .map(|(_, mean, var)| (mean, var))
+                .expect("every swept size is a Table IV calibration point");
+            Sample::new()
+                .metric("model_mean_ms", moments.mean * 1e3)
+                .metric("model_var_ms2", moments.variance() * 1e6)
+                .metric("paper_mean_ms", paper_mean_ms)
+                .metric("paper_var_ms2", paper_var_ms2)
+                .series("cdf_service_time_s", cdf)
+        },
     );
-    for &mb in &sizes_mb {
-        let dist = device.service_distribution(mb * 1_000_000);
-        let mut samples: Vec<f64> = (0..samples_per_size)
-            .map(|_| dist.sample(&mut rng))
-            .collect();
-        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        for pct in [1usize, 5, 10, 25, 50, 75, 90, 95, 99] {
-            let idx = (samples.len() - 1) * pct / 100;
-            println!("{mb}\t{:.5}\t{:.2}", samples[idx], pct as f64 / 100.0);
-        }
-    }
 
-    println!("\n# Table IV: mean / variance of chunk service time (milliseconds)");
-    println!("chunk_size\tpaper_mean_ms\tmodel_mean_ms\tpaper_var_ms2\tmodel_var_ms2");
-    for (bytes, paper_mean, paper_var) in sprout::workload::spec::table_iv_hdd_service_ms() {
-        let m = device.service_moments(bytes);
-        println!(
-            "{}MB\t{paper_mean:.3}\t{:.3}\t{paper_var:.3}\t{:.3}",
-            bytes / 1_000_000,
-            m.mean * 1e3,
-            m.variance() * 1e6
+    let report = report
+        .with_meta("quick", cli.quick.to_string())
+        .with_meta("samples_per_size", samples_per_size.to_string())
+        .with_meta(
+            "cdf_levels",
+            CDF_LEVELS
+                .iter()
+                .map(|p| p.to_string())
+                .collect::<Vec<_>>()
+                .join(","),
+        )
+        .with_note(
+            "the model reproduces Table IV exactly at the calibration points and interpolates \
+             between them",
         );
-    }
-    println!("# the model reproduces Table IV exactly at the calibration points and interpolates between them");
+    emit(&report, cli.out_or("FIG_09.json"));
 }

@@ -7,11 +7,15 @@
 //! caching, (ii) the LRU replicated cache tier, and (iii) the analytical
 //! bound. Latency grows with object size and functional caching wins at every
 //! size (26 % on average).
+//!
+//! Sweep grid: object size class × policy {functional, lru}. Artifact:
+//! `FIG_10.json`.
 
 use sprout::queueing::dist::ServiceDistribution;
+use sprout::sim::sweep::{Sample, SweepGrid};
 use sprout::sim::SimConfig;
-use sprout::{CachePolicyChoice, FileConfig, SproutSystem, SystemSpec};
-use sprout_bench::{experiment_config, header, paper_scale};
+use sprout::{policy_label, CachePolicyChoice, FileConfig, SproutSystem, SystemSpec};
+use sprout_bench::{emit, experiment_config, paper_scale, FigureCli};
 
 /// Paper-reported mean access latency (milliseconds) per object size for
 /// optimized caching and the Ceph cache-tier baseline.
@@ -23,8 +27,19 @@ const PAPER_MS: [(&str, f64, f64); 5] = [
     ("1GB", 21516.0, 39021.0),
 ];
 
+const POLICIES: [CachePolicyChoice; 2] = [
+    CachePolicyChoice::Functional,
+    CachePolicyChoice::LruReplicated,
+];
+
 fn main() {
-    let objects = if paper_scale() { 1000 } else { 100 };
+    let cli = FigureCli::parse();
+    let objects = match (paper_scale(), cli.quick) {
+        (true, _) => 1000,
+        (false, false) => 100,
+        (false, true) => 50,
+    };
+    let horizon = if cli.quick { 300.0 } else { 1800.0 };
     let population_scale = 1000.0 / objects as f64;
     // The paper's testbed is driven hard enough that queueing dominates (its
     // reported latencies are 3-20x the bare chunk service time). The Table III
@@ -34,72 +49,94 @@ fn main() {
     // relative popularity within the trace.
     let target_utilization = 0.70;
     let cache_bytes = 10.0 * 1e9 / population_scale;
-    let horizon = 1800.0;
 
-    header(
-        "Fig. 10: mean access latency (ms) by object size",
-        &[
-            "object_size",
-            "functional_ms",
-            "lru_baseline_ms",
-            "analytic_bound_ms",
-            "paper_functional_ms",
-            "paper_lru_ms",
-        ],
+    let classes = sprout::workload::spec::table_iii_object_classes();
+    let grid = SweepGrid::named("fig10_latency_vs_object_size", 10)
+        .axis("object_size", classes.iter().map(|c| c.label.to_string()))
+        .axis("policy", POLICIES.iter().map(|&p| policy_label(p)));
+    let report = grid.run(
+        cli.threads_or(FigureCli::available_threads()),
+        |cell, _, seed| {
+            let class = &classes[cell.idx("object_size")];
+            let policy = POLICIES[cell.idx("policy")];
+            let (paper_label, paper_opt, paper_lru) = PAPER_MS[cell.idx("object_size")];
+            assert_eq!(
+                class.label, paper_label,
+                "PAPER_MS must stay positionally aligned with table_iii_object_classes()"
+            );
+            let chunk_bytes = class.size_bytes.div_ceil(4);
+            let hdd = sprout::cluster::DeviceModel::hdd().service_moments(chunk_bytes);
+            let ssd = sprout::cluster::DeviceModel::ssd().mean_service_time(chunk_bytes);
+            let node_service = ServiceDistribution::from_mean_variance(hdd.mean, hdd.variance());
+            let cache_chunks = ((cache_bytes / chunk_bytes as f64) as usize).max(1);
+            // Scale this class's per-object rate so that, without any cache,
+            // the 12 nodes run at the target utilization.
+            let rate = target_utilization * 12.0 / (4.0 * hdd.mean * objects as f64);
+
+            let mut builder = SystemSpec::builder();
+            builder
+                .node_services(vec![node_service; 12])
+                .cache_capacity_chunks(cache_chunks)
+                .seed(10);
+            for _ in 0..objects {
+                builder.file(FileConfig::new(rate, 7, 4, class.size_bytes));
+            }
+            let system =
+                SproutSystem::new(builder.build().expect("valid spec")).expect("valid system");
+
+            let config = SimConfig::new(horizon, seed).with_cache_latency(ssd);
+            let (report, bound_ms) = match policy {
+                CachePolicyChoice::Functional => {
+                    // Latencies span milliseconds to seconds across the size
+                    // classes, so tighten the convergence tolerance relative
+                    // to the paper's 0.01 s.
+                    let mut opt_config = experiment_config();
+                    opt_config.tolerance = 1e-4;
+                    let plan = system.optimize_with(&opt_config).expect("stable system");
+                    let report = system.simulate_with_config(policy, Some(&plan), config);
+                    (report, Some(plan.objective * 1e3))
+                }
+                _ => (system.simulate_with_config(policy, None, config), None),
+            };
+            let paper_ms = match policy {
+                CachePolicyChoice::Functional => paper_opt,
+                _ => paper_lru,
+            };
+            let mut sample = Sample::new()
+                .metric("latency_ms", report.overall.mean * 1e3)
+                .metric("paper_ms", paper_ms)
+                .counter("completed", report.completed_requests);
+            if let Some(bound) = bound_ms {
+                sample = sample.metric("analytic_bound_ms", bound);
+            }
+            sample
+        },
     );
 
-    let mut improvements = Vec::new();
-    for (class, (label, paper_opt, paper_lru)) in sprout::workload::spec::table_iii_object_classes()
-        .into_iter()
-        .zip(PAPER_MS)
-    {
-        assert_eq!(class.label, label);
-        let chunk_bytes = class.size_bytes.div_ceil(4);
-        let hdd = sprout::cluster::DeviceModel::hdd().service_moments(chunk_bytes);
-        let ssd = sprout::cluster::DeviceModel::ssd().mean_service_time(chunk_bytes);
-        let node_service = ServiceDistribution::from_mean_variance(hdd.mean, hdd.variance());
-        let cache_chunks = ((cache_bytes / chunk_bytes as f64) as usize).max(1);
-        // Scale this class's per-object rate so that, without any cache, the
-        // 12 nodes run at the target utilization.
-        let rate = target_utilization * 12.0 / (4.0 * hdd.mean * objects as f64);
-        let _ = class.arrival_rate;
-
-        let mut builder = SystemSpec::builder();
-        builder
-            .node_services(vec![node_service; 12])
-            .cache_capacity_chunks(cache_chunks)
-            .seed(10);
-        for _ in 0..objects {
-            builder.file(FileConfig::new(rate, 7, 4, class.size_bytes));
-        }
-        let system = SproutSystem::new(builder.build().expect("valid spec")).expect("valid system");
-        // Latencies span milliseconds to seconds across the size classes, so
-        // tighten the convergence tolerance relative to the paper's 0.01 s.
-        let mut opt_config = experiment_config();
-        opt_config.tolerance = 1e-4;
-        let plan = system.optimize_with(&opt_config).expect("stable system");
-
-        let config = SimConfig::new(horizon, 10).with_cache_latency(ssd);
-        let functional =
-            system.simulate_with_config(CachePolicyChoice::Functional, Some(&plan), config);
-        let lru = system.simulate_with_config(CachePolicyChoice::LruReplicated, None, config);
-
-        let functional_ms = functional.overall.mean * 1e3;
-        let lru_ms = lru.overall.mean * 1e3;
-        println!(
-            "{label}\t{functional_ms:.1}\t{lru_ms:.1}\t{:.1}\t{paper_opt:.0}\t{paper_lru:.0}",
-            plan.objective * 1e3
-        );
-        if lru_ms > 0.0 {
-            improvements.push(1.0 - functional_ms / lru_ms);
-        }
-    }
+    let improvements: Vec<f64> = classes
+        .iter()
+        .filter_map(|class| {
+            let functional = report
+                .find_row(&[("object_size", class.label), ("policy", "functional")])?
+                .metric("latency_ms")?
+                .mean;
+            let lru = report
+                .find_row(&[("object_size", class.label), ("policy", "lru")])?
+                .metric("latency_ms")?
+                .mean;
+            (lru > 0.0).then(|| 1.0 - functional / lru)
+        })
+        .collect();
     let avg = improvements.iter().sum::<f64>() / improvements.len().max(1) as f64;
-    println!(
-        "# paper shape: latency grows with object size; optimal caching beats the LRU cache tier"
-    );
-    println!(
-        "# at every size (26% average improvement). Measured average improvement: {:.1}%",
-        avg * 100.0
-    );
+    let report = report
+        .with_meta("scale", if paper_scale() { "paper" } else { "reduced" })
+        .with_meta("quick", cli.quick.to_string())
+        .with_meta("objects", objects.to_string())
+        .with_meta("horizon_s", format!("{horizon}"))
+        .with_note(
+            "paper shape: latency grows with object size; optimal caching beats the LRU cache \
+             tier at every size (26% average improvement).",
+        )
+        .with_note(format!("measured average improvement: {:.1}%", avg * 100.0));
+    emit(&report, cli.out_or("FIG_10.json"));
 }

@@ -4,11 +4,15 @@
 //! aggregate read request arrival rate over {0.5, 1, 2, 4, 8} requests/second.
 //! Latency grows steeply with load and optimal functional caching beats the
 //! LRU cache tier at every intensity (23.86 % average reduction).
+//!
+//! Sweep grid: aggregate rate × policy {functional, lru}. Artifact:
+//! `FIG_11.json`.
 
 use sprout::queueing::dist::ServiceDistribution;
+use sprout::sim::sweep::{Sample, SweepGrid};
 use sprout::sim::SimConfig;
-use sprout::{CachePolicyChoice, FileConfig, SproutSystem, SystemSpec};
-use sprout_bench::{experiment_config, header, paper_scale};
+use sprout::{policy_label, CachePolicyChoice, FileConfig, SproutSystem, SystemSpec};
+use sprout_bench::{emit, experiment_config, paper_scale, FigureCli};
 
 /// Paper-reported mean latency (ms): (aggregate rate, optimized, LRU baseline).
 const PAPER_MS: [(f64, f64, f64); 5] = [
@@ -19,8 +23,19 @@ const PAPER_MS: [(f64, f64, f64); 5] = [
     (8.0, 112172.0, 135468.0),
 ];
 
+const POLICIES: [CachePolicyChoice; 2] = [
+    CachePolicyChoice::Functional,
+    CachePolicyChoice::LruReplicated,
+];
+
 fn main() {
-    let objects = if paper_scale() { 1000 } else { 100 };
+    let cli = FigureCli::parse();
+    let objects = match (paper_scale(), cli.quick) {
+        (true, _) => 1000,
+        (false, false) => 100,
+        (false, true) => 50,
+    };
+    let horizon = if cli.quick { 300.0 } else { 1800.0 };
     let population_scale = 1000.0 / objects as f64;
     let object_bytes = 64 * sprout::workload::spec::MB;
     let chunk_bytes = object_bytes / 4;
@@ -28,62 +43,90 @@ fn main() {
     let ssd = sprout::cluster::DeviceModel::ssd().mean_service_time(chunk_bytes);
     let node_service = ServiceDistribution::from_mean_variance(hdd.mean, hdd.variance());
     let cache_chunks = ((10.0 * 1e9 / population_scale / chunk_bytes as f64) as usize).max(1);
-    let horizon = 1800.0;
-
-    header(
-        "Fig. 11: mean access latency (ms) of 64 MB objects vs aggregate arrival rate",
-        &[
-            "aggregate_rate",
-            "functional_ms",
-            "lru_baseline_ms",
-            "analytic_bound_ms",
-            "paper_functional_ms",
-            "paper_lru_ms",
-        ],
-    );
-
-    let mut improvements = Vec::new();
     // The paper's testbed saturates well below an aggregate rate of 8 req/s
     // (its latencies reach 100+ seconds); our 12-node model with the Table IV
     // service times only reaches ~40 % utilization at that rate, so the sweep
     // is scaled by a constant factor that places its top point at ~70 %
     // utilization — the same qualitative regime, with the paper's labels kept.
     let load_factor = 1.8;
-    for (aggregate, paper_opt, paper_lru) in PAPER_MS {
-        let per_object = aggregate * load_factor / objects as f64;
-        let mut builder = SystemSpec::builder();
-        builder
-            .node_services(vec![node_service; 12])
-            .cache_capacity_chunks(cache_chunks)
-            .seed(11);
-        for _ in 0..objects {
-            builder.file(FileConfig::new(per_object, 7, 4, object_bytes));
-        }
-        let system = SproutSystem::new(builder.build().expect("valid spec")).expect("valid system");
-        let mut opt_config = experiment_config();
-        opt_config.tolerance = 1e-4;
-        let plan = system
-            .optimize_with(&opt_config)
-            .expect("the swept loads keep the cluster stable");
 
-        let config = SimConfig::new(horizon, 11).with_cache_latency(ssd);
-        let functional =
-            system.simulate_with_config(CachePolicyChoice::Functional, Some(&plan), config);
-        let lru = system.simulate_with_config(CachePolicyChoice::LruReplicated, None, config);
-        let functional_ms = functional.overall.mean * 1e3;
-        let lru_ms = lru.overall.mean * 1e3;
-        println!(
-            "{aggregate}\t{functional_ms:.1}\t{lru_ms:.1}\t{:.1}\t{paper_opt:.0}\t{paper_lru:.0}",
-            plan.objective * 1e3
-        );
-        if lru_ms > 0.0 {
-            improvements.push(1.0 - functional_ms / lru_ms);
-        }
-    }
-    let avg = improvements.iter().sum::<f64>() / improvements.len().max(1) as f64;
-    println!("# paper shape: latency rises steeply with load; optimal caching beats LRU at every");
-    println!(
-        "# intensity (23.86% average). Measured average improvement: {:.1}%",
-        avg * 100.0
+    let grid = SweepGrid::named("fig11_latency_vs_load", 11)
+        .axis(
+            "aggregate_rate",
+            PAPER_MS.iter().map(|(rate, _, _)| format!("{rate}")),
+        )
+        .axis("policy", POLICIES.iter().map(|&p| policy_label(p)));
+    let report = grid.run(
+        cli.threads_or(FigureCli::available_threads()),
+        |cell, _, seed| {
+            let (aggregate, paper_opt, paper_lru) = PAPER_MS[cell.idx("aggregate_rate")];
+            let policy = POLICIES[cell.idx("policy")];
+            let per_object = aggregate * load_factor / objects as f64;
+            let mut builder = SystemSpec::builder();
+            builder
+                .node_services(vec![node_service; 12])
+                .cache_capacity_chunks(cache_chunks)
+                .seed(11);
+            for _ in 0..objects {
+                builder.file(FileConfig::new(per_object, 7, 4, object_bytes));
+            }
+            let system =
+                SproutSystem::new(builder.build().expect("valid spec")).expect("valid system");
+
+            let config = SimConfig::new(horizon, seed).with_cache_latency(ssd);
+            let (report, bound_ms) = match policy {
+                CachePolicyChoice::Functional => {
+                    let mut opt_config = experiment_config();
+                    opt_config.tolerance = 1e-4;
+                    let plan = system
+                        .optimize_with(&opt_config)
+                        .expect("the swept loads keep the cluster stable");
+                    let report = system.simulate_with_config(policy, Some(&plan), config);
+                    (report, Some(plan.objective * 1e3))
+                }
+                _ => (system.simulate_with_config(policy, None, config), None),
+            };
+            let paper_ms = match policy {
+                CachePolicyChoice::Functional => paper_opt,
+                _ => paper_lru,
+            };
+            let mut sample = Sample::new()
+                .metric("latency_ms", report.overall.mean * 1e3)
+                .metric("paper_ms", paper_ms)
+                .counter("completed", report.completed_requests);
+            if let Some(bound) = bound_ms {
+                sample = sample.metric("analytic_bound_ms", bound);
+            }
+            sample
+        },
     );
+
+    let improvements: Vec<f64> = PAPER_MS
+        .iter()
+        .filter_map(|(rate, _, _)| {
+            let label = format!("{rate}");
+            let functional = report
+                .find_row(&[("aggregate_rate", label.as_str()), ("policy", "functional")])?
+                .metric("latency_ms")?
+                .mean;
+            let lru = report
+                .find_row(&[("aggregate_rate", label.as_str()), ("policy", "lru")])?
+                .metric("latency_ms")?
+                .mean;
+            (lru > 0.0).then(|| 1.0 - functional / lru)
+        })
+        .collect();
+    let avg = improvements.iter().sum::<f64>() / improvements.len().max(1) as f64;
+    let report = report
+        .with_meta("scale", if paper_scale() { "paper" } else { "reduced" })
+        .with_meta("quick", cli.quick.to_string())
+        .with_meta("objects", objects.to_string())
+        .with_meta("horizon_s", format!("{horizon}"))
+        .with_meta("load_factor", format!("{load_factor}"))
+        .with_note(
+            "paper shape: latency rises steeply with load; optimal caching beats LRU at every \
+             intensity (23.86% average).",
+        )
+        .with_note(format!("measured average improvement: {:.1}%", avg * 100.0));
+    emit(&report, cli.out_or("FIG_11.json"));
 }

@@ -3,36 +3,42 @@
 //! The paper measures the read latency of different chunk sizes from the SAS
 //! SSDs used as the cache device and argues it is negligible compared with
 //! the HDD-backed OSD reads of Table IV (which justifies ignoring cache-read
-//! latency in the optimization). This binary prints the model's values next
-//! to the paper's and the HDD/SSD ratio.
+//! latency in the optimization). One sweep cell per chunk size compares the
+//! model's values with the paper's and reports the HDD/SSD ratio.
+//!
+//! Artifact: `TAB_05.json`.
 
 use sprout::cluster::DeviceModel;
-use sprout_bench::header;
+use sprout::sim::sweep::{Sample, SweepGrid};
+use sprout_bench::{emit, FigureCli};
 
 fn main() {
-    header(
-        "Table V: chunk read latency from the cache (milliseconds)",
-        &[
-            "chunk_size",
-            "paper_ssd_ms",
-            "model_ssd_ms",
-            "model_hdd_ms",
-            "hdd_over_ssd",
-        ],
+    let cli = FigureCli::parse();
+    let table = sprout::workload::spec::table_v_ssd_latency_ms();
+
+    let grid = SweepGrid::named("tab05_cache_latency", 5).axis(
+        "chunk_size_mb",
+        table
+            .iter()
+            .map(|(bytes, _)| (bytes / 1_000_000).to_string()),
     );
-    let ssd = DeviceModel::ssd();
-    let hdd = DeviceModel::hdd();
-    for (bytes, paper_ms) in sprout::workload::spec::table_v_ssd_latency_ms() {
-        let ssd_ms = ssd.mean_service_time(bytes) * 1e3;
-        let hdd_ms = hdd.mean_service_time(bytes) * 1e3;
-        println!(
-            "{}MB\t{paper_ms:.3}\t{ssd_ms:.3}\t{hdd_ms:.3}\t{:.1}x",
-            bytes / 1_000_000,
-            hdd_ms / ssd_ms
-        );
-    }
-    println!(
-        "# paper conclusion: cache reads are 3-20x faster than OSD reads at every chunk size,"
+    let report = grid.run(
+        cli.threads_or(FigureCli::available_threads()),
+        |cell, _, _| {
+            let (bytes, paper_ms) = table[cell.idx("chunk_size_mb")];
+            let ssd_ms = DeviceModel::ssd().mean_service_time(bytes) * 1e3;
+            let hdd_ms = DeviceModel::hdd().mean_service_time(bytes) * 1e3;
+            Sample::new()
+                .metric("paper_ssd_ms", paper_ms)
+                .metric("model_ssd_ms", ssd_ms)
+                .metric("model_hdd_ms", hdd_ms)
+                .metric("hdd_over_ssd", hdd_ms / ssd_ms)
+        },
     );
-    println!("# so cache-read latency can be neglected when optimizing the placement.");
+
+    let report = report.with_meta("quick", cli.quick.to_string()).with_note(
+        "paper conclusion: cache reads are 3-20x faster than OSD reads at every chunk \
+             size, so cache-read latency can be neglected when optimizing the placement.",
+    );
+    emit(&report, cli.out_or("TAB_05.json"));
 }

@@ -1,0 +1,215 @@
+//! The shared CLI + artifact harness of the figure/table reproducers.
+//!
+//! Every binary under `src/bin` is one [`SweepGrid`] (or
+//! [`SimSweep`](sprout::SimSweep)) plus a cell task; this module supplies the
+//! parts they share:
+//!
+//! * [`FigureCli`] — the common flags `--quick`, `--threads N`, `--out PATH`
+//!   (plus the `SPROUT_SCALE=paper` environment switch the suite has always
+//!   honoured).
+//! * [`emit`] — writes the [`SweepReport`] JSON artifact and prints a
+//!   human-readable table of the same rows to stdout.
+//!
+//! The JSON artifact is the machine-readable record CI uploads and diffs; it
+//! contains nothing scheduling-dependent, so running the same figure with
+//! different `--threads` values must produce byte-identical files.
+
+use sprout::sim::sweep::SweepReport;
+
+/// Parsed common command-line flags of a figure binary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FigureCli {
+    /// `--quick`: shrink horizons/replications to CI smoke scale (artifact
+    /// shape is unchanged).
+    pub quick: bool,
+    /// `--threads N`: worker count for the sweep pool (results never depend
+    /// on it). `None` when not given; see [`FigureCli::threads_or`].
+    pub threads: Option<usize>,
+    /// `--out PATH`: where to write the JSON artifact. `None` means the
+    /// figure's default (`FIG_*.json` / `TAB_*.json` / `BENCH_*.json`).
+    pub out: Option<String>,
+}
+
+impl FigureCli {
+    /// Parses the current process arguments.
+    ///
+    /// # Panics
+    ///
+    /// Panics (with a usage message) on an unknown flag or a malformed
+    /// `--threads` value, so a typo'd invocation cannot silently run the
+    /// wrong experiment.
+    pub fn parse() -> Self {
+        Self::from_args(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit argument list (testable core of [`FigureCli::parse`]).
+    ///
+    /// # Panics
+    ///
+    /// See [`FigureCli::parse`].
+    pub fn from_args(args: impl IntoIterator<Item = String>) -> Self {
+        let mut cli = FigureCli {
+            quick: false,
+            threads: None,
+            out: None,
+        };
+        let mut args = args.into_iter();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--quick" => cli.quick = true,
+                "--threads" => {
+                    let value = args
+                        .next()
+                        .unwrap_or_else(|| panic!("--threads requires a value"));
+                    let threads: usize = value
+                        .parse()
+                        .unwrap_or_else(|_| panic!("--threads expects a number, got '{value}'"));
+                    assert!(threads > 0, "--threads must be at least 1");
+                    cli.threads = Some(threads);
+                }
+                "--out" => {
+                    cli.out = Some(
+                        args.next()
+                            .unwrap_or_else(|| panic!("--out requires a path")),
+                    );
+                }
+                other => panic!(
+                    "unknown argument '{other}' (supported: --quick, --threads N, --out PATH)"
+                ),
+            }
+        }
+        cli
+    }
+
+    /// The worker count to use: the `--threads` flag, or `default` when the
+    /// flag is absent. Timing-sensitive benchmarks pass 1; simulation sweeps
+    /// pass [`FigureCli::available_threads`].
+    pub fn threads_or(&self, default: usize) -> usize {
+        self.threads.unwrap_or(default).max(1)
+    }
+
+    /// The machine's available parallelism (the default for simulation and
+    /// optimization sweeps, whose results are thread-count-invariant).
+    pub fn available_threads() -> usize {
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+    }
+
+    /// The artifact path: the `--out` flag or the figure's default.
+    pub fn out_or<'a>(&'a self, default: &'a str) -> &'a str {
+        self.out.as_deref().unwrap_or(default)
+    }
+}
+
+/// Writes the report's JSON artifact to `out_path` and prints the rows as a
+/// tab-separated table (axes, then metric means) with the notes as trailing
+/// `#` comment lines — the format the original reproducers printed, now
+/// derived from the same structured report CI consumes.
+///
+/// # Panics
+///
+/// Panics if the artifact cannot be written.
+pub fn emit(report: &SweepReport, out_path: &str) {
+    std::fs::write(out_path, report.to_json())
+        .unwrap_or_else(|e| panic!("failed to write {out_path}: {e}"));
+
+    println!("# {}", report.name);
+    for (key, value) in &report.meta {
+        println!("# {key}: {value}");
+    }
+    if let Some(first) = report.rows.first() {
+        // Metric columns are the first-seen-ordered union across rows (rows
+        // may differ, e.g. only functional-policy cells carry the analytic
+        // bound), and every row prints by column name so the table stays
+        // rectangular — absent metrics print as "-".
+        let mut metric_columns: Vec<String> = Vec::new();
+        for row in &report.rows {
+            for (name, _) in &row.metrics {
+                if !metric_columns.contains(name) {
+                    metric_columns.push(name.clone());
+                }
+            }
+        }
+        let mut columns: Vec<String> = first.coords.iter().map(|(axis, _)| axis.clone()).collect();
+        columns.extend(metric_columns.iter().cloned());
+        println!("{}", columns.join("\t"));
+        for row in &report.rows {
+            let mut fields: Vec<String> =
+                row.coords.iter().map(|(_, value)| value.clone()).collect();
+            fields.extend(metric_columns.iter().map(|name| {
+                row.metric(name)
+                    .map_or_else(|| "-".to_string(), |m| format!("{:.6}", m.mean))
+            }));
+            println!("{}", fields.join("\t"));
+        }
+    }
+    for note in &report.notes {
+        println!("# {note}");
+    }
+    eprintln!("wrote {out_path}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> impl Iterator<Item = String> + use<> {
+        list.iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>()
+            .into_iter()
+    }
+
+    #[test]
+    fn parses_the_common_flags() {
+        let cli = FigureCli::from_args(args(&[]));
+        assert_eq!(
+            cli,
+            FigureCli {
+                quick: false,
+                threads: None,
+                out: None
+            }
+        );
+        let cli = FigureCli::from_args(args(&["--quick", "--threads", "4", "--out", "x.json"]));
+        assert!(cli.quick);
+        assert_eq!(cli.threads, Some(4));
+        assert_eq!(cli.out.as_deref(), Some("x.json"));
+        assert_eq!(cli.threads_or(8), 4);
+        assert_eq!(cli.out_or("default.json"), "x.json");
+        let cli = FigureCli::from_args(args(&["--quick"]));
+        assert_eq!(cli.threads_or(8), 8);
+        assert_eq!(cli.out_or("default.json"), "default.json");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown argument")]
+    fn unknown_flag_panics() {
+        let _ = FigureCli::from_args(args(&["--qick"]));
+    }
+
+    #[test]
+    #[should_panic(expected = "expects a number")]
+    fn malformed_threads_panics() {
+        let _ = FigureCli::from_args(args(&["--threads", "many"]));
+    }
+
+    #[test]
+    fn emit_writes_the_artifact_and_prints_rows() {
+        use sprout::sim::sweep::{Sample, SweepGrid};
+        let grid = SweepGrid::named("emit_test", 1).axis("x", ["a", "b"]);
+        let report = grid
+            .run(1, |cell, _, _| {
+                Sample::new().metric("value", cell.idx("x") as f64)
+            })
+            .with_note("a note");
+        let dir = std::env::temp_dir().join("sprout_harness_emit_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("report.json");
+        emit(&report, path.to_str().unwrap());
+        let written = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(written, report.to_json());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,12 +1,15 @@
 //! Shared helpers for the experiment binaries that regenerate the paper's
 //! tables and figures.
 //!
-//! Each figure/table has its own binary under `src/bin/`; see `DESIGN.md`
-//! (§5) for the experiment index and `EXPERIMENTS.md` for paper-vs-measured
-//! results. The binaries print plain tab-separated series so their output can
-//! be piped into any plotting tool.
+//! Each figure/table has its own binary under `src/bin/`, written as a
+//! declarative sweep grid executed on the work-stealing pool of
+//! [`sprout::sim::sweep`] and emitted through the shared [`harness`]: every
+//! binary accepts `--quick`, `--threads N` and `--out PATH`, writes a
+//! machine-readable `FIG_*.json` / `TAB_*.json` / `BENCH_*.json` artifact
+//! whose bytes are independent of the worker count, and prints the same rows
+//! as a tab-separated table for eyeballing/plotting.
 //!
-//! All experiments accept the environment variable `SPROUT_SCALE`:
+//! All experiments also accept the environment variable `SPROUT_SCALE`:
 //! * `SPROUT_SCALE=paper` — the paper's full problem sizes (r = 1000 files);
 //!   slower, but matches the evaluation section exactly.
 //! * unset or any other value — a proportionally scaled-down instance that
@@ -15,6 +18,10 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod harness;
+
+pub use harness::{emit, FigureCli};
 
 use sprout::optimizer::OptimizerConfig;
 use sprout::{SproutSystem, SystemSpec};
@@ -76,12 +83,6 @@ pub fn paper_system(cache_chunks: usize) -> SproutSystem {
 /// reduced file population so cache pressure stays comparable.
 pub fn scale_cache(paper_chunks: usize) -> usize {
     ((paper_chunks as f64) / rate_scale()).round().max(1.0) as usize
-}
-
-/// Prints a table header.
-pub fn header(title: &str, columns: &[&str]) {
-    println!("# {title}");
-    println!("{}", columns.join("\t"));
 }
 
 #[cfg(test)]

@@ -62,6 +62,7 @@ pub mod backend;
 pub mod error;
 pub mod scenario;
 pub mod spec;
+pub mod sweep;
 pub mod system;
 pub mod timebins;
 
@@ -69,6 +70,7 @@ pub use backend::StoreBackend;
 pub use error::SproutError;
 pub use scenario::{ScenarioActionSpec, ScenarioEventSpec, ScenarioSpec};
 pub use spec::{FileConfig, SystemSpec, SystemSpecBuilder};
+pub use sweep::{policy_label, SimSweep, SweepBackend};
 pub use system::{CachePolicyChoice, PolicyComparison, SproutSystem};
 pub use timebins::{BinOutcome, CacheDelta, TimeBinManager};
 

@@ -1,0 +1,548 @@
+//! Scenario-level parameter sweeps over a [`SproutSystem`].
+//!
+//! [`SimSweep`] instantiates the generic work-stealing sweep engine
+//! ([`sprout_sim::sweep`]) for the paper's evaluation grid: the cartesian
+//! product of **scenario × policy × cache size × load point × backend** over
+//! one base system. Every cell
+//!
+//! 1. rescales the base spec to its cache size and load point,
+//! 2. runs Algorithm 1 when the cell's policy needs a plan,
+//! 3. compiles its [`ScenarioSpec`] against the rescaled system (so
+//!    `Reoptimize` events see the cell's own rates), and
+//! 4. runs its replications — on the analytic backend, or byte-accurately on
+//!    a real [`StoreBackend`](crate::backend::StoreBackend) with per-request
+//!    decode verification.
+//!
+//! Cell setup (system build, optimization, scenario compilation) happens once
+//! per cell no matter how many replications it has or which worker reaches it
+//! first; `cells × replications` form one task set on the pool, so a slow
+//! cell's replications spread across workers. Seeds derive from cell
+//! coordinates, making the resulting [`SweepReport`] bit-identical for any
+//! worker count.
+
+use std::sync::OnceLock;
+
+use sprout_optimizer::{CachePlan, OptimizerConfig};
+use sprout_sim::sweep::{Sample, SweepCell, SweepGrid, SweepReport};
+use sprout_sim::{SimConfig, SimReport, Simulation};
+
+use crate::error::SproutError;
+use crate::scenario::ScenarioSpec;
+use crate::spec::SystemSpec;
+use crate::system::{CachePolicyChoice, SproutSystem};
+
+/// Which chunk-service backend a sweep cell runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SweepBackend {
+    /// Sampled service times only (fast; the default).
+    Analytic,
+    /// A real erasure-coded store: every completed request decodes its
+    /// chunks and verifies the reconstructed bytes.
+    Byte,
+}
+
+impl SweepBackend {
+    /// The axis label of this backend.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SweepBackend::Analytic => "analytic",
+            SweepBackend::Byte => "byte",
+        }
+    }
+}
+
+/// The axis label of a cache policy.
+pub fn policy_label(policy: CachePolicyChoice) -> &'static str {
+    match policy {
+        CachePolicyChoice::Functional => "functional",
+        CachePolicyChoice::Exact => "exact",
+        CachePolicyChoice::LruReplicated => "lru",
+        CachePolicyChoice::NoCache => "no_cache",
+    }
+}
+
+/// A declarative scenario/policy/cache/load/backend sweep over one base
+/// system. See the [module docs](self).
+#[derive(Debug, Clone)]
+pub struct SimSweep {
+    name: String,
+    base: SystemSpec,
+    config: SimConfig,
+    optimizer: OptimizerConfig,
+    scenarios: Vec<ScenarioSpec>,
+    policies: Vec<CachePolicyChoice>,
+    cache_sizes: Vec<usize>,
+    load_points: Vec<f64>,
+    backends: Vec<SweepBackend>,
+    replications: usize,
+    byte_replications: Option<usize>,
+    byte_object_bytes: Option<u64>,
+    record_slots: bool,
+}
+
+/// Everything a cell's replications share, built once per cell by whichever
+/// worker gets there first (the result is seed-independent, so it does not
+/// matter which).
+#[derive(Debug)]
+struct CellContext {
+    sim: Simulation,
+    plan: Option<CachePlan>,
+    policy: CachePolicyChoice,
+    /// The (possibly size-rescaled) system to build byte backends from;
+    /// `None` for analytic cells.
+    byte_system: Option<SproutSystem>,
+}
+
+impl SimSweep {
+    /// Creates a sweep over `system`'s spec with a simulation-config
+    /// template (`config.seed` doubles as the grid's base seed). Defaults:
+    /// one steady scenario, the functional policy, the spec's own cache
+    /// size, load ×1, the analytic backend, one replication per cell.
+    pub fn new(name: impl Into<String>, system: &SproutSystem, config: SimConfig) -> Self {
+        SimSweep {
+            name: name.into(),
+            base: system.spec().clone(),
+            config,
+            optimizer: OptimizerConfig::default(),
+            scenarios: vec![ScenarioSpec::named("steady")],
+            policies: vec![CachePolicyChoice::Functional],
+            cache_sizes: vec![system.spec().cache_capacity_chunks],
+            load_points: vec![1.0],
+            backends: vec![SweepBackend::Analytic],
+            replications: 1,
+            byte_replications: None,
+            byte_object_bytes: None,
+            record_slots: false,
+        }
+    }
+
+    /// Sets the scenario axis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scenarios` is empty or two scenarios share a name.
+    pub fn scenarios(mut self, scenarios: Vec<ScenarioSpec>) -> Self {
+        assert!(!scenarios.is_empty(), "scenario axis must not be empty");
+        for (i, s) in scenarios.iter().enumerate() {
+            assert!(
+                scenarios[..i].iter().all(|o| o.name != s.name),
+                "duplicate scenario name '{}' on the axis",
+                s.name
+            );
+        }
+        self.scenarios = scenarios;
+        self
+    }
+
+    /// Sets the cache-policy axis.
+    pub fn policies(mut self, policies: Vec<CachePolicyChoice>) -> Self {
+        assert!(!policies.is_empty(), "policy axis must not be empty");
+        self.policies = policies;
+        self
+    }
+
+    /// Sets the cache-size axis (capacity in chunks).
+    pub fn cache_sizes(mut self, sizes: Vec<usize>) -> Self {
+        assert!(!sizes.is_empty(), "cache-size axis must not be empty");
+        self.cache_sizes = sizes;
+        self
+    }
+
+    /// Sets the load axis: each point multiplies every file's arrival rate.
+    pub fn load_points(mut self, points: Vec<f64>) -> Self {
+        assert!(!points.is_empty(), "load axis must not be empty");
+        assert!(
+            points.iter().all(|p| p.is_finite() && *p >= 0.0),
+            "load points must be finite and non-negative"
+        );
+        self.load_points = points;
+        self
+    }
+
+    /// Sets the backend axis.
+    pub fn backends(mut self, backends: Vec<SweepBackend>) -> Self {
+        assert!(!backends.is_empty(), "backend axis must not be empty");
+        self.backends = backends;
+        self
+    }
+
+    /// Sets the replications per cell.
+    pub fn replications(mut self, replications: usize) -> Self {
+        assert!(replications > 0, "replications must be positive");
+        self.replications = replications;
+        self
+    }
+
+    /// Overrides the replication count of byte-backend cells (they cost far
+    /// more than analytic ones).
+    pub fn byte_replications(mut self, replications: usize) -> Self {
+        assert!(replications > 0, "replications must be positive");
+        self.byte_replications = Some(replications);
+        self
+    }
+
+    /// Rescales every file to this many bytes on byte-backend cells only
+    /// (plans, placements and scheduling are size-independent, so shrinking
+    /// payloads keeps the byte leg affordable at paper shapes).
+    pub fn byte_object_bytes(mut self, bytes: u64) -> Self {
+        assert!(bytes > 0, "byte objects must be non-empty");
+        self.byte_object_bytes = Some(bytes);
+        self
+    }
+
+    /// Replaces the optimizer configuration used for plans and `Reoptimize`
+    /// scenario events.
+    pub fn optimizer(mut self, config: OptimizerConfig) -> Self {
+        self.optimizer = config;
+        self
+    }
+
+    /// Records the per-slot cache/storage chunk counts of replication 0 as
+    /// row series (the Fig. 7 quantity).
+    pub fn record_slots(mut self, record: bool) -> Self {
+        self.record_slots = record;
+        self
+    }
+
+    /// The sweep grid: axes `scenario`, `policy`, `cache_chunks`, `load`,
+    /// `backend`, in that order, seeded from the config seed.
+    pub fn grid(&self) -> SweepGrid {
+        SweepGrid::named(&self.name, self.config.seed)
+            .axis("scenario", self.scenarios.iter().map(|s| s.name.clone()))
+            .axis("policy", self.policies.iter().map(|&p| policy_label(p)))
+            .axis(
+                "cache_chunks",
+                self.cache_sizes.iter().map(|c| c.to_string()),
+            )
+            .axis("load", self.load_points.iter().map(|l| format!("{l}")))
+            .axis("backend", self.backends.iter().map(|b| b.label()))
+            .replications(self.replications)
+    }
+
+    /// The grid's cells with byte-replication overrides applied. Filter this
+    /// list (e.g. to skip invalid scenario/backend combinations) and pass it
+    /// to [`SimSweep::run_cells`].
+    pub fn cells(&self) -> Vec<SweepCell> {
+        let mut cells = self.grid().cells();
+        if let Some(byte_reps) = self.byte_replications {
+            for cell in &mut cells {
+                if cell.coord("backend") == SweepBackend::Byte.label() {
+                    cell.replications = byte_reps;
+                }
+            }
+        }
+        cells
+    }
+
+    /// Runs the full grid across `threads` workers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first cell-setup error (invalid rescaled spec, an
+    /// unstable system under optimization, a scenario that does not compile,
+    /// or a byte-backend cell with a policy the byte store cannot model).
+    pub fn run(&self, threads: usize) -> Result<SweepReport, SproutError> {
+        self.run_cells(self.cells(), threads)
+    }
+
+    /// Runs an explicit (e.g. filtered) cell list across `threads` workers.
+    ///
+    /// # Errors
+    ///
+    /// See [`SimSweep::run`].
+    pub fn run_cells(
+        &self,
+        cells: Vec<SweepCell>,
+        threads: usize,
+    ) -> Result<SweepReport, SproutError> {
+        let grid = self.grid();
+        // Contexts are keyed by full-grid cell index so filtered subsets
+        // resolve without remapping.
+        let contexts: Vec<OnceLock<Result<CellContext, SproutError>>> =
+            (0..grid.len()).map(|_| OnceLock::new()).collect();
+
+        let report = grid.run_cells(cells, threads, |cell, _rep, seed| {
+            let context = contexts[cell.index].get_or_init(|| self.build_context(cell));
+            match context {
+                Ok(ctx) => self.run_replication(ctx, seed),
+                // The error is surfaced after the sweep; emit an empty
+                // sample so sibling cells still complete.
+                Err(_) => Sample::new(),
+            }
+        });
+
+        for context in &contexts {
+            if let Some(Err(e)) = context.get() {
+                return Err(e.clone());
+            }
+        }
+        Ok(report)
+    }
+
+    /// Builds one cell's shared context: rescaled system, optional plan,
+    /// compiled scenario, configured simulation, optional byte system.
+    fn build_context(&self, cell: &SweepCell) -> Result<CellContext, SproutError> {
+        let scenario_spec = &self.scenarios[cell.idx("scenario")];
+        let policy = self.policies[cell.idx("policy")];
+        let cache_chunks = self.cache_sizes[cell.idx("cache_chunks")];
+        let load = self.load_points[cell.idx("load")];
+        let backend = self.backends[cell.idx("backend")];
+
+        let mut spec = self.base.clone();
+        spec.cache_capacity_chunks = cache_chunks;
+        for file in &mut spec.files {
+            file.arrival_rate *= load;
+        }
+        let system = SproutSystem::new(spec)?;
+        let plan = match policy.requires_plan() {
+            true => Some(system.optimize_with(&self.optimizer)?),
+            false => None,
+        };
+        let scenario = scenario_spec.compile(&system, &self.optimizer)?;
+        let sim = system
+            .simulation(policy, plan.as_ref(), self.config)
+            .with_scenario(scenario);
+
+        let byte_system = match backend {
+            SweepBackend::Analytic => None,
+            SweepBackend::Byte => {
+                if policy == CachePolicyChoice::LruReplicated {
+                    return Err(SproutError::InvalidSpec(format!(
+                        "sweep cell {:?}: the byte backend does not model the LRU cache tier",
+                        cell.coords
+                    )));
+                }
+                let mut byte_spec = system.spec().clone();
+                if let Some(bytes) = self.byte_object_bytes {
+                    for file in &mut byte_spec.files {
+                        file.size_bytes = bytes;
+                    }
+                }
+                Some(SproutSystem::new(byte_spec)?)
+            }
+        };
+        Ok(CellContext {
+            sim,
+            plan,
+            policy,
+            byte_system,
+        })
+    }
+
+    /// Runs one replication of a cell and folds its report into a sample.
+    fn run_replication(&self, ctx: &CellContext, seed: u64) -> Sample {
+        let report = match &ctx.byte_system {
+            None => ctx.sim.clone().with_seed(seed).run(),
+            Some(byte_system) => {
+                let mut backend = byte_system
+                    .byte_backend(ctx.policy, ctx.plan.as_ref(), seed)
+                    .expect("byte-cell preconditions were validated at context build");
+                let report = ctx.sim.clone().with_seed(seed).run_on(&mut backend);
+                assert_eq!(
+                    backend.verified_reconstructions(),
+                    report.completed_requests,
+                    "the byte backend must decode-verify every completed request"
+                );
+                report
+            }
+        };
+        self.sample_from(&report, ctx)
+    }
+
+    fn sample_from(&self, report: &SimReport, ctx: &CellContext) -> Sample {
+        let mut sample = Sample::new()
+            .metric("mean_latency_s", report.overall.mean)
+            .metric("p95_latency_s", report.overall.p95)
+            .metric("cache_fraction", report.slots.cache_fraction());
+        if let Some(plan) = &ctx.plan {
+            sample = sample.metric("analytic_bound_s", plan.objective);
+        }
+        sample = sample
+            .counter("completed", report.completed_requests)
+            .counter("failed", report.failed_requests)
+            .counter("reconstruction_failures", report.reconstruction_failures)
+            .counter("full_cache_hits", report.full_cache_hits)
+            .maximum("peak_event_queue", report.peak_event_queue as u64)
+            .maximum("peak_in_flight", report.peak_in_flight as u64);
+        if self.record_slots {
+            sample = sample
+                .series(
+                    "cache_chunks_per_slot",
+                    report
+                        .slots
+                        .cache_chunks
+                        .iter()
+                        .map(|&c| c as f64)
+                        .collect(),
+                )
+                .series(
+                    "storage_chunks_per_slot",
+                    report
+                        .slots
+                        .storage_chunks
+                        .iter()
+                        .map(|&c| c as f64)
+                        .collect(),
+                );
+        }
+        sample
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::ScenarioActionSpec;
+    use crate::spec::SystemSpec;
+
+    fn small_system() -> SproutSystem {
+        let spec = SystemSpec::builder()
+            .node_service_rates(&[0.6, 0.6, 0.45, 0.45, 0.3, 0.3])
+            .uniform_files(6, 2, 4, 0.04)
+            .cache_capacity_chunks(6)
+            .seed(3)
+            .build()
+            .unwrap();
+        SproutSystem::new(spec).unwrap()
+    }
+
+    #[test]
+    fn grid_axes_cover_the_five_dimensions() {
+        let system = small_system();
+        let sweep = SimSweep::new("axes", &system, SimConfig::new(100.0, 1))
+            .scenarios(vec![
+                ScenarioSpec::named("steady"),
+                ScenarioSpec::named("churn").at(50.0, ScenarioActionSpec::NodeDown { node: 0 }),
+            ])
+            .policies(vec![
+                CachePolicyChoice::Functional,
+                CachePolicyChoice::NoCache,
+            ])
+            .cache_sizes(vec![2, 6])
+            .load_points(vec![0.5, 1.0])
+            .backends(vec![SweepBackend::Analytic, SweepBackend::Byte]);
+        let grid = sweep.grid();
+        let names: Vec<&str> = grid.axes().iter().map(|a| a.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec!["scenario", "policy", "cache_chunks", "load", "backend"]
+        );
+        assert_eq!(grid.len(), 2 * 2 * 2 * 2 * 2);
+        assert_eq!(grid.axes()[3].values, vec!["0.5", "1"]);
+    }
+
+    #[test]
+    fn sweep_runs_and_reports_cells_with_standard_metrics() {
+        let system = small_system();
+        let report = SimSweep::new("small", &system, SimConfig::new(3_000.0, 7))
+            .policies(vec![
+                CachePolicyChoice::Functional,
+                CachePolicyChoice::NoCache,
+            ])
+            .cache_sizes(vec![2, 6])
+            .replications(2)
+            .run(4)
+            .unwrap();
+        assert_eq!(report.rows.len(), 4);
+        for row in &report.rows {
+            assert!(row.counter("completed").unwrap() > 0);
+            let mean = row.metric("mean_latency_s").unwrap();
+            assert_eq!(mean.replications, 2);
+            assert!(mean.mean > 0.0);
+        }
+        // Functional cells carry the analytic bound; no-cache cells do not.
+        let functional = report
+            .find_row(&[("policy", "functional"), ("cache_chunks", "6")])
+            .unwrap();
+        assert!(functional.metric("analytic_bound_s").unwrap().mean > 0.0);
+        let no_cache = report
+            .find_row(&[("policy", "no_cache"), ("cache_chunks", "6")])
+            .unwrap();
+        assert!(no_cache.metric("analytic_bound_s").is_none());
+        // More cache must not hurt the functional policy.
+        let tight = report
+            .find_row(&[("policy", "functional"), ("cache_chunks", "2")])
+            .unwrap();
+        assert!(
+            functional.metric("mean_latency_s").unwrap().mean
+                <= tight.metric("mean_latency_s").unwrap().mean * 1.10
+        );
+    }
+
+    #[test]
+    fn report_is_bit_identical_across_worker_counts() {
+        let system = small_system();
+        let sweep = SimSweep::new("det", &system, SimConfig::new(2_000.0, 11))
+            .scenarios(vec![
+                ScenarioSpec::named("steady"),
+                ScenarioSpec::named("churn")
+                    .at(500.0, ScenarioActionSpec::NodeDown { node: 0 })
+                    .at(1_500.0, ScenarioActionSpec::NodeUp { node: 0 }),
+            ])
+            .cache_sizes(vec![2, 6])
+            .replications(3);
+        let one = sweep.run(1).unwrap().to_json();
+        let four = sweep.run(4).unwrap().to_json();
+        assert_eq!(one, four);
+    }
+
+    #[test]
+    fn byte_cells_decode_verify_and_match_grid_filtering() {
+        let system = small_system();
+        let sweep = SimSweep::new("byte", &system, SimConfig::new(1_500.0, 5))
+            .scenarios(vec![
+                ScenarioSpec::named("steady"),
+                ScenarioSpec::named("churn")
+                    .at(500.0, ScenarioActionSpec::NodeDown { node: 0 })
+                    .at(1_000.0, ScenarioActionSpec::NodeUp { node: 0 }),
+            ])
+            .backends(vec![SweepBackend::Analytic, SweepBackend::Byte])
+            .byte_object_bytes(4 * 1024)
+            .replications(2)
+            .byte_replications(1);
+        // Filter: byte backend only for the churn scenario.
+        let cells: Vec<_> = sweep
+            .cells()
+            .into_iter()
+            .filter(|c| c.coord("backend") == "analytic" || c.coord("scenario") == "churn")
+            .collect();
+        assert_eq!(cells.len(), 3);
+        let report = sweep.run_cells(cells, 3).unwrap();
+        assert_eq!(report.rows.len(), 3);
+        let byte_row = report.find_row(&[("backend", "byte")]).unwrap();
+        assert_eq!(byte_row.coord("scenario"), "churn");
+        assert_eq!(byte_row.replications, 1);
+        assert_eq!(byte_row.counter("reconstruction_failures"), Some(0));
+        assert!(byte_row.counter("completed").unwrap() > 0);
+    }
+
+    #[test]
+    fn setup_errors_are_surfaced_not_swallowed() {
+        let system = small_system();
+        // A scenario that fails an out-of-range node cannot compile.
+        let bad =
+            SimSweep::new("bad", &system, SimConfig::new(100.0, 1))
+                .scenarios(vec![ScenarioSpec::named("broken")
+                    .at(1.0, ScenarioActionSpec::NodeDown { node: 99 })]);
+        assert!(matches!(bad.run(2), Err(SproutError::InvalidSpec(_))));
+        // The LRU tier cannot run byte-accurately.
+        let lru = SimSweep::new("lru", &system, SimConfig::new(100.0, 1))
+            .policies(vec![CachePolicyChoice::LruReplicated])
+            .backends(vec![SweepBackend::Byte]);
+        assert!(matches!(lru.run(2), Err(SproutError::InvalidSpec(_))));
+    }
+
+    #[test]
+    fn slot_series_are_recorded_on_request() {
+        let system = small_system();
+        let report = SimSweep::new("slots", &system, SimConfig::new(500.0, 2))
+            .record_slots(true)
+            .run(2)
+            .unwrap();
+        let row = &report.rows[0];
+        let cache = row.series("cache_chunks_per_slot").unwrap();
+        let storage = row.series("storage_chunks_per_slot").unwrap();
+        assert_eq!(cache.len(), storage.len());
+        assert!(storage.iter().sum::<f64>() > 0.0);
+    }
+}

@@ -84,6 +84,10 @@ pub struct SimReport {
     /// High-water mark of the event queue — O(files + nodes + scenario
     /// events) under streaming arrivals, *not* O(total requests).
     pub peak_event_queue: usize,
+    /// High-water mark of concurrently in-flight requests — the number of
+    /// slots the request slab grew to. Guards the pooled-allocation property:
+    /// steady-state arrivals reuse these slots instead of allocating.
+    pub peak_in_flight: usize,
 }
 
 #[derive(Debug, Clone, PartialEq)]
@@ -98,7 +102,7 @@ enum Event {
     Scenario(usize),
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 struct RequestState {
     file: usize,
     start: f64,
@@ -106,6 +110,63 @@ struct RequestState {
     last_completion: f64,
     cache_chunks: usize,
     nodes: Vec<usize>,
+}
+
+/// Free-list slab of in-flight request state.
+///
+/// The arrival hot path used to allocate twice per request — a fresh
+/// `nodes` Vec clone plus `HashMap` bucket churn. The slab recycles whole
+/// `RequestState` slots (including the `nodes` capacity), so steady-state
+/// arrivals allocate nothing: slot count grows to the peak number of
+/// concurrently in-flight requests and then stays flat.
+///
+/// Slot reuse without generation counters is sound because an id can only
+/// reach a node queue from a live request, and the slot is released exactly
+/// when its last queued chunk completes — no stale id can survive a release.
+#[derive(Debug, Default)]
+struct RequestSlab {
+    slots: Vec<RequestState>,
+    free: Vec<usize>,
+}
+
+impl RequestSlab {
+    /// Claims a slot, reusing a freed one (and its `nodes` capacity) when
+    /// available, and returns its id.
+    fn insert(
+        &mut self,
+        file: usize,
+        start: f64,
+        last_completion: f64,
+        cache_chunks: usize,
+        nodes: &[usize],
+    ) -> u64 {
+        let slot = match self.free.pop() {
+            Some(slot) => slot,
+            None => {
+                self.slots.push(RequestState::default());
+                self.slots.len() - 1
+            }
+        };
+        let state = &mut self.slots[slot];
+        state.file = file;
+        state.start = start;
+        state.outstanding = nodes.len();
+        state.last_completion = last_completion;
+        state.cache_chunks = cache_chunks;
+        state.nodes.clear();
+        state.nodes.extend_from_slice(nodes);
+        slot as u64
+    }
+
+    fn get_mut(&mut self, id: u64) -> &mut RequestState {
+        &mut self.slots[id as usize]
+    }
+
+    /// Returns a slot (and its `nodes` buffer) to the free list for reuse by
+    /// a later `insert`.
+    fn release(&mut self, id: u64) {
+        self.free.push(id as usize);
+    }
 }
 
 #[derive(Debug, Default, Clone)]
@@ -198,6 +259,12 @@ fn splitmix64(mut x: u64) -> u64 {
 /// [`Simulation::run_replications`] gives each replication.
 pub fn replication_seed(base: u64, replication: usize) -> u64 {
     splitmix64(base ^ (replication as u64).wrapping_mul(0xD6E8_FEB8_6659_FD93))
+}
+
+/// Mixes a base seed with an arbitrary salt (the sweep runner's
+/// coordinate hash) into a decorrelated derived seed.
+pub(crate) fn mix_seed(base: u64, salt: u64) -> u64 {
+    splitmix64(base ^ salt.wrapping_mul(0x2545_F491_4F6C_DD1D))
 }
 
 fn stream_seed(base: u64, file: usize) -> u64 {
@@ -347,8 +414,7 @@ impl Simulation {
         }
 
         let mut queues = ServiceQueues::new(self.nodes.len());
-        let mut requests: HashMap<u64, RequestState> = HashMap::new();
-        let mut next_request: u64 = 0;
+        let mut requests = RequestSlab::default();
         let mut latencies: Vec<Vec<f64>> = vec![Vec::new(); self.files.len()];
         let mut slots = SlotCounts::new(horizon, self.config.slot_length);
         let mut node_chunks_served = vec![0u64; self.nodes.len()];
@@ -408,18 +474,12 @@ impl Simulation {
                                 continue;
                             }
 
-                            let id = next_request;
-                            next_request += 1;
-                            requests.insert(
-                                id,
-                                RequestState {
-                                    file,
-                                    start: now,
-                                    outstanding: scratch.nodes.len(),
-                                    last_completion: now + cache_latency,
-                                    cache_chunks,
-                                    nodes: scratch.nodes.clone(),
-                                },
+                            let id = requests.insert(
+                                file,
+                                now,
+                                now + cache_latency,
+                                cache_chunks,
+                                &scratch.nodes,
                             );
                             for &node in &scratch.nodes {
                                 queues.enqueue(node, id, file, now, &mut events, backend);
@@ -432,23 +492,22 @@ impl Simulation {
                         .serving
                         .take()
                         .expect("completion without a job");
-                    if let Some(req) = requests.get_mut(&finished) {
-                        req.outstanding -= 1;
-                        req.last_completion = req.last_completion.max(now);
-                        if req.outstanding == 0 {
-                            let req = requests.remove(&finished).expect("request state present");
-                            if !backend.finish_request(FinishedRequest {
-                                file: req.file,
-                                cache_chunks: req.cache_chunks,
-                                storage_nodes: &req.nodes,
-                            }) {
-                                reconstruction_failures += 1;
-                            }
-                            completed += 1;
-                            if req.start >= self.config.warmup {
-                                latencies[req.file].push(req.last_completion - req.start);
-                            }
+                    let req = requests.get_mut(finished);
+                    req.outstanding -= 1;
+                    req.last_completion = req.last_completion.max(now);
+                    if req.outstanding == 0 {
+                        if !backend.finish_request(FinishedRequest {
+                            file: req.file,
+                            cache_chunks: req.cache_chunks,
+                            storage_nodes: &req.nodes,
+                        }) {
+                            reconstruction_failures += 1;
                         }
+                        completed += 1;
+                        if req.start >= self.config.warmup {
+                            latencies[req.file].push(req.last_completion - req.start);
+                        }
+                        requests.release(finished);
                     }
                     // Start the next queued chunk, if any.
                     if let Some((next, file)) = queues.nodes[node].queue.pop_front() {
@@ -510,6 +569,7 @@ impl Simulation {
             failed_requests: failed,
             reconstruction_failures,
             peak_event_queue: peak_events,
+            peak_in_flight: requests.slots.len(),
         }
     }
 
@@ -897,6 +957,43 @@ mod tests {
         )
         .run();
         assert_eq!(a, b, "same seed must give a bit-identical report");
+    }
+
+    #[test]
+    fn request_slab_recycles_slots_and_node_capacity() {
+        let mut slab = RequestSlab::default();
+        let a = slab.insert(0, 0.0, 0.0, 1, &[1, 2, 3]);
+        let b = slab.insert(1, 0.5, 0.5, 0, &[4]);
+        assert_eq!(slab.slots.len(), 2);
+        slab.release(a);
+        // The freed slot (and its nodes buffer) is reused, not reallocated.
+        let c = slab.insert(2, 1.0, 1.0, 2, &[5, 6]);
+        assert_eq!(c, a);
+        assert_eq!(slab.slots.len(), 2);
+        assert_eq!(slab.get_mut(c).nodes, vec![5, 6]);
+        assert_eq!(slab.get_mut(b).nodes, vec![4]);
+    }
+
+    #[test]
+    fn in_flight_requests_stay_bounded_over_long_horizons() {
+        // ~20k requests over the horizon, but only a handful in flight at
+        // once: the slab must stay at the concurrency high-water mark, not
+        // grow with the request count.
+        let files = simple_files(8, 0.5, 2, 6);
+        let report = Simulation::new(
+            nodes(6, 2.0),
+            files,
+            CacheScheme::NoCache,
+            SimConfig::new(10_000.0, 4),
+        )
+        .run();
+        assert!(report.completed_requests > 10_000);
+        assert!(
+            report.peak_in_flight < 200,
+            "peak in-flight {} should be far below the {} completed requests",
+            report.peak_in_flight,
+            report.completed_requests
+        );
     }
 
     #[test]

@@ -37,6 +37,7 @@ pub mod policy;
 pub mod replicate;
 pub mod scenario;
 pub mod scheduler;
+pub mod sweep;
 
 pub use backend::{AnalyticBackend, ChunkBackend, FinishedRequest};
 pub use config::SimConfig;
@@ -45,3 +46,4 @@ pub use metrics::{LatencySummary, SlotCounts};
 pub use policy::CacheScheme;
 pub use replicate::{run_replications, MeanCi, ReplicationSummary};
 pub use scenario::{Scenario, ScenarioAction, ScenarioEvent};
+pub use sweep::{Sample, SweepCancelled, SweepCell, SweepGrid, SweepReport, SweepRow};

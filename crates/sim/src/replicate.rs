@@ -246,6 +246,7 @@ mod tests {
             failed_requests: 0,
             reconstruction_failures: 0,
             peak_event_queue: 0,
+            peak_in_flight: 0,
         }
     }
 }

@@ -38,6 +38,24 @@ impl TimeBin {
     pub fn total_rate(&self) -> f64 {
         self.rates.iter().sum()
     }
+
+    /// The same bin with every rate multiplied by `factor` (relative
+    /// popularity is preserved; used to recreate realistic contention from
+    /// the paper's small published rates).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is negative or not finite.
+    pub fn scaled(&self, factor: f64) -> Self {
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "rate scale factor must be finite and non-negative"
+        );
+        TimeBin::new(
+            self.duration,
+            self.rates.iter().map(|r| r * factor).collect(),
+        )
+    }
 }
 
 /// A sequence of time bins over a common file population.
@@ -133,6 +151,23 @@ impl RateSchedule {
             .map(|f| self.file_profile(f))
             .collect()
     }
+
+    /// The same schedule with every rate multiplied by `factor`
+    /// (see [`TimeBin::scaled`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is negative or not finite.
+    pub fn scaled(&self, factor: f64) -> Self {
+        RateSchedule::new(self.bins.iter().map(|b| b.scaled(factor)).collect())
+    }
+
+    /// The schedule's first `bins` bins (all of them when `bins` exceeds the
+    /// length) — the prefix a sweep cell re-runs to reach one bin with the
+    /// warm-start chain intact.
+    pub fn truncated(&self, bins: usize) -> Self {
+        RateSchedule::new(self.bins.iter().take(bins).cloned().collect())
+    }
 }
 
 /// The Table I scenario: 10 files, 3 time bins, with the arrival-rate
@@ -184,6 +219,30 @@ mod tests {
         assert_eq!(s.bin_at(100.0).unwrap().0, 1);
         assert_eq!(s.bin_at(250.0).unwrap().0, 2);
         assert!(s.bin_at(300.0).is_none());
+    }
+
+    #[test]
+    fn scaling_preserves_structure_and_truncation_keeps_prefixes() {
+        let s = table_i_schedule(100.0);
+        let scaled = s.scaled(60.0);
+        assert_eq!(scaled.len(), 3);
+        assert!((scaled.bins()[0].rates[0] - 60.0 * s.bins()[0].rates[0]).abs() < 1e-15);
+        assert!((scaled.bins()[2].duration - 100.0).abs() < 1e-12);
+        // Relative popularity within a bin is unchanged.
+        let ratio = s.bins()[0].rates[3] / s.bins()[0].rates[4];
+        let scaled_ratio = scaled.bins()[0].rates[3] / scaled.bins()[0].rates[4];
+        assert!((ratio - scaled_ratio).abs() < 1e-12);
+        let two = s.truncated(2);
+        assert_eq!(two.len(), 2);
+        assert_eq!(two.bins(), &s.bins()[..2]);
+        assert_eq!(s.truncated(9).len(), 3);
+        assert!(s.truncated(0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn negative_scale_panics() {
+        let _ = table_i_schedule(10.0).scaled(-1.0);
     }
 
     #[test]
