@@ -21,7 +21,7 @@
 
 use sprout::sim::SimConfig;
 use sprout::{ScenarioActionSpec, ScenarioSpec, SimSweep, SproutSystem, SweepBackend};
-use sprout_bench::{emit, paper_scale, paper_system, scale_cache, FigureCli};
+use sprout_bench::{emit_with_timings, paper_scale, paper_system, scale_cache, FigureCli};
 
 fn churn(horizon: f64) -> ScenarioSpec {
     ScenarioSpec::named("node_churn")
@@ -72,8 +72,8 @@ fn main() {
         .into_iter()
         .filter(|c| c.coord("backend") == "analytic" || c.coord("scenario") == "node_churn")
         .collect();
-    let report = sweep
-        .run_cells(cells, cli.threads_or(FigureCli::available_threads()))
+    let (report, timings) = sweep
+        .run_cells_timed(cells, cli.threads_or(FigureCli::available_threads()))
         .expect("the paper system is stable under every suite scenario");
 
     let spec = system.spec();
@@ -95,5 +95,8 @@ fn main() {
             "byte cells decode-verify every completed request against the stored payloads; \
              reconstruction_failures must stay 0",
         );
-    emit(&report, cli.out_or("BENCH_scenarios.json"));
+    // The timing side-channel is written next to the artifact but never
+    // committed or diffed — the JSON artifact itself stays byte-identical
+    // across thread counts (the determinism canary above).
+    emit_with_timings(&report, &timings, cli.out_or("BENCH_scenarios.json"));
 }

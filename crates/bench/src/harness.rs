@@ -14,7 +14,7 @@
 //! contains nothing scheduling-dependent, so running the same figure with
 //! different `--threads` values must produce byte-identical files.
 
-use sprout::sim::sweep::SweepReport;
+use sprout::sim::sweep::{SweepReport, SweepTimings};
 
 /// Parsed common command-line flags of a figure binary.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -150,6 +150,33 @@ pub fn emit(report: &SweepReport, out_path: &str) {
     eprintln!("wrote {out_path}");
 }
 
+/// The side-channel artifact path for a figure artifact: `FIG_10.json` →
+/// `FIG_10.timing.json`. Timing artifacts are never committed or diffed
+/// (wall times differ run to run); CI uploads them next to the figure JSONs
+/// so slow cells stay visible.
+pub fn timing_path(out_path: &str) -> String {
+    match out_path.strip_suffix(".json") {
+        Some(stem) => format!("{stem}.timing.json"),
+        None => format!("{out_path}.timing.json"),
+    }
+}
+
+/// Like [`emit`], but also writes the wall-clock [`SweepTimings`]
+/// side-channel next to the artifact (see [`timing_path`]) and prints a
+/// slowest-cells summary to stderr.
+///
+/// # Panics
+///
+/// Panics if either artifact cannot be written.
+pub fn emit_with_timings(report: &SweepReport, timings: &SweepTimings, out_path: &str) {
+    emit(report, out_path);
+    let timing_out = timing_path(out_path);
+    std::fs::write(&timing_out, timings.to_json())
+        .unwrap_or_else(|e| panic!("failed to write {timing_out}: {e}"));
+    eprintln!("{}", timings.summary(5));
+    eprintln!("wrote {timing_out}");
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -210,6 +237,29 @@ mod tests {
         emit(&report, path.to_str().unwrap());
         let written = std::fs::read_to_string(&path).unwrap();
         assert_eq!(written, report.to_json());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn timing_paths_derive_from_the_artifact_path() {
+        assert_eq!(timing_path("FIG_10.json"), "FIG_10.timing.json");
+        assert_eq!(timing_path("out/custom"), "out/custom.timing.json");
+    }
+
+    #[test]
+    fn emit_with_timings_writes_the_side_channel() {
+        use sprout::sim::sweep::{Sample, SweepGrid};
+        let grid = SweepGrid::named("emit_timed_test", 1).axis("x", ["a", "b"]);
+        let (report, timings) = grid.run_timed(2, |cell, _, _| {
+            Sample::new().metric("value", cell.idx("x") as f64)
+        });
+        let dir = std::env::temp_dir().join("sprout_harness_emit_timed_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("report.json");
+        emit_with_timings(&report, &timings, path.to_str().unwrap());
+        let timing_json = std::fs::read_to_string(dir.join("report.timing.json")).unwrap();
+        assert_eq!(timing_json, timings.to_json());
+        assert!(timing_json.contains("\"wall_s\""));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -21,7 +21,7 @@
 
 pub mod harness;
 
-pub use harness::{emit, FigureCli};
+pub use harness::{emit, emit_with_timings, timing_path, FigureCli};
 
 use sprout::optimizer::OptimizerConfig;
 use sprout::{SproutSystem, SystemSpec};

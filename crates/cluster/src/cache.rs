@@ -12,14 +12,19 @@
 //!   tier's redundancy) and the least-recently-used objects are evicted when
 //!   space runs out.
 //!
-//! Capacity is tracked in bytes. Reads from the cache device are sampled from
-//! the SSD model but never queue — the paper argues cache-read latency is
-//! negligible compared to HDD OSD reads, and Table V confirms it.
+//! Capacity is tracked in bytes. [`Cache`] stores the payload chunks; all
+//! residency decisions and accounting delegate to the shared
+//! [`LruTier`](crate::tier::LruTier), the same implementation the simulation
+//! engine drives — see [`crate::tier`]. Reads from the cache device are
+//! sampled from the SSD model but never queue — the paper argues cache-read
+//! latency is negligible compared to HDD OSD reads, and Table V confirms it.
 
 use std::collections::HashMap;
 
 use serde::{Deserialize, Serialize};
 use sprout_erasure::Chunk;
+
+use crate::tier::{Admission, CacheTier, LruTier, TierStats};
 
 /// Which caching scheme the cluster uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -49,36 +54,32 @@ impl CachePolicy {
     pub fn is_planned(&self) -> bool {
         matches!(self, CachePolicy::Functional | CachePolicy::Exact)
     }
+
+    /// The replication factor the tier charges per promoted object (1 for
+    /// the planner-managed policies, whose chunks are already the redundancy).
+    pub fn tier_replication(&self) -> u32 {
+        match self {
+            CachePolicy::LruReplicated { replication } => (*replication).max(1),
+            _ => 1,
+        }
+    }
 }
 
-/// An object resident in the cache.
-#[derive(Debug, Clone)]
-struct CachedObject {
-    chunks: Vec<Chunk>,
-    bytes: u64,
-    last_access: u64,
-}
+/// Statistics kept by the cache — the embedded tier's counters, re-exported
+/// under the cache's historical name.
+pub type CacheStats = TierStats;
 
-/// Statistics kept by the cache.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
-pub struct CacheStats {
-    /// Number of reads that found at least one usable chunk in the cache.
-    pub hits: u64,
-    /// Number of reads that found nothing usable in the cache.
-    pub misses: u64,
-    /// Number of objects evicted (LRU policy only).
-    pub evictions: u64,
-}
-
-/// The cache tier of one compute server.
+/// The cache tier of one compute server: payload chunks per resident object,
+/// with residency decided by the embedded [`LruTier`].
 #[derive(Debug, Clone)]
 pub struct Cache {
     policy: CachePolicy,
-    capacity_bytes: u64,
-    used_bytes: u64,
-    entries: HashMap<u64, CachedObject>,
-    clock: u64,
-    stats: CacheStats,
+    tier: LruTier,
+    chunks: HashMap<u64, Vec<Chunk>>,
+}
+
+fn chunk_bytes(chunks: &[Chunk]) -> u64 {
+    chunks.iter().map(|c| c.len() as u64).sum()
 }
 
 impl Cache {
@@ -86,11 +87,8 @@ impl Cache {
     pub fn new(policy: CachePolicy, capacity_bytes: u64) -> Self {
         Cache {
             policy,
-            capacity_bytes,
-            used_bytes: 0,
-            entries: HashMap::new(),
-            clock: 0,
-            stats: CacheStats::default(),
+            tier: LruTier::new(capacity_bytes, policy.tier_replication()),
+            chunks: HashMap::new(),
         }
     }
 
@@ -101,146 +99,143 @@ impl Cache {
 
     /// Capacity in bytes.
     pub fn capacity_bytes(&self) -> u64 {
-        self.capacity_bytes
+        self.tier.capacity()
     }
 
-    /// Bytes currently occupied.
+    /// Bytes currently occupied (LRU footprints include replication).
     pub fn used_bytes(&self) -> u64 {
-        self.used_bytes
+        self.tier.used()
     }
 
-    /// Hit/miss/eviction counters.
+    /// Hit/miss/promotion/eviction counters.
     pub fn stats(&self) -> CacheStats {
-        self.stats
+        self.tier.stats()
     }
 
     /// Number of chunks currently cached for `object`.
     pub fn cached_chunk_count(&self, object: u64) -> usize {
-        self.entries.get(&object).map_or(0, |e| e.chunks.len())
+        self.chunks.get(&object).map_or(0, Vec::len)
     }
 
     /// The cached chunks of `object` (empty if not resident). Records a hit
     /// or miss and refreshes recency.
     pub fn lookup(&mut self, object: u64) -> Vec<Chunk> {
-        self.clock += 1;
-        match self.entries.get_mut(&object) {
-            Some(entry) => {
-                entry.last_access = self.clock;
-                self.stats.hits += 1;
-                entry.chunks.clone()
-            }
-            None => {
-                self.stats.misses += 1;
-                Vec::new()
-            }
+        if self.tier.touch(object) {
+            self.chunks.get(&object).cloned().unwrap_or_default()
+        } else {
+            Vec::new()
         }
     }
 
     /// Read-only peek that does not touch statistics or recency.
     pub fn peek(&self, object: u64) -> Option<&[Chunk]> {
-        self.entries.get(&object).map(|e| e.chunks.as_slice())
+        self.chunks.get(&object).map(Vec::as_slice)
     }
 
     /// Installs planner-chosen chunks for an object (functional or exact
     /// caching). Replaces any previous entry. Returns `false` (and leaves the
     /// cache unchanged) if the chunks do not fit in the remaining capacity.
     pub fn install_planned(&mut self, object: u64, chunks: Vec<Chunk>) -> bool {
-        let bytes: u64 = chunks.iter().map(|c| c.len() as u64).sum();
-        let existing = self.entries.get(&object).map_or(0, |e| e.bytes);
-        if self.used_bytes - existing + bytes > self.capacity_bytes {
-            return false;
-        }
         if chunks.is_empty() {
             self.remove(object);
             return true;
         }
-        self.clock += 1;
-        self.used_bytes = self.used_bytes - existing + bytes;
-        self.entries.insert(
-            object,
-            CachedObject {
-                chunks,
-                bytes,
-                last_access: self.clock,
-            },
-        );
+        if !self.tier.install(object, chunk_bytes(&chunks)) {
+            return false;
+        }
+        self.chunks.insert(object, chunks);
         true
     }
 
     /// Promotes a whole object into an LRU cache (called after a cache-miss
     /// read completes). The object's footprint is `bytes × replication`;
     /// least-recently-used objects are evicted until it fits. Objects larger
-    /// than the whole cache are not admitted.
-    pub fn promote_lru(&mut self, object: u64, chunks: Vec<Chunk>, replication: u32) {
-        let bytes: u64 = chunks.iter().map(|c| c.len() as u64).sum::<u64>() * replication as u64;
-        if bytes > self.capacity_bytes {
-            return;
+    /// than the whole cache are not admitted. Returns the tier's admission
+    /// outcome (victims and whether the object is now resident).
+    pub fn promote_lru(&mut self, object: u64, chunks: Vec<Chunk>) -> Admission {
+        let resident = self.chunks.contains_key(&object);
+        // The trait impl below keeps tier residency and victim payloads in
+        // sync; this carrier only adds the admitted object's payload.
+        let admission = CacheTier::admit(self, object, chunk_bytes(&chunks));
+        if admission.admitted && !resident {
+            self.chunks.insert(object, chunks);
         }
-        if self.entries.contains_key(&object) {
-            self.clock += 1;
-            if let Some(e) = self.entries.get_mut(&object) {
-                e.last_access = self.clock;
-            }
-            return;
-        }
-        while self.used_bytes + bytes > self.capacity_bytes {
-            if !self.evict_lru() {
-                return;
-            }
-        }
-        self.clock += 1;
-        self.used_bytes += bytes;
-        self.entries.insert(
-            object,
-            CachedObject {
-                chunks,
-                bytes,
-                last_access: self.clock,
-            },
-        );
+        admission
     }
 
-    /// Removes an object from the cache; returns whether it was resident.
+    /// Mirror of a promotion decided by an *external* tier (the simulation
+    /// engine's): installs the payload unconditionally, bypassing this
+    /// cache's own admission policy. See [`crate::tier`] for why the byte
+    /// path follows the engine's decisions instead of re-deciding.
+    pub fn mirror_promote(&mut self, object: u64, chunks: Vec<Chunk>) {
+        self.tier.mirror_insert(object, chunk_bytes(&chunks));
+        self.chunks.insert(object, chunks);
+    }
+
+    /// Mirror of an eviction decided by an external tier; returns whether the
+    /// object was resident.
+    pub fn mirror_evict(&mut self, object: u64) -> bool {
+        self.chunks.remove(&object);
+        self.tier.evict(object)
+    }
+
+    /// Removes an object from the cache (management path, not counted as an
+    /// eviction); returns whether it was resident.
     pub fn remove(&mut self, object: u64) -> bool {
-        if let Some(entry) = self.entries.remove(&object) {
-            self.used_bytes -= entry.bytes;
-            true
-        } else {
-            false
-        }
+        self.chunks.remove(&object);
+        self.tier.remove(object)
     }
 
-    /// Drops everything.
+    /// Drops everything (counters survive).
     pub fn clear(&mut self) {
-        self.entries.clear();
-        self.used_bytes = 0;
+        self.chunks.clear();
+        self.tier.clear();
+    }
+}
+
+impl CacheTier for Cache {
+    fn capacity(&self) -> u64 {
+        self.tier.capacity()
     }
 
-    /// Objects currently resident, most recently used last.
-    pub fn resident_objects(&self) -> Vec<u64> {
-        let mut ids: Vec<(u64, u64)> = self
-            .entries
-            .iter()
-            .map(|(&id, e)| (e.last_access, id))
-            .collect();
-        ids.sort_unstable();
-        ids.into_iter().map(|(_, id)| id).collect()
+    fn used(&self) -> u64 {
+        self.tier.used()
     }
 
-    fn evict_lru(&mut self) -> bool {
-        let victim = self
-            .entries
-            .iter()
-            .min_by_key(|(_, e)| e.last_access)
-            .map(|(&id, _)| id);
-        match victim {
-            Some(id) => {
-                self.remove(id);
-                self.stats.evictions += 1;
-                true
-            }
-            None => false,
+    fn replication(&self) -> u32 {
+        self.tier.replication()
+    }
+
+    fn contains(&self, object: u64) -> bool {
+        self.tier.contains(object)
+    }
+
+    fn touch(&mut self, object: u64) -> bool {
+        self.tier.touch(object)
+    }
+
+    /// Weight-only admission: reserves residency and evicts victims' payloads;
+    /// the payload of the admitted object is installed by
+    /// [`Cache::promote_lru`], the carrier everyone calls.
+    fn admit(&mut self, object: u64, weight: u64) -> Admission {
+        let admission = self.tier.admit(object, weight);
+        for victim in &admission.evicted {
+            self.chunks.remove(victim);
         }
+        admission
+    }
+
+    fn evict(&mut self, object: u64) -> bool {
+        self.chunks.remove(&object);
+        self.tier.evict(object)
+    }
+
+    fn stats(&self) -> TierStats {
+        self.tier.stats()
+    }
+
+    fn resident_objects(&self) -> Vec<u64> {
+        self.tier.resident_objects()
     }
 }
 
@@ -263,6 +258,8 @@ mod tests {
         assert!(CachePolicy::Exact.is_planned());
         assert!(!CachePolicy::None.is_planned());
         assert!(!CachePolicy::ceph_baseline().is_planned());
+        assert_eq!(CachePolicy::ceph_baseline().tier_replication(), 2);
+        assert_eq!(CachePolicy::Functional.tier_replication(), 1);
     }
 
     #[test]
@@ -301,12 +298,13 @@ mod tests {
     fn lru_promotion_and_eviction() {
         let mut cache = Cache::new(CachePolicy::ceph_baseline(), 1000);
         // each object is 200 bytes * 2 replication = 400
-        cache.promote_lru(1, vec![chunk(0, 200)], 2);
-        cache.promote_lru(2, vec![chunk(0, 200)], 2);
+        assert!(cache.promote_lru(1, vec![chunk(0, 200)]).admitted);
+        assert!(cache.promote_lru(2, vec![chunk(0, 200)]).admitted);
         assert_eq!(cache.used_bytes(), 800);
         // touch object 1 so object 2 becomes the LRU victim
         let _ = cache.lookup(1);
-        cache.promote_lru(3, vec![chunk(0, 200)], 2);
+        let admission = cache.promote_lru(3, vec![chunk(0, 200)]);
+        assert_eq!(admission.evicted, vec![2]);
         assert_eq!(cache.stats().evictions, 1);
         assert!(cache.peek(2).is_none(), "object 2 should have been evicted");
         assert!(cache.peek(1).is_some());
@@ -318,7 +316,7 @@ mod tests {
     #[test]
     fn lru_does_not_admit_objects_larger_than_capacity() {
         let mut cache = Cache::new(CachePolicy::ceph_baseline(), 100);
-        cache.promote_lru(1, vec![chunk(0, 200)], 2);
+        assert!(!cache.promote_lru(1, vec![chunk(0, 200)]).admitted);
         assert_eq!(cache.used_bytes(), 0);
         assert!(cache.peek(1).is_none());
     }
@@ -326,10 +324,47 @@ mod tests {
     #[test]
     fn promoting_resident_object_only_refreshes_recency() {
         let mut cache = Cache::new(CachePolicy::ceph_baseline(), 1000);
-        cache.promote_lru(1, vec![chunk(0, 100)], 2);
+        assert!(cache.promote_lru(1, vec![chunk(0, 100)]).admitted);
         let used = cache.used_bytes();
-        cache.promote_lru(1, vec![chunk(0, 100)], 2);
+        assert!(cache.promote_lru(1, vec![chunk(0, 100)]).admitted);
         assert_eq!(cache.used_bytes(), used);
+        assert_eq!(cache.stats().promotions, 1);
+    }
+
+    #[test]
+    fn mirror_ops_bypass_the_local_policy() {
+        let mut cache = Cache::new(CachePolicy::ceph_baseline(), 100);
+        // Too big for this cache's own policy, but the deciding tier said yes.
+        cache.mirror_promote(1, vec![chunk(0, 200)]);
+        assert_eq!(cache.cached_chunk_count(1), 1);
+        assert_eq!(cache.used_bytes(), 400, "bytes x replication");
+        assert_eq!(cache.stats().promotions, 1);
+        assert!(cache.mirror_evict(1));
+        assert!(!cache.mirror_evict(1));
+        assert_eq!(cache.used_bytes(), 0);
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn cache_tier_trait_is_implemented_by_the_cache() {
+        fn drive<T: CacheTier>(tier: &mut T) {
+            assert!(!tier.touch(9));
+            assert!(tier.admit(9, 10).admitted);
+            assert!(tier.touch(9));
+            assert!(tier.contains(9));
+            assert_eq!(tier.resident_objects(), vec![9]);
+            assert!(tier.evict(9));
+            assert_eq!(tier.used(), 0);
+        }
+        let mut cache = Cache::new(CachePolicy::ceph_baseline(), 1000);
+        drive(&mut cache);
+        assert_eq!(cache.replication(), 2);
+        // Weight-only admission evicts victims' payloads too.
+        assert!(cache.promote_lru(1, vec![chunk(0, 400)]).admitted);
+        let admission = CacheTier::admit(&mut cache, 2, 400);
+        assert!(admission.admitted);
+        assert_eq!(admission.evicted, vec![1]);
+        assert!(cache.peek(1).is_none(), "victim payload must be dropped");
     }
 
     #[test]

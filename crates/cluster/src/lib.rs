@@ -12,6 +12,10 @@
 //!   distinct storage nodes via placement groups.
 //! * [`node`] — storage nodes that hold real chunk bytes and serve reads
 //!   through a FIFO queue in virtual time.
+//! * [`tier`] — the [`CacheTier`] contract (promotion, eviction, hit lookup,
+//!   capacity accounting, replication) and its one implementation,
+//!   [`LruTier`] — the source of truth for LRU decisions shared with the
+//!   simulation engine.
 //! * [`cache`] — cache tiers: functional (coded chunks), exact (copies of
 //!   stored chunks), LRU replicated (Ceph's cache-tier baseline), or none.
 //! * [`store`] — the erasure-coded object store itself: `put` splits,
@@ -58,9 +62,11 @@ pub mod error;
 pub mod node;
 pub mod placement;
 pub mod store;
+pub mod tier;
 
 pub use cache::CachePolicy;
 pub use device::DeviceModel;
 pub use error::ClusterError;
 pub use placement::PlacementMap;
 pub use store::{ClusterConfig, ClusterConfigBuilder, ErasureCodedStore, ReadOutcome};
+pub use tier::{Admission, CacheTier, LruTier, TierStats};

@@ -155,6 +155,17 @@ struct ObjectMeta {
     placement: Vec<usize>,
 }
 
+/// Splits decoded object bytes into the `k` data chunks a cache-tier
+/// promotion installs (generator rows `0..k` of the systematic code).
+fn data_chunks_of(data: &[u8], k: usize) -> Vec<Chunk> {
+    let (data_chunks, _) = sprout_erasure::stripe::split(data, k);
+    data_chunks
+        .into_iter()
+        .enumerate()
+        .map(|(i, payload)| Chunk::new(sprout_erasure::ChunkId::cache(i), payload))
+        .collect()
+}
+
 /// The result of a read.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ReadOutcome {
@@ -538,15 +549,8 @@ impl ErasureCodedStore {
 
         // 5. LRU promotion on a miss: the whole object enters the cache tier.
         if lru {
-            if let CachePolicy::LruReplicated { replication } = self.config.cache_policy {
-                let (data_chunks, _) = sprout_erasure::stripe::split(&data, k);
-                let chunks: Vec<Chunk> = data_chunks
-                    .into_iter()
-                    .enumerate()
-                    .map(|(i, payload)| Chunk::new(sprout_erasure::ChunkId::cache(i), payload))
-                    .collect();
-                self.cache.promote_lru(object, chunks, replication);
-            }
+            let chunks = data_chunks_of(&data, k);
+            self.cache.promote_lru(object, chunks);
         }
 
         Ok(ReadOutcome {
@@ -556,6 +560,48 @@ impl ErasureCodedStore {
             cache_chunks_used,
             nodes_used,
         })
+    }
+
+    /// Promotes a whole object into the cache tier *unconditionally* — the
+    /// mirror of an admission decided by an external [`CacheTier`] (the
+    /// simulation engine's; see [`crate::tier`]). The object's `k` data
+    /// chunks are rebuilt from whatever storage chunks are present
+    /// (management path: no queueing or latency accounting) and installed
+    /// without consulting this cache's own admission policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::UnknownObject`] for unknown objects and
+    /// propagates decode errors when too few chunks survive.
+    pub fn promote_object(&mut self, object: u64) -> Result<(), ClusterError> {
+        let meta = self
+            .objects
+            .get(&object)
+            .ok_or(ClusterError::UnknownObject(object))?;
+        let mut available = Vec::new();
+        for &node in &meta.placement {
+            for index in self.nodes[node].chunk_indices(object) {
+                if let Some(chunk) = self.nodes[node].chunk(object, index) {
+                    available.push(chunk.clone());
+                }
+            }
+        }
+        let data = self.codec.decode(&available, meta.len)?;
+        let chunks = data_chunks_of(&data, self.config.k);
+        self.cache.mirror_promote(object, chunks);
+        Ok(())
+    }
+
+    /// Evicts an object from the cache tier — the mirror of an eviction
+    /// decided by an external [`CacheTier`]. Returns whether it was resident.
+    pub fn evict_cached(&mut self, object: u64) -> bool {
+        self.cache.mirror_evict(object)
+    }
+
+    /// Drops every cache entry (e.g. when a scenario swaps the cache scheme
+    /// mid-run and the tier restarts cold).
+    pub fn reset_cache(&mut self) {
+        self.cache.clear();
     }
 
     fn cache_read_latency(&mut self, chunks: &[Chunk]) -> f64 {

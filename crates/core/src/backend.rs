@@ -9,13 +9,22 @@
 //! payload. Degraded reads after scenario node failures therefore exercise
 //! the real erasure decoder, not a model of it.
 //!
+//! For the Ceph-style LRU cache tier the engine's
+//! [`LruTier`](sprout_cluster::LruTier) is the single source of truth: the
+//! engine mirrors every promotion and eviction into this backend
+//! ([`ChunkBackend::tier_promote`] / [`ChunkBackend::tier_evict`]), which
+//! materializes or drops the object's real data chunks in the store's cache.
+//! Engine-declared LRU hits are then served (and decode-verified) from those
+//! cached bytes, with the read latency sampled from the cluster's SSD cache
+//! device model.
+//!
 //! Planning randomness lives in the engine and service randomness in the
 //! backend, so an analytic run and a byte-accurate run with the same seed
 //! make identical chunk-source decisions — see the differential root test.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use sprout_cluster::{CachePolicy, ClusterConfig, ErasureCodedStore};
+use sprout_cluster::{CachePolicy, ClusterConfig, DeviceModel, ErasureCodedStore};
 use sprout_erasure::Chunk;
 use sprout_queueing::dist::ServiceDistribution;
 use sprout_sim::{CacheScheme, ChunkBackend, FinishedRequest};
@@ -24,16 +33,33 @@ use sprout_sim::{CacheScheme, ChunkBackend, FinishedRequest};
 /// (abstract-model specs that never touched bytes before).
 pub const DEFAULT_OBJECT_BYTES: u64 = 4096;
 
+/// How the backend prices a storage chunk read.
+#[derive(Debug, Clone)]
+enum ServiceModel {
+    /// Per-node service-time distributions shared with the analytic backend
+    /// (keeps the differential comparison tight).
+    Shared(Vec<ServiceDistribution>),
+    /// Per-node device models sampled at each file's *actual* chunk size, so
+    /// object-size heterogeneity shows up in latency (Fig. 10's regime).
+    SizeDependent(Vec<DeviceModel>),
+}
+
 /// A [`ChunkBackend`] over the in-memory erasure-coded object store.
 #[derive(Debug)]
 pub struct StoreBackend {
     store: ErasureCodedStore,
-    dists: Vec<ServiceDistribution>,
+    service: ServiceModel,
     rng: StdRng,
     originals: Vec<Vec<u8>>,
+    /// Per-file data-chunk length in bytes (drives the SSD cache-read model
+    /// and the size-dependent service mode).
+    chunk_lens: Vec<u64>,
     verified: u64,
     failed: u64,
     plan_apply_failures: u64,
+    tier_promotions: u64,
+    tier_evictions: u64,
+    tier_mirror_failures: u64,
 }
 
 impl StoreBackend {
@@ -53,15 +79,42 @@ impl StoreBackend {
             store.config().num_nodes,
             "one service distribution per storage node"
         );
+        let k = store.config().k.max(1);
+        let chunk_lens = originals
+            .iter()
+            .map(|p| p.len().div_ceil(k) as u64)
+            .collect();
         StoreBackend {
             store,
-            dists,
+            service: ServiceModel::Shared(dists),
             rng: StdRng::seed_from_u64(seed ^ 0x570B_ACE0),
             originals,
+            chunk_lens,
             verified: 0,
             failed: 0,
             plan_apply_failures: 0,
+            tier_promotions: 0,
+            tier_evictions: 0,
+            tier_mirror_failures: 0,
         }
+    }
+
+    /// Opt-in size-dependent service: chunk reads are priced by sampling each
+    /// node's [`DeviceModel`] at the file's *actual* chunk byte length
+    /// instead of the shared per-node distributions, so object-size
+    /// heterogeneity shows up in simulated latency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `devices` does not list one model per storage node.
+    pub fn with_size_dependent_service(mut self, devices: Vec<DeviceModel>) -> Self {
+        assert_eq!(
+            devices.len(),
+            self.store.config().num_nodes,
+            "one device model per storage node"
+        );
+        self.service = ServiceModel::SizeDependent(devices);
+        self
     }
 
     /// The underlying store (cache statistics, node contents, ...).
@@ -84,6 +137,25 @@ impl StoreBackend {
     /// capacity exceeded).
     pub fn plan_apply_failures(&self) -> u64 {
         self.plan_apply_failures
+    }
+
+    /// Objects promoted into the store's cache tier, mirroring the engine's
+    /// LRU admissions.
+    pub fn tier_promotions(&self) -> u64 {
+        self.tier_promotions
+    }
+
+    /// Objects dropped from the store's cache tier, mirroring the engine's
+    /// LRU evictions.
+    pub fn tier_evictions(&self) -> u64 {
+        self.tier_evictions
+    }
+
+    /// Mirror operations that could not be applied (an eviction for an
+    /// object the store never promoted, or a promotion that failed to
+    /// decode) — always zero when engine and store are in lockstep.
+    pub fn tier_mirror_failures(&self) -> u64 {
+        self.tier_mirror_failures
     }
 
     fn gather(&self, request: &FinishedRequest<'_>) -> Option<Vec<Chunk>> {
@@ -117,8 +189,44 @@ impl ChunkBackend for StoreBackend {
         self.store.set_node_online(node, online);
     }
 
-    fn sample_service(&mut self, node: usize, _file: usize) -> f64 {
-        self.dists[node].sample(&mut self.rng)
+    fn sample_service(&mut self, node: usize, file: usize) -> f64 {
+        match &self.service {
+            ServiceModel::Shared(dists) => dists[node].sample(&mut self.rng),
+            ServiceModel::SizeDependent(devices) => {
+                let bytes = self.chunk_lens.get(file).copied().unwrap_or(0);
+                devices[node]
+                    .service_distribution(bytes)
+                    .sample(&mut self.rng)
+            }
+        }
+    }
+
+    fn sample_cache_read(&mut self, file: usize, chunks: usize) -> Option<f64> {
+        // Cache chunks are read in parallel from the SSD tier device; the
+        // request sees the fork-join maximum (mirrors the cluster's own
+        // cache-read model).
+        let bytes = self.chunk_lens.get(file).copied().unwrap_or(0);
+        let dist = self.store.config().cache_device.service_distribution(bytes);
+        Some(
+            (0..chunks)
+                .map(|_| dist.sample(&mut self.rng))
+                .fold(0.0, f64::max),
+        )
+    }
+
+    fn tier_promote(&mut self, file: usize) {
+        match self.store.promote_object(file as u64) {
+            Ok(()) => self.tier_promotions += 1,
+            Err(_) => self.tier_mirror_failures += 1,
+        }
+    }
+
+    fn tier_evict(&mut self, file: usize) {
+        if self.store.evict_cached(file as u64) {
+            self.tier_evictions += 1;
+        } else {
+            self.tier_mirror_failures += 1;
+        }
     }
 
     fn finish_request(&mut self, request: FinishedRequest<'_>) -> bool {
@@ -146,14 +254,26 @@ impl ChunkBackend for StoreBackend {
             // cache entries are harmless because the engine stops planning
             // cache chunks.
             CacheScheme::NoCache => return,
-            // An LRU swap would make the engine report k-chunk cache hits
-            // this store never populated, silently miscounting every hit as
-            // a reconstruction failure — fail fast instead (mirrors the
-            // byte_backend construction-time rejection).
+            // An LRU swap restarts the engine's tier cold; drop everything so
+            // the store's mirrored residency starts cold too and subsequent
+            // tier_promote/tier_evict calls keep both sides in lockstep.
             CacheScheme::LruReplicated { .. } => {
-                panic!("the byte-accurate backend does not model the LRU cache tier")
+                self.store.reset_cache();
+                return;
             }
         };
+        // A planned swap needs a planner-managed store policy: the cluster
+        // cache policy fixes *what* a cached chunk is (newly coded rows vs
+        // copies vs whole objects), and that is set at store construction.
+        // On a mismatched store, drop any stale cache content (so no hit is
+        // served from chunks of the wrong kind) and record one apply
+        // failure; the engine's planned hits will then surface as counted
+        // reconstruction failures instead of silent decode mismatches.
+        if !self.store.config().cache_policy.is_planned() {
+            self.store.reset_cache();
+            self.plan_apply_failures += 1;
+            return;
+        }
         for (file, &d) in counts.iter().enumerate() {
             if file >= self.originals.len() {
                 break;
@@ -211,20 +331,78 @@ pub fn populate_store(
 }
 
 /// Maps a facade cache-policy choice onto the cluster substrate's policy.
-/// The LRU tier is engine-side state, so the byte backend does not support
-/// it yet.
-pub fn cluster_policy_for(policy: crate::system::CachePolicyChoice) -> Option<CachePolicy> {
+pub fn cluster_policy_for(policy: crate::system::CachePolicyChoice) -> CachePolicy {
     match policy {
-        crate::system::CachePolicyChoice::NoCache => Some(CachePolicy::None),
-        crate::system::CachePolicyChoice::Functional => Some(CachePolicy::Functional),
-        crate::system::CachePolicyChoice::Exact => Some(CachePolicy::Exact),
-        crate::system::CachePolicyChoice::LruReplicated => None,
+        crate::system::CachePolicyChoice::NoCache => CachePolicy::None,
+        crate::system::CachePolicyChoice::Functional => CachePolicy::Functional,
+        crate::system::CachePolicyChoice::Exact => CachePolicy::Exact,
+        crate::system::CachePolicyChoice::LruReplicated => CachePolicy::ceph_baseline(),
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::spec::{FileConfig, SystemSpec};
+    use crate::system::{CachePolicyChoice, SproutSystem};
+    use sprout_sim::ChunkBackend;
+
+    fn byte_backend_for(object_bytes: u64) -> StoreBackend {
+        let mut builder = SystemSpec::builder();
+        builder
+            .node_service_rates(&[0.5, 0.5, 0.5, 0.5])
+            .cache_capacity_chunks(4)
+            .seed(7);
+        for _ in 0..3 {
+            builder.file(FileConfig::new(0.05, 4, 2, object_bytes));
+        }
+        let system = SproutSystem::new(builder.build().unwrap()).unwrap();
+        system
+            .byte_backend(CachePolicyChoice::NoCache, None, 5)
+            .unwrap()
+    }
+
+    #[test]
+    fn size_dependent_service_prices_reads_by_actual_chunk_bytes() {
+        let devices = vec![DeviceModel::hdd(); 4];
+        let mut small = byte_backend_for(64 * 1024).with_size_dependent_service(devices.clone());
+        let mut large = byte_backend_for(16 * 1024 * 1024).with_size_dependent_service(devices);
+        let mean =
+            |b: &mut StoreBackend| (0..200).map(|_| b.sample_service(0, 0)).sum::<f64>() / 200.0;
+        let s = mean(&mut small);
+        let l = mean(&mut large);
+        assert!(s > 0.0);
+        assert!(
+            l > s * 10.0,
+            "8 MiB chunks must read much slower than 32 KiB chunks ({l} vs {s})"
+        );
+    }
+
+    #[test]
+    fn planned_swap_onto_a_non_planned_store_is_counted_not_silent() {
+        use sprout_sim::policy::SchedulingRule;
+        // Constructed with the NoCache cluster policy: a planned swap cannot
+        // install chunks of the right kind, so it must clear the cache and
+        // count an apply failure instead of erroring file by file.
+        let mut backend = byte_backend_for(4096);
+        backend.apply_scheme(&CacheScheme::Functional {
+            cached_chunks: vec![1; 3],
+            scheduling: vec![vec![]; 3],
+            rule: SchedulingRule::Probabilistic,
+        });
+        assert_eq!(backend.plan_apply_failures(), 1);
+        assert_eq!(backend.store().cache().used_bytes(), 0);
+    }
+
+    #[test]
+    fn cache_reads_sample_the_ssd_model() {
+        let mut backend = byte_backend_for(1_000_000);
+        let latency = backend.sample_cache_read(0, 2).unwrap();
+        assert!(latency > 0.0, "SSD cache reads take nonzero time");
+        // Roughly the Table V scale for a 500 kB chunk: well under the ~6.7 ms
+        // HDD read of a 1 MB chunk.
+        assert!(latency < 0.005, "cache reads stay SSD-fast, got {latency}");
+    }
 
     #[test]
     fn synthetic_payloads_are_deterministic_and_distinct() {
@@ -237,14 +415,14 @@ mod tests {
     }
 
     #[test]
-    fn policy_mapping_covers_planned_policies_only() {
+    fn policy_mapping_covers_every_policy() {
         use crate::system::CachePolicyChoice as C;
-        assert_eq!(cluster_policy_for(C::NoCache), Some(CachePolicy::None));
+        assert_eq!(cluster_policy_for(C::NoCache), CachePolicy::None);
+        assert_eq!(cluster_policy_for(C::Functional), CachePolicy::Functional);
+        assert_eq!(cluster_policy_for(C::Exact), CachePolicy::Exact);
         assert_eq!(
-            cluster_policy_for(C::Functional),
-            Some(CachePolicy::Functional)
+            cluster_policy_for(C::LruReplicated),
+            CachePolicy::ceph_baseline()
         );
-        assert_eq!(cluster_policy_for(C::Exact), Some(CachePolicy::Exact));
-        assert_eq!(cluster_policy_for(C::LruReplicated), None);
     }
 }

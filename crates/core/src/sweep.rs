@@ -23,7 +23,7 @@
 use std::sync::OnceLock;
 
 use sprout_optimizer::{CachePlan, OptimizerConfig};
-use sprout_sim::sweep::{Sample, SweepCell, SweepGrid, SweepReport};
+use sprout_sim::sweep::{Sample, SweepCell, SweepGrid, SweepReport, SweepTimings};
 use sprout_sim::{SimConfig, SimReport, Simulation};
 
 use crate::error::SproutError;
@@ -245,6 +245,17 @@ impl SimSweep {
         self.run_cells(self.cells(), threads)
     }
 
+    /// Like [`SimSweep::run`], additionally returning the wall-clock
+    /// [`SweepTimings`] side-channel (per-cell wall seconds; never part of
+    /// the deterministic report).
+    ///
+    /// # Errors
+    ///
+    /// See [`SimSweep::run`].
+    pub fn run_timed(&self, threads: usize) -> Result<(SweepReport, SweepTimings), SproutError> {
+        self.run_cells_timed(self.cells(), threads)
+    }
+
     /// Runs an explicit (e.g. filtered) cell list across `threads` workers.
     ///
     /// # Errors
@@ -255,13 +266,27 @@ impl SimSweep {
         cells: Vec<SweepCell>,
         threads: usize,
     ) -> Result<SweepReport, SproutError> {
+        Ok(self.run_cells_timed(cells, threads)?.0)
+    }
+
+    /// Like [`SimSweep::run_cells`], additionally returning the wall-clock
+    /// [`SweepTimings`] side-channel.
+    ///
+    /// # Errors
+    ///
+    /// See [`SimSweep::run`].
+    pub fn run_cells_timed(
+        &self,
+        cells: Vec<SweepCell>,
+        threads: usize,
+    ) -> Result<(SweepReport, SweepTimings), SproutError> {
         let grid = self.grid();
         // Contexts are keyed by full-grid cell index so filtered subsets
         // resolve without remapping.
         let contexts: Vec<OnceLock<Result<CellContext, SproutError>>> =
             (0..grid.len()).map(|_| OnceLock::new()).collect();
 
-        let report = grid.run_cells(cells, threads, |cell, _rep, seed| {
+        let outcome = grid.run_cells_timed(cells, threads, |cell, _rep, seed| {
             let context = contexts[cell.index].get_or_init(|| self.build_context(cell));
             match context {
                 Ok(ctx) => self.run_replication(ctx, seed),
@@ -276,7 +301,7 @@ impl SimSweep {
                 return Err(e.clone());
             }
         }
-        Ok(report)
+        Ok(outcome)
     }
 
     /// Builds one cell's shared context: rescaled system, optional plan,
@@ -306,12 +331,6 @@ impl SimSweep {
         let byte_system = match backend {
             SweepBackend::Analytic => None,
             SweepBackend::Byte => {
-                if policy == CachePolicyChoice::LruReplicated {
-                    return Err(SproutError::InvalidSpec(format!(
-                        "sweep cell {:?}: the byte backend does not model the LRU cache tier",
-                        cell.coords
-                    )));
-                }
                 let mut byte_spec = system.spec().clone();
                 if let Some(bytes) = self.byte_object_bytes {
                     for file in &mut byte_spec.files {
@@ -343,6 +362,11 @@ impl SimSweep {
                     report.completed_requests,
                     "the byte backend must decode-verify every completed request"
                 );
+                assert_eq!(
+                    backend.tier_mirror_failures(),
+                    0,
+                    "engine tier decisions must mirror cleanly into the store"
+                );
                 report
             }
         };
@@ -362,6 +386,8 @@ impl SimSweep {
             .counter("failed", report.failed_requests)
             .counter("reconstruction_failures", report.reconstruction_failures)
             .counter("full_cache_hits", report.full_cache_hits)
+            .counter("cache_promotions", report.cache_promotions)
+            .counter("cache_evictions", report.cache_evictions)
             .maximum("peak_event_queue", report.peak_event_queue as u64)
             .maximum("peak_in_flight", report.peak_in_flight as u64);
         if self.record_slots {
@@ -525,11 +551,35 @@ mod tests {
                 .scenarios(vec![ScenarioSpec::named("broken")
                     .at(1.0, ScenarioActionSpec::NodeDown { node: 99 })]);
         assert!(matches!(bad.run(2), Err(SproutError::InvalidSpec(_))));
-        // The LRU tier cannot run byte-accurately.
-        let lru = SimSweep::new("lru", &system, SimConfig::new(100.0, 1))
+    }
+
+    #[test]
+    fn lru_cells_run_byte_accurately_with_decode_verification() {
+        // The formerly-rejected combination: the LRU tier on the byte
+        // backend. Cell seeds derive from coordinates, so the analytic and
+        // byte cells are distinct sample paths; same-seed decision equality
+        // is proved by the differential root test. Here the byte leg must
+        // promote/evict through the mirrored tier, serve hits from real
+        // cached bytes and decode-verify every request (the run itself
+        // asserts verified == completed and zero mirror failures).
+        let system = small_system();
+        let report = SimSweep::new("lru", &system, SimConfig::new(2_000.0, 9))
             .policies(vec![CachePolicyChoice::LruReplicated])
-            .backends(vec![SweepBackend::Byte]);
-        assert!(matches!(lru.run(2), Err(SproutError::InvalidSpec(_))));
+            .backends(vec![SweepBackend::Analytic, SweepBackend::Byte])
+            .byte_object_bytes(2 * 1024)
+            .run(2)
+            .unwrap();
+        assert_eq!(report.rows.len(), 2);
+        for row in &report.rows {
+            assert!(row.counter("completed").unwrap() > 0);
+            assert_eq!(row.counter("reconstruction_failures"), Some(0));
+            assert!(
+                row.counter("cache_promotions").unwrap() > 0,
+                "LRU cells must promote on {}",
+                row.coord("backend")
+            );
+            assert!(row.counter("full_cache_hits").unwrap() > 0);
+        }
     }
 
     #[test]

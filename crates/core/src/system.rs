@@ -244,17 +244,20 @@ impl SproutSystem {
     /// installed. Run it with [`Simulation::run_on`] against the simulation
     /// built by [`SproutSystem::simulation`] for the same policy and plan.
     ///
+    /// Every policy is supported, including
+    /// [`CachePolicyChoice::LruReplicated`]: the engine's LRU tier decides
+    /// hits, promotions and evictions and mirrors them into the store, whose
+    /// cache then serves (and decode-verifies) the hit requests from real
+    /// data chunks.
+    ///
     /// Files with `size_bytes = 0` get
     /// [`crate::backend::DEFAULT_OBJECT_BYTES`]-byte synthetic payloads; all
     /// payload bytes are deterministic in the spec seed.
     ///
     /// # Errors
     ///
-    /// Returns [`SproutError::InvalidSpec`] if the policy is
-    /// [`CachePolicyChoice::LruReplicated`] (the LRU tier is engine-side
-    /// state, not yet modelled byte-accurately), if files disagree on
-    /// `(n, k)`, or if a required plan is missing; propagates cluster and
-    /// coding errors.
+    /// Returns [`SproutError::InvalidSpec`] if files disagree on `(n, k)` or
+    /// a required plan is missing; propagates cluster and coding errors.
     pub fn byte_backend(
         &self,
         policy: CachePolicyChoice,
@@ -266,11 +269,7 @@ impl SproutSystem {
             DEFAULT_OBJECT_BYTES,
         };
 
-        let cluster_policy = cluster_policy_for(policy).ok_or_else(|| {
-            SproutError::InvalidSpec(
-                "the byte-accurate backend does not model the LRU cache tier".into(),
-            )
-        })?;
+        let cluster_policy = cluster_policy_for(policy);
         let first = &self.spec.files[0];
         let (n, k) = (first.n, first.k);
         if !self.spec.files.iter().all(|f| f.n == n && f.k == k) {
@@ -299,15 +298,30 @@ impl SproutSystem {
             })
             .collect();
         let total_bytes: u64 = payloads.iter().map(|p| p.len() as u64).sum();
+        let cache_capacity_bytes = match policy {
+            // The spec's chunk budget translated to bytes. Residency is
+            // decided by the engine's tier and mirrored in (so this value is
+            // accounting, not admission), but it keeps the store's
+            // used-bytes figure honest against the spec's budget.
+            CachePolicyChoice::LruReplicated => {
+                let max_chunk = payloads
+                    .iter()
+                    .map(|p| p.len().div_ceil(k) as u64)
+                    .max()
+                    .unwrap_or(1);
+                (self.spec.cache_capacity_chunks as u64).max(1) * max_chunk.max(1)
+            }
+            // Generous: planner-managed caches hold at most k of n chunks
+            // per object, so total object bytes always fit.
+            _ => total_bytes.max(1) * 2,
+        };
 
         let config = sprout_cluster::ClusterConfig::builder()
             .nodes(self.spec.node_services.len())
             .code(n, k)
             .uniform_device(sprout_cluster::DeviceModel::ssd())
             .cache_policy(cluster_policy)
-            // Generous: planner-managed caches hold at most k of n chunks
-            // per object, so total object bytes always fit.
-            .cache_capacity_bytes(total_bytes.max(1) * 2)
+            .cache_capacity_bytes(cache_capacity_bytes)
             .seed(self.spec.seed)
             .build();
         let plan_counts = plan.map(|p| p.cached_chunks.as_slice());

@@ -65,6 +65,30 @@ pub trait ChunkBackend {
         true
     }
 
+    /// Latency of serving `chunks` cache chunks of `file`, or `None` to fall
+    /// back to the engine's configured constant cache-read latency. Byte
+    /// backends sample their cache device model (the SSD of Table V) here,
+    /// from their own RNG — like [`ChunkBackend::sample_service`], this never
+    /// influences the engine's planning decisions.
+    fn sample_cache_read(&mut self, file: usize, chunks: usize) -> Option<f64> {
+        let _ = (file, chunks);
+        None
+    }
+
+    /// The engine's cache tier promoted `file` after a miss read (Ceph-style
+    /// LRU). Byte backends mirror the decision by materializing the object's
+    /// bytes in their own tier, so a later engine-declared hit always finds
+    /// the chunks resident.
+    fn tier_promote(&mut self, file: usize) {
+        let _ = file;
+    }
+
+    /// The engine's cache tier evicted `file`. Byte backends drop the
+    /// mirrored entry.
+    fn tier_evict(&mut self, file: usize) {
+        let _ = file;
+    }
+
     /// Applies a new cache scheme mid-run (a scenario plan swap). Byte
     /// backends re-install cached chunks to match.
     fn apply_scheme(&mut self, scheme: &CacheScheme) {
@@ -147,5 +171,10 @@ mod tests {
             storage_nodes: &[0],
         }));
         b.apply_scheme(&CacheScheme::NoCache); // default no-op must not panic
+
+        // Default tier hooks are no-ops and defer cache latency to the engine.
+        assert_eq!(b.sample_cache_read(0, 2), None);
+        b.tier_promote(0);
+        b.tier_evict(0);
     }
 }

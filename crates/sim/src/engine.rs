@@ -16,12 +16,12 @@
 //!   recoveries, arrival-rate shifts, online cache-plan swaps) interleave
 //!   deterministically with the workload.
 
-use std::collections::hash_map::Entry;
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+use sprout_cluster::{CacheTier, LruTier};
 use sprout_queueing::dist::ServiceDistribution;
 use sprout_workload::arrivals::{ArrivalStream, RateProfile};
 use sprout_workload::timebins::RateSchedule;
@@ -88,6 +88,10 @@ pub struct SimReport {
     /// slots the request slab grew to. Guards the pooled-allocation property:
     /// steady-state arrivals reuse these slots instead of allocating.
     pub peak_in_flight: usize,
+    /// Objects promoted into the LRU cache tier (zero for other schemes).
+    pub cache_promotions: u64,
+    /// Objects evicted from the LRU cache tier by admission pressure.
+    pub cache_evictions: u64,
 }
 
 #[derive(Debug, Clone, PartialEq)]
@@ -223,12 +227,20 @@ impl ServiceQueues {
     }
 }
 
-/// LRU cache bookkeeping for [`CacheScheme::LruReplicated`].
-#[derive(Debug, Default)]
-struct LruState {
-    last: HashMap<usize, u64>, // object id -> last access tick
-    used_chunks: usize,
-    tick: u64,
+/// The engine's LRU cache tier for [`CacheScheme::LruReplicated`]: the same
+/// [`LruTier`] implementation the cluster's byte-accurate `Cache` runs, here
+/// with *chunks* as the weight unit (the abstract model has no byte sizes).
+/// The tier's decisions scale linearly with the unit, so a byte-accurate
+/// mirror fed the same access sequence stays in lockstep — see
+/// `sprout_cluster::tier`.
+fn lru_tier_for(scheme: &CacheScheme) -> Option<LruTier> {
+    match scheme {
+        CacheScheme::LruReplicated {
+            capacity_chunks,
+            replication,
+        } => Some(LruTier::new(*capacity_chunks as u64, (*replication).max(1))),
+        _ => None,
+    }
 }
 
 /// Reusable buffers for the per-arrival planning step.
@@ -422,7 +434,11 @@ impl Simulation {
         let mut completed = 0u64;
         let mut failed = 0u64;
         let mut reconstruction_failures = 0u64;
-        let mut lru = LruState::default();
+        let mut tier = lru_tier_for(&scheme);
+        // Promotion/eviction counts accumulated across scheme swaps (a swap
+        // restarts the tier cold).
+        let mut tier_promotions = 0u64;
+        let mut tier_evictions = 0u64;
         let mut scratch = PlanScratch::default();
         let mut peak_events = events.len();
 
@@ -442,7 +458,7 @@ impl Simulation {
                         &scheme,
                         backend,
                         &mut plan_rng,
-                        &mut lru,
+                        &mut tier,
                         &mut scratch,
                     ) {
                         None => failed += 1,
@@ -452,7 +468,9 @@ impl Simulation {
                                 node_chunks_served[node] += 1;
                             }
                             let cache_latency = if cache_chunks > 0 {
-                                self.config.cache_chunk_latency
+                                backend
+                                    .sample_cache_read(file, cache_chunks)
+                                    .unwrap_or(self.config.cache_chunk_latency)
                             } else {
                                 0.0
                             };
@@ -542,12 +560,24 @@ impl Simulation {
                         );
                     }
                     ScenarioAction::SwapScheme { scheme: next } => {
+                        if let Some(old) = tier.take() {
+                            let stats = old.stats();
+                            tier_promotions += stats.promotions;
+                            tier_evictions += stats.evictions;
+                        }
                         scheme = next.clone();
+                        tier = lru_tier_for(&scheme);
                         backend.apply_scheme(&scheme);
                     }
                 },
             }
             peak_events = peak_events.max(events.len());
+        }
+
+        if let Some(tier) = &tier {
+            let stats = tier.stats();
+            tier_promotions += stats.promotions;
+            tier_evictions += stats.evictions;
         }
 
         let all: Vec<f64> = latencies.iter().flatten().copied().collect();
@@ -570,6 +600,8 @@ impl Simulation {
             reconstruction_failures,
             peak_event_queue: peak_events,
             peak_in_flight: requests.slots.len(),
+            cache_promotions: tier_promotions,
+            cache_evictions: tier_evictions,
         }
     }
 
@@ -604,13 +636,19 @@ impl Simulation {
     /// Returns `None` when node failures leave fewer online hosts than the
     /// request needs. All working sets live in `scratch`, so the arrival hot
     /// loop allocates nothing beyond per-request state.
+    ///
+    /// For [`CacheScheme::LruReplicated`] the engine's `tier` is the single
+    /// source of truth for hit/miss/promotion/eviction decisions; every
+    /// admission and eviction is mirrored into the backend
+    /// ([`ChunkBackend::tier_promote`] / [`ChunkBackend::tier_evict`]) so
+    /// byte-accurate backends keep the same objects resident.
     fn plan_request<B: ChunkBackend>(
         &self,
         file: usize,
         scheme: &CacheScheme,
-        backend: &B,
+        backend: &mut B,
         rng: &mut StdRng,
-        lru: &mut LruState,
+        tier: &mut Option<LruTier>,
         scratch: &mut PlanScratch,
     ) -> Option<usize> {
         let spec = &self.files[file];
@@ -689,13 +727,9 @@ impl Simulation {
                 self.repair_offline(eligible, backend, rng, scratch)
                     .then_some(d)
             }
-            CacheScheme::LruReplicated {
-                capacity_chunks,
-                replication,
-            } => {
-                lru.tick += 1;
-                if let Entry::Occupied(mut hit) = lru.last.entry(file) {
-                    hit.insert(lru.tick);
+            CacheScheme::LruReplicated { .. } => {
+                let tier = tier.as_mut().expect("an LRU scheme always has a tier");
+                if tier.touch(file as u64) {
                     return Some(spec.k);
                 }
                 // Miss: read k chunks from storage, then promote the object.
@@ -706,23 +740,12 @@ impl Simulation {
                 if !self.repair_offline(&spec.placement, backend, rng, scratch) {
                     return None;
                 }
-                let footprint = spec.k * *replication as usize;
-                if footprint <= *capacity_chunks {
-                    while lru.used_chunks + footprint > *capacity_chunks {
-                        // Evict the least recently used object.
-                        let victim = lru.last.iter().min_by_key(|(_, &t)| t).map(|(&f, _)| f);
-                        match victim {
-                            Some(v) => {
-                                lru.last.remove(&v);
-                                lru.used_chunks -= self.files[v].k * *replication as usize;
-                            }
-                            None => break,
-                        }
-                    }
-                    if lru.used_chunks + footprint <= *capacity_chunks {
-                        lru.last.insert(file, lru.tick);
-                        lru.used_chunks += footprint;
-                    }
+                let admission = tier.admit(file as u64, spec.k as u64);
+                for &victim in &admission.evicted {
+                    backend.tier_evict(victim as usize);
+                }
+                if admission.admitted {
+                    backend.tier_promote(file);
                 }
                 Some(0)
             }
@@ -915,6 +938,36 @@ mod tests {
         // After both files are promoted every request is a full cache hit.
         assert!(report.full_cache_hits > report.completed_requests / 2);
         assert!(report.overall.mean < 1.0);
+    }
+
+    #[test]
+    fn lru_tier_reports_promotions_and_evictions() {
+        let m = 4;
+        let files = simple_files(4, 0.05, 2, m);
+        // Capacity 4 chunks at replication 2 and k = 2 means a footprint of 4
+        // per object: exactly one resident object, so promotions churn.
+        let report = Simulation::new(
+            nodes(m, 0.5),
+            files.clone(),
+            CacheScheme::ceph_lru(4),
+            SimConfig::new(20_000.0, 5),
+        )
+        .run();
+        assert!(report.cache_promotions > 1, "objects must be promoted");
+        assert!(report.cache_evictions > 0, "the tier must churn");
+        assert!(
+            report.cache_promotions - report.cache_evictions <= 1,
+            "at most one object fits the tier"
+        );
+        let none = Simulation::new(
+            nodes(m, 0.5),
+            files,
+            CacheScheme::NoCache,
+            SimConfig::new(1_000.0, 5),
+        )
+        .run();
+        assert_eq!(none.cache_promotions, 0);
+        assert_eq!(none.cache_evictions, 0);
     }
 
     #[test]

@@ -46,4 +46,6 @@ pub use metrics::{LatencySummary, SlotCounts};
 pub use policy::CacheScheme;
 pub use replicate::{run_replications, MeanCi, ReplicationSummary};
 pub use scenario::{Scenario, ScenarioAction, ScenarioEvent};
-pub use sweep::{Sample, SweepCancelled, SweepCell, SweepGrid, SweepReport, SweepRow};
+pub use sweep::{
+    CellTiming, Sample, SweepCancelled, SweepCell, SweepGrid, SweepReport, SweepRow, SweepTimings,
+};

@@ -247,6 +247,8 @@ mod tests {
             reconstruction_failures: 0,
             peak_event_queue: 0,
             peak_in_flight: 0,
+            cache_promotions: 0,
+            cache_evictions: 0,
         }
     }
 }

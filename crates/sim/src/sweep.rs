@@ -17,6 +17,9 @@
 //!   **bit-identical for any worker count**: results land in index-addressed
 //!   slots and are folded in (cell, replication) order, and the report
 //!   records no wall-clock times or thread counts.
+//! * [`SweepTimings`] — the wall-clock *side-channel* (`run_timed`): per-cell
+//!   wall seconds and an overall figure, kept strictly outside the report so
+//!   slow cells are visible without breaking its determinism guarantee.
 //!
 //! ```
 //! use sprout_sim::sweep::{Sample, SweepGrid};
@@ -395,6 +398,113 @@ fn json_f64(v: f64) -> String {
     }
 }
 
+/// Wall-clock timing of one executed cell: total seconds across its
+/// replications and the slowest single replication.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellTiming {
+    /// `(axis name, value label)` coordinates of the cell.
+    pub coords: Vec<(String, String)>,
+    /// Replications measured.
+    pub replications: usize,
+    /// Sum of replication wall times, in seconds.
+    pub total_s: f64,
+    /// Wall time of the slowest replication, in seconds.
+    pub max_replication_s: f64,
+}
+
+/// The wall-clock side-channel of a sweep run.
+///
+/// [`SweepReport`] deliberately records nothing scheduling-dependent so its
+/// JSON stays byte-identical across worker counts; per-cell wall time
+/// therefore lives *here*, in a separate, **non-diffed** artifact (plus a
+/// stderr summary), so slow cells are visible without perturbing the report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepTimings {
+    /// Sweep name (matches the report).
+    pub name: String,
+    /// Worker count the run was asked for.
+    pub threads: usize,
+    /// End-to-end wall time of the sweep, in seconds.
+    pub wall_s: f64,
+    /// Per-cell timings, in cell order.
+    pub cells: Vec<CellTiming>,
+}
+
+impl SweepTimings {
+    /// Cells sorted slowest-first by total wall time.
+    pub fn slowest(&self) -> Vec<&CellTiming> {
+        let mut cells: Vec<&CellTiming> = self.cells.iter().collect();
+        cells.sort_by(|a, b| {
+            b.total_s
+                .partial_cmp(&a.total_s)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        cells
+    }
+
+    /// A short human-readable summary (for stderr): overall wall time and
+    /// the `top` slowest cells.
+    pub fn summary(&self, top: usize) -> String {
+        let mut out = format!(
+            "sweep '{}': {} cells in {:.2} s wall on {} thread{}",
+            self.name,
+            self.cells.len(),
+            self.wall_s,
+            self.threads,
+            if self.threads == 1 { "" } else { "s" },
+        );
+        for cell in self.slowest().into_iter().take(top) {
+            let coords = cell
+                .coords
+                .iter()
+                .map(|(axis, value)| format!("{axis}={value}"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            out.push_str(&format!(
+                "\n  {:>8.3} s  [{coords}] ({} rep{}, max {:.3} s)",
+                cell.total_s,
+                cell.replications,
+                if cell.replications == 1 { "" } else { "s" },
+                cell.max_replication_s,
+            ));
+        }
+        out
+    }
+
+    /// Serializes the timings as JSON (same structural conventions as the
+    /// report, but *not* deterministic — wall times differ run to run, which
+    /// is why this artifact is never diffed).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256 + self.cells.len() * 128);
+        out.push_str("{\n");
+        out.push_str(&format!("  \"sweep\": {},\n", json_str(&self.name)));
+        out.push_str(&format!("  \"threads\": {},\n", self.threads));
+        out.push_str(&format!("  \"wall_s\": {},\n", json_f64(self.wall_s)));
+        out.push_str("  \"cells\": [\n");
+        for (i, cell) in self.cells.iter().enumerate() {
+            out.push_str("    {\"cell\": {");
+            for (j, (axis, value)) in cell.coords.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!("{}: {}", json_str(axis), json_str(value)));
+            }
+            out.push_str(&format!(
+                "}}, \"replications\": {}, \"total_s\": {}, \"max_replication_s\": {}}}",
+                cell.replications,
+                json_f64(cell.total_s),
+                json_f64(cell.max_replication_s)
+            ));
+            if i + 1 != self.cells.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
 /// The sweep was cancelled before every task ran; no report is produced.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SweepCancelled;
@@ -549,14 +659,37 @@ impl SweepGrid {
         self.run_cells(self.cells(), threads, task)
     }
 
+    /// Like [`SweepGrid::run`], additionally returning the wall-clock
+    /// [`SweepTimings`] side-channel (which never influences the report).
+    pub fn run_timed<F>(&self, threads: usize, task: F) -> (SweepReport, SweepTimings)
+    where
+        F: Fn(&SweepCell, usize, u64) -> Sample + Sync,
+    {
+        self.run_cells_timed(self.cells(), threads, task)
+    }
+
     /// Runs an explicit cell list (e.g. a filtered subset of
     /// [`SweepGrid::cells`], or cells with adjusted replication counts).
     pub fn run_cells<F>(&self, cells: Vec<SweepCell>, threads: usize, task: F) -> SweepReport
     where
         F: Fn(&SweepCell, usize, u64) -> Sample + Sync,
     {
+        self.run_cells_timed(cells, threads, task).0
+    }
+
+    /// Like [`SweepGrid::run_cells`], additionally returning the wall-clock
+    /// [`SweepTimings`] side-channel.
+    pub fn run_cells_timed<F>(
+        &self,
+        cells: Vec<SweepCell>,
+        threads: usize,
+        task: F,
+    ) -> (SweepReport, SweepTimings)
+    where
+        F: Fn(&SweepCell, usize, u64) -> Sample + Sync,
+    {
         let never = AtomicBool::new(false);
-        self.run_cells_cancellable(cells, threads, &never, task)
+        self.run_cells_instrumented(cells, threads, &never, task)
             .expect("an unset cancel token never cancels")
     }
 
@@ -573,6 +706,24 @@ impl SweepGrid {
     where
         F: Fn(&SweepCell, usize, u64) -> Sample + Sync,
     {
+        self.run_cells_instrumented(cells, threads, cancel, task)
+            .map(|(report, _)| report)
+    }
+
+    /// The instrumented core every run path funnels through: executes the
+    /// task set on the work-stealing pool, folds the deterministic report
+    /// and measures the wall-clock side-channel alongside it.
+    fn run_cells_instrumented<F>(
+        &self,
+        cells: Vec<SweepCell>,
+        threads: usize,
+        cancel: &AtomicBool,
+        task: F,
+    ) -> Result<(SweepReport, SweepTimings), SweepCancelled>
+    where
+        F: Fn(&SweepCell, usize, u64) -> Sample + Sync,
+    {
+        let sweep_start = std::time::Instant::now();
         // Flatten cells × replications into one task set so a slow cell's
         // replications can spread over the pool.
         let tasks: Vec<(usize, usize)> = cells
@@ -580,13 +731,16 @@ impl SweepGrid {
             .enumerate()
             .flat_map(|(c, cell)| (0..cell.replications.max(1)).map(move |r| (c, r)))
             .collect();
-        let slots: Vec<Mutex<Option<Sample>>> = tasks.iter().map(|_| Mutex::new(None)).collect();
+        let slots: Vec<Mutex<Option<(Sample, f64)>>> =
+            tasks.iter().map(|_| Mutex::new(None)).collect();
 
         let completed = run_stealing(tasks.len(), threads, cancel, |t| {
             let (c, r) = tasks[t];
             let cell = &cells[c];
+            let task_start = std::time::Instant::now();
             let sample = task(cell, r, cell.replication_seed(r));
-            *slots[t].lock().expect("no panics while holding a slot") = Some(sample);
+            let elapsed = task_start.elapsed().as_secs_f64();
+            *slots[t].lock().expect("no panics while holding a slot") = Some((sample, elapsed));
         });
         if !completed {
             return Err(SweepCancelled);
@@ -594,25 +748,45 @@ impl SweepGrid {
 
         // Fold in (cell, replication) order — scheduling-independent.
         let mut samples: Vec<Vec<Sample>> = cells.iter().map(|_| Vec::new()).collect();
+        let mut timings: Vec<CellTiming> = cells
+            .iter()
+            .map(|cell| CellTiming {
+                coords: cell.coords.clone(),
+                replications: 0,
+                total_s: 0.0,
+                max_replication_s: 0.0,
+            })
+            .collect();
         for (t, slot) in slots.into_iter().enumerate() {
-            let sample = slot
+            let (sample, elapsed) = slot
                 .into_inner()
                 .expect("worker did not panic")
                 .expect("every task index was claimed");
             samples[tasks[t].0].push(sample);
+            let timing = &mut timings[tasks[t].0];
+            timing.replications += 1;
+            timing.total_s += elapsed;
+            timing.max_replication_s = timing.max_replication_s.max(elapsed);
         }
         let rows = cells
             .iter()
             .zip(samples)
             .map(|(cell, reps)| fold_cell(cell, reps))
             .collect();
-        Ok(SweepReport {
+        let report = SweepReport {
             name: self.name.clone(),
             axes: self.axes.clone(),
             meta: Vec::new(),
             notes: Vec::new(),
             rows,
-        })
+        };
+        let timings = SweepTimings {
+            name: self.name.clone(),
+            threads: threads.max(1),
+            wall_s: sweep_start.elapsed().as_secs_f64(),
+            cells: timings,
+        };
+        Ok((report, timings))
     }
 }
 
@@ -821,6 +995,31 @@ mod tests {
         assert_eq!(report.rows[0].replications, 1);
         assert_eq!(report.rows[1].replications, 3);
         assert!(report.find_row(&[("a", "3")]).is_none());
+    }
+
+    #[test]
+    fn timings_cover_every_cell_without_touching_the_report() {
+        let grid = demo_grid();
+        let (report, timings) = grid.run_timed(3, demo_task);
+        // The side-channel must not perturb the deterministic report.
+        assert_eq!(report.to_json(), grid.run(1, demo_task).to_json());
+        assert_eq!(timings.cells.len(), report.rows.len());
+        for (timing, row) in timings.cells.iter().zip(&report.rows) {
+            assert_eq!(timing.coords, row.coords);
+            assert_eq!(timing.replications, row.replications);
+            assert!(timing.total_s >= timing.max_replication_s);
+            assert!(timing.max_replication_s >= 0.0);
+        }
+        assert!(timings.wall_s >= 0.0);
+        assert_eq!(timings.threads, 3);
+        assert_eq!(timings.slowest().len(), 6);
+        let json = timings.to_json();
+        assert!(json.contains("\"wall_s\""));
+        assert!(json.contains("\"total_s\""));
+        assert!(json.ends_with("}\n"));
+        let summary = timings.summary(2);
+        assert!(summary.contains("6 cells"));
+        assert_eq!(summary.lines().count(), 3, "header + top-2 cells");
     }
 
     #[test]

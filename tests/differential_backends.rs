@@ -7,6 +7,11 @@
 //! `ErasureCodedStore` — must therefore make **identical** decisions, while
 //! the byte-accurate run additionally decodes and verifies every request's
 //! actual coded bytes.
+//!
+//! For the Ceph-style LRU tier the engine's `LruTier` additionally decides
+//! promotions and evictions and mirrors them into the store, so the
+//! byte-accurate run must reproduce the *entire* hit/promotion/eviction
+//! sequence and serve every declared hit from real cached data chunks.
 
 use sprout::{CachePolicyChoice, SproutSystem, SystemSpec};
 use sprout_sim::{Scenario, SimConfig};
@@ -86,35 +91,104 @@ fn decisions_stay_identical_under_a_node_failure_scenario() {
 }
 
 #[test]
-fn byte_backend_rejects_unsupported_configurations() {
+fn lru_tier_decisions_are_identical_and_byte_verified() {
+    // The paper's baseline, byte-accurate: the engine's LruTier is the single
+    // source of truth for hit/miss/promotion/eviction decisions, mirrored
+    // into the store's cache, so the analytic and byte runs must agree on
+    // the full decision sequence while the byte run decodes every request
+    // (hits from real cached data chunks, misses from storage chunks).
+    let system = system();
+    let config = SimConfig::new(15_000.0, 21);
+    let sim = system.simulation(CachePolicyChoice::LruReplicated, None, config);
+
+    let analytic = sim.run();
+    let mut backend = system
+        .byte_backend(CachePolicyChoice::LruReplicated, None, 21)
+        .unwrap();
+    let byte = sim.run_on(&mut backend);
+
+    // Identical hit/miss decisions...
+    assert_eq!(analytic.slots, byte.slots, "chunk-source slot counts");
+    assert_eq!(analytic.node_chunks_served, byte.node_chunks_served);
+    assert_eq!(analytic.completed_requests, byte.completed_requests);
+    assert_eq!(analytic.full_cache_hits, byte.full_cache_hits);
+    // ...and the identical promotion/eviction sequence, mirrored 1:1 into
+    // the store's cache tier.
+    assert_eq!(analytic.cache_promotions, byte.cache_promotions);
+    assert_eq!(analytic.cache_evictions, byte.cache_evictions);
+    assert_eq!(backend.tier_promotions(), byte.cache_promotions);
+    assert_eq!(backend.tier_evictions(), byte.cache_evictions);
+    assert_eq!(backend.tier_mirror_failures(), 0);
+
+    // The run must exercise the tier: hits, promotions and capacity churn.
+    assert!(analytic.full_cache_hits > 0, "LRU hits must occur");
+    assert!(analytic.cache_promotions > 1, "objects must be promoted");
+    assert!(
+        analytic.cache_evictions > 0,
+        "the tier must evict under churn"
+    );
+
+    // Every request — hit or miss — decoded back to the original bytes.
+    assert_eq!(byte.reconstruction_failures, 0);
+    assert_eq!(backend.failed_reconstructions(), 0);
+    assert_eq!(backend.verified_reconstructions(), byte.completed_requests);
+    assert!(byte.completed_requests > 500, "the run must be non-trivial");
+
+    // The mirrored residency stays within the engine tier's object count.
+    let resident = backend.store().cache_stats();
+    assert_eq!(resident.promotions, byte.cache_promotions);
+    assert_eq!(resident.evictions, byte.cache_evictions);
+}
+
+#[test]
+fn byte_backend_validates_plan_requirements() {
     let system = system();
     let plan = system.optimize().unwrap();
-    // LRU tier is engine-side state: not byte-modelled yet.
-    assert!(system
-        .byte_backend(CachePolicyChoice::LruReplicated, None, 1)
-        .is_err());
     // Planned policies need a plan.
     assert!(system
         .byte_backend(CachePolicyChoice::Functional, None, 1)
         .is_err());
-    // NoCache needs neither.
+    // Every policy is supported once its inputs are in place — including the
+    // formerly-rejected LRU tier.
     assert!(system
         .byte_backend(CachePolicyChoice::NoCache, None, 1)
         .is_ok());
     assert!(system
         .byte_backend(CachePolicyChoice::Exact, Some(&plan), 1)
         .is_ok());
+    assert!(system
+        .byte_backend(CachePolicyChoice::LruReplicated, None, 1)
+        .is_ok());
 }
 
 #[test]
-#[should_panic(expected = "LRU cache tier")]
-fn lru_scheme_swap_panics_on_the_byte_backend_instead_of_miscounting() {
-    use sprout_sim::ChunkBackend;
+fn swapping_to_the_lru_scheme_mid_run_stays_byte_verified() {
+    // A scenario flips the running system from no caching to the LRU tier;
+    // the byte backend drops its cache cold and then mirrors the fresh
+    // tier's decisions, so every request still decode-verifies.
     let system = system();
+    let config = SimConfig::new(10_000.0, 13);
+    let scenario = sprout_sim::Scenario::default().swap_scheme(
+        5_000.0,
+        sprout_sim::CacheScheme::ceph_lru(system.spec().cache_capacity_chunks),
+    );
+    let sim = system
+        .simulation(CachePolicyChoice::NoCache, None, config)
+        .with_scenario(scenario);
+
+    let analytic = sim.run();
     let mut backend = system
-        .byte_backend(CachePolicyChoice::NoCache, None, 1)
+        .byte_backend(CachePolicyChoice::NoCache, None, 13)
         .unwrap();
-    // Swapping the LRU tier in mid-run would make the engine report cache
-    // hits this store never populated; the backend must reject it loudly.
-    backend.apply_scheme(&sprout_sim::CacheScheme::ceph_lru(100));
+    let byte = sim.run_on(&mut backend);
+
+    assert_eq!(analytic.slots, byte.slots);
+    assert_eq!(analytic.cache_promotions, byte.cache_promotions);
+    assert!(
+        byte.cache_promotions > 0,
+        "the swapped-in tier must promote"
+    );
+    assert_eq!(byte.reconstruction_failures, 0);
+    assert_eq!(backend.tier_mirror_failures(), 0);
+    assert_eq!(backend.verified_reconstructions(), byte.completed_requests);
 }
