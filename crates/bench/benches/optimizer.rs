@@ -3,7 +3,7 @@
 //! single objective/gradient evaluation (the inner-loop primitive).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use sprout::optimizer::{objective, optimize, FileModel, OptimizerConfig, StorageModel};
+use sprout::optimizer::{objective, FileModel, Optimizer, OptimizerConfig, StorageModel};
 use sprout::queueing::dist::ServiceDistribution;
 
 fn build_model(files: usize) -> StorageModel {
@@ -32,7 +32,11 @@ fn optimizer_benches(c: &mut Criterion) {
         let model = build_model(files);
         let cache = files; // one chunk per file on average
         group.bench_with_input(BenchmarkId::from_parameter(files), &model, |b, model| {
-            b.iter(|| optimize(model, cache, &OptimizerConfig::fast()).unwrap());
+            b.iter(|| {
+                Optimizer::new(OptimizerConfig::fast())
+                    .run(model, cache)
+                    .unwrap()
+            });
         });
     }
     group.finish();

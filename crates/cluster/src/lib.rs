@@ -8,8 +8,10 @@
 //! * [`device`] — per-device chunk service-time models (HDD-backed OSDs and
 //!   the SSD cache) calibrated to the measurements in Tables IV and V of the
 //!   paper, with arbitrary chunk sizes handled by interpolation.
-//! * [`placement`] — CRUSH-like pseudo-random placement of coded chunks onto
-//!   distinct storage nodes via placement groups.
+//! * [`placement`] — the [`Placement`] strategy seam: a zoo of deterministic
+//!   chunk-placement policies (the legacy CRUSH-like placement-group map,
+//!   consistent hashing, two-choices, XOR proximity, zone anti-affinity)
+//!   plus the rebalance hook that prices membership changes.
 //! * [`node`] — storage nodes that hold real chunk bytes and serve reads
 //!   through a FIFO queue in virtual time.
 //! * [`tier`] — the [`CacheTier`] contract (promotion, eviction, hit lookup,
@@ -67,6 +69,8 @@ pub mod tier;
 pub use cache::CachePolicy;
 pub use device::DeviceModel;
 pub use error::ClusterError;
-pub use placement::PlacementMap;
+pub use placement::{
+    ClusterView, ObjectDesc, Placement, PlacementChoice, PlacementMap, RebalanceReport,
+};
 pub use store::{ClusterConfig, ClusterConfigBuilder, ErasureCodedStore, ReadOutcome};
 pub use tier::{Admission, CacheTier, LruTier, TierStats};

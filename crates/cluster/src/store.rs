@@ -11,7 +11,7 @@ use crate::cache::{Cache, CachePolicy, CacheStats};
 use crate::device::DeviceModel;
 use crate::error::ClusterError;
 use crate::node::StorageNode;
-use crate::placement::PlacementMap;
+use crate::placement::{ClusterView, ObjectDesc, Placement, PlacementChoice};
 
 /// Static description of a cluster.
 #[derive(Debug, Clone, PartialEq)]
@@ -32,8 +32,9 @@ pub struct ClusterConfig {
     pub cache_device: DeviceModel,
     /// Seed for placement and service-time sampling.
     pub seed: u64,
-    /// Number of placement groups (defaults to 100 per node).
-    pub placement_groups: Option<usize>,
+    /// Chunk-placement strategy (defaults to the paper's random placement
+    /// groups, [`PlacementChoice::RandomGroups`]).
+    pub placement: PlacementChoice,
 }
 
 impl ClusterConfig {
@@ -54,7 +55,7 @@ pub struct ClusterConfigBuilder {
     cache_capacity_bytes: u64,
     cache_device: DeviceModel,
     seed: u64,
-    placement_groups: Option<usize>,
+    placement: PlacementChoice,
 }
 
 impl Default for ClusterConfigBuilder {
@@ -68,7 +69,7 @@ impl Default for ClusterConfigBuilder {
             cache_capacity_bytes: 10 * 1_000_000_000,
             cache_device: DeviceModel::ssd(),
             seed: 0,
-            placement_groups: None,
+            placement: PlacementChoice::default(),
         }
     }
 }
@@ -123,9 +124,18 @@ impl ClusterConfigBuilder {
         self
     }
 
-    /// Sets the number of placement groups.
+    /// Sets the chunk-placement strategy.
+    pub fn placement(&mut self, placement: PlacementChoice) -> &mut Self {
+        self.placement = placement;
+        self
+    }
+
+    /// Sets the number of placement groups of the random-groups strategy.
+    #[deprecated(note = "use .placement(PlacementChoice::RandomGroups { groups: Some(g) })")]
     pub fn placement_groups(&mut self, groups: usize) -> &mut Self {
-        self.placement_groups = Some(groups);
+        self.placement = PlacementChoice::RandomGroups {
+            groups: Some(groups),
+        };
         self
     }
 
@@ -143,7 +153,7 @@ impl ClusterConfigBuilder {
             cache_capacity_bytes: self.cache_capacity_bytes,
             cache_device: self.cache_device,
             seed: self.seed,
-            placement_groups: self.placement_groups,
+            placement: self.placement.clone(),
         }
     }
 }
@@ -187,7 +197,8 @@ pub struct ErasureCodedStore {
     config: ClusterConfig,
     codec: FunctionalCacheCodec,
     nodes: Vec<StorageNode>,
-    placement: PlacementMap,
+    placement: Box<dyn Placement>,
+    view: ClusterView,
     cache: Cache,
     objects: HashMap<u64, ObjectMeta>,
     rng: StdRng,
@@ -226,10 +237,8 @@ impl ErasureCodedStore {
             .enumerate()
             .map(|(id, &device)| StorageNode::new(id, device))
             .collect();
-        let placement = match config.placement_groups {
-            Some(groups) => PlacementMap::with_groups(config.num_nodes, groups, config.seed),
-            None => PlacementMap::new(config.num_nodes, config.seed),
-        };
+        let placement = config.placement.build(config.num_nodes, config.seed);
+        let view = ClusterView::all_online(config.num_nodes);
         let cache = Cache::new(config.cache_policy, config.cache_capacity_bytes);
         let rng = StdRng::seed_from_u64(config.seed ^ 0xC0FF_EE00);
         Ok(ErasureCodedStore {
@@ -237,6 +246,7 @@ impl ErasureCodedStore {
             codec,
             nodes,
             placement,
+            view,
             cache,
             objects: HashMap::new(),
             rng,
@@ -323,7 +333,7 @@ impl ErasureCodedStore {
     ///
     /// Propagates coding errors.
     pub fn put(&mut self, object: u64, data: &[u8]) -> Result<(), ClusterError> {
-        let placement = self.placement.place(object, self.config.n);
+        let placement = self.placement.place(object, self.config.n, &self.view);
         self.put_with_placement(object, data, placement)
     }
 
@@ -391,6 +401,34 @@ impl ErasureCodedStore {
     /// Panics if the node id is out of range.
     pub fn set_node_online(&mut self, node: usize, online: bool) {
         self.nodes[node].set_online(online);
+        self.view = self.view.with_node_online(node, online);
+    }
+
+    /// The placement strategy writes route through.
+    pub fn placement_strategy(&self) -> &dyn Placement {
+        self.placement.as_ref()
+    }
+
+    /// The store's current membership view (updated by
+    /// [`set_node_online`](Self::set_node_online)).
+    pub fn cluster_view(&self) -> &ClusterView {
+        &self.view
+    }
+
+    /// Descriptors of every stored object, sorted by id — the input
+    /// [`Placement::on_membership_change`] prices a rebalance against.
+    pub fn object_descs(&self) -> Vec<ObjectDesc> {
+        let mut descs: Vec<ObjectDesc> = self
+            .objects
+            .iter()
+            .map(|(&id, meta)| ObjectDesc {
+                id,
+                n: meta.placement.len(),
+                chunk_bytes: (meta.len as u64).div_ceil(self.config.k as u64),
+            })
+            .collect();
+        descs.sort_by_key(|d| d.id);
+        descs
     }
 
     /// Installs `d` planner-chosen chunks of an object into the cache

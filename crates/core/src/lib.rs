@@ -70,6 +70,7 @@ pub use backend::StoreBackend;
 pub use error::SproutError;
 pub use scenario::{ScenarioActionSpec, ScenarioEventSpec, ScenarioSpec};
 pub use spec::{FileConfig, SystemSpec, SystemSpecBuilder};
+pub use sprout_cluster::{ClusterView, Placement, PlacementChoice, RebalanceReport};
 pub use sweep::{policy_label, SimSweep, SweepBackend};
 pub use system::{CachePolicyChoice, PolicyComparison, SproutSystem};
 pub use timebins::{BinOutcome, CacheDelta, TimeBinManager};

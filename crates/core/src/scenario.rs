@@ -103,6 +103,7 @@ impl ScenarioSpec {
         });
 
         let mut rates: Vec<f64> = system.spec().files.iter().map(|f| f.arrival_rate).collect();
+        let mut down: std::collections::BTreeSet<usize> = std::collections::BTreeSet::new();
         let mut compiled = Vec::with_capacity(ordered.len());
         for event in ordered {
             let action = match &event.action {
@@ -113,6 +114,7 @@ impl ScenarioSpec {
                             self.name
                         )));
                     }
+                    down.insert(*node);
                     ScenarioAction::NodeDown { node: *node }
                 }
                 ScenarioActionSpec::NodeUp { node } => {
@@ -122,6 +124,7 @@ impl ScenarioSpec {
                             self.name
                         )));
                     }
+                    down.remove(node);
                     ScenarioAction::NodeUp { node: *node }
                 }
                 ScenarioActionSpec::SetRates { rates: next } => {
@@ -146,8 +149,12 @@ impl ScenarioSpec {
                     }
                 }
                 ScenarioActionSpec::Reoptimize => {
+                    // Failure-aware: nodes down at this point in the event
+                    // order are excluded from the recompiled plan, so the
+                    // swapped-in scheme never schedules reads onto them.
                     let current = system.with_arrival_rates(&rates)?;
-                    let plan = current.optimize_with(optimizer)?;
+                    let excluded: Vec<usize> = down.iter().copied().collect();
+                    let plan = current.optimize_excluding(optimizer, &excluded)?;
                     let scheme = current.cache_scheme(CachePolicyChoice::Functional, Some(&plan));
                     ScenarioAction::SwapScheme { scheme }
                 }

@@ -1,7 +1,7 @@
 //! System specifications: nodes, files, codes, placement and cache size.
 
 use serde::{Deserialize, Serialize};
-use sprout_cluster::PlacementMap;
+use sprout_cluster::{ClusterView, PlacementChoice};
 use sprout_queueing::dist::ServiceDistribution;
 
 use crate::error::SproutError;
@@ -53,6 +53,9 @@ pub struct SystemSpec {
     pub cache_capacity_chunks: usize,
     /// Seed used for placement and simulation reproducibility.
     pub seed: u64,
+    /// Strategy assigning chunks of files without an explicit placement to
+    /// nodes (defaults to the paper's random placement groups).
+    pub placement: PlacementChoice,
 }
 
 impl SystemSpec {
@@ -62,7 +65,10 @@ impl SystemSpec {
     }
 
     /// Resolves every file's placement: files without an explicit placement
-    /// are assigned one by the CRUSH-like placement map.
+    /// are assigned one by the configured [`PlacementChoice`] strategy with
+    /// every node online. File `i` places as object id `i`; auto-placed files
+    /// go through [`Placement::place_batch`](sprout_cluster::Placement) in
+    /// file order so load-aware strategies spread the whole population.
     ///
     /// # Errors
     ///
@@ -70,8 +76,26 @@ impl SystemSpec {
     /// malformed (wrong length, duplicate or out-of-range nodes) or if a file
     /// needs more nodes than the cluster has.
     pub fn resolved_placements(&self) -> Result<Vec<Vec<usize>>, SproutError> {
-        let map = PlacementMap::new(self.node_services.len().max(1), self.seed);
-        let mut out = Vec::with_capacity(self.files.len());
+        self.resolved_placements_under(&ClusterView::all_online(self.node_services.len().max(1)))
+    }
+
+    /// [`resolved_placements`](Self::resolved_placements) under an explicit
+    /// membership view: auto-placed files only land on online nodes. The view
+    /// must describe this spec's cluster.
+    ///
+    /// # Errors
+    ///
+    /// As [`resolved_placements`](Self::resolved_placements); additionally if
+    /// a file needs more nodes than the view has online.
+    pub fn resolved_placements_under(
+        &self,
+        view: &ClusterView,
+    ) -> Result<Vec<Vec<usize>>, SproutError> {
+        let strategy = self
+            .placement
+            .build(self.node_services.len().max(1), self.seed);
+        let mut out: Vec<Option<Vec<usize>>> = Vec::with_capacity(self.files.len());
+        let mut auto: Vec<(u64, usize)> = Vec::new();
         for (i, file) in self.files.iter().enumerate() {
             if file.n > self.node_services.len() {
                 return Err(SproutError::InvalidSpec(format!(
@@ -80,7 +104,14 @@ impl SystemSpec {
                     self.node_services.len()
                 )));
             }
-            let placement = match &file.placement {
+            if file.n > view.online_count() {
+                return Err(SproutError::InvalidSpec(format!(
+                    "file {i} needs {} nodes but only {} are online",
+                    file.n,
+                    view.online_count()
+                )));
+            }
+            match &file.placement {
                 Some(p) => {
                     if p.len() != file.n {
                         return Err(SproutError::InvalidSpec(format!(
@@ -97,13 +128,22 @@ impl SystemSpec {
                             )));
                         }
                     }
-                    p.clone()
+                    out.push(Some(p.clone()));
                 }
-                None => map.place(i as u64, file.n),
-            };
-            out.push(placement);
+                None => {
+                    auto.push((i as u64, file.n));
+                    out.push(None);
+                }
+            }
         }
-        Ok(out)
+        let placed = strategy.place_batch(&auto, view);
+        for ((i, _), placement) in auto.into_iter().zip(placed) {
+            out[i as usize] = Some(placement);
+        }
+        Ok(out
+            .into_iter()
+            .map(|p| p.expect("every slot filled"))
+            .collect())
     }
 }
 
@@ -114,6 +154,7 @@ pub struct SystemSpecBuilder {
     files: Vec<FileConfig>,
     cache_capacity_chunks: usize,
     seed: u64,
+    placement: PlacementChoice,
 }
 
 impl SystemSpecBuilder {
@@ -175,6 +216,13 @@ impl SystemSpecBuilder {
         self
     }
 
+    /// Sets the chunk-placement strategy for files without an explicit
+    /// placement (defaults to the paper's random placement groups).
+    pub fn placement_strategy(&mut self, placement: PlacementChoice) -> &mut Self {
+        self.placement = placement;
+        self
+    }
+
     /// Validates and builds the specification.
     ///
     /// # Errors
@@ -201,6 +249,7 @@ impl SystemSpecBuilder {
             files: self.files.clone(),
             cache_capacity_chunks: self.cache_capacity_chunks,
             seed: self.seed,
+            placement: self.placement.clone(),
         };
         // Validate explicit placements eagerly so errors surface at build time.
         spec.resolved_placements()?;
@@ -280,6 +329,44 @@ mod tests {
             .uniform_files(1, 2, 3, 0.1)
             .build()
             .is_err());
+    }
+
+    #[test]
+    fn placement_strategy_changes_auto_placements_only() {
+        let mut base = SystemSpec::builder();
+        base.node_service_rates(&[0.1; 12])
+            .uniform_files(50, 4, 7, 0.01)
+            .file(FileConfig::new(0.01, 7, 4, 0).with_placement(vec![0, 1, 2, 3, 4, 5, 6]))
+            .cache_capacity_chunks(4)
+            .seed(9);
+        let random = base.build().unwrap();
+        let ring = base
+            .placement_strategy(PlacementChoice::ConsistentHash { vnodes: 64 })
+            .build()
+            .unwrap();
+        let a = random.resolved_placements().unwrap();
+        let b = ring.resolved_placements().unwrap();
+        // The pinned file keeps its placement under every strategy…
+        assert_eq!(a[50], vec![0, 1, 2, 3, 4, 5, 6]);
+        assert_eq!(b[50], vec![0, 1, 2, 3, 4, 5, 6]);
+        // …while at least one auto-placed file moves.
+        assert_ne!(a, b);
+        assert!(b.iter().all(|p| p.len() == 7));
+    }
+
+    #[test]
+    fn placements_under_a_degraded_view_avoid_the_down_node() {
+        let spec = SystemSpec::builder()
+            .node_service_rates(&[0.1; 12])
+            .uniform_files(20, 4, 7, 0.01)
+            .cache_capacity_chunks(4)
+            .seed(9)
+            .build()
+            .unwrap();
+        let view = ClusterView::all_online(12).with_node_online(3, false);
+        let placements = spec.resolved_placements_under(&view).unwrap();
+        assert!(placements.iter().all(|p| !p.contains(&3)));
+        assert!(placements.iter().all(|p| p.len() == 7));
     }
 
     #[test]

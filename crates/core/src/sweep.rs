@@ -22,12 +22,13 @@
 
 use std::sync::OnceLock;
 
+use sprout_cluster::{ClusterView, PlacementChoice, RebalanceReport};
 use sprout_optimizer::{CachePlan, OptimizerConfig};
 use sprout_sim::sweep::{Sample, SweepCell, SweepGrid, SweepReport, SweepTimings};
 use sprout_sim::{SimConfig, SimReport, Simulation};
 
 use crate::error::SproutError;
-use crate::scenario::ScenarioSpec;
+use crate::scenario::{ScenarioActionSpec, ScenarioSpec};
 use crate::spec::SystemSpec;
 use crate::system::{CachePolicyChoice, SproutSystem};
 
@@ -74,6 +75,10 @@ pub struct SimSweep {
     cache_sizes: Vec<usize>,
     load_points: Vec<f64>,
     backends: Vec<SweepBackend>,
+    /// Optional placement axis. `None` (the default) omits the axis entirely
+    /// so legacy grids keep their coordinate-derived cell seeds and artifacts
+    /// stay byte-identical.
+    placements: Option<Vec<PlacementChoice>>,
     replications: usize,
     byte_replications: Option<usize>,
     byte_object_bytes: Option<u64>,
@@ -91,6 +96,10 @@ struct CellContext {
     /// The (possibly size-rescaled) system to build byte backends from;
     /// `None` for analytic cells.
     byte_system: Option<SproutSystem>,
+    /// Total analytic rebalance cost of the cell's churn events under the
+    /// cell's placement strategy; attached only when the sweep has a
+    /// placement axis.
+    rebalance: Option<RebalanceReport>,
 }
 
 impl SimSweep {
@@ -109,6 +118,7 @@ impl SimSweep {
             cache_sizes: vec![system.spec().cache_capacity_chunks],
             load_points: vec![1.0],
             backends: vec![SweepBackend::Analytic],
+            placements: None,
             replications: 1,
             byte_replications: None,
             byte_object_bytes: None,
@@ -166,6 +176,28 @@ impl SimSweep {
         self
     }
 
+    /// Adds a placement-strategy axis: each cell's system uses its strategy
+    /// for auto-placed files, and churn scenarios report the strategy's
+    /// analytic rebalance cost (`rebalance_*` metrics). Configuring this
+    /// axis changes every cell's coordinate-derived seed, so it is opt-in;
+    /// sweeps without it are byte-identical to earlier releases.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `placements` is empty or two choices share a label.
+    pub fn placements(mut self, placements: Vec<PlacementChoice>) -> Self {
+        assert!(!placements.is_empty(), "placement axis must not be empty");
+        for (i, p) in placements.iter().enumerate() {
+            assert!(
+                placements[..i].iter().all(|o| o.label() != p.label()),
+                "duplicate placement label '{}' on the axis",
+                p.label()
+            );
+        }
+        self.placements = Some(placements);
+        self
+    }
+
     /// Sets the replications per cell.
     pub fn replications(mut self, replications: usize) -> Self {
         assert!(replications > 0, "replications must be positive");
@@ -204,12 +236,16 @@ impl SimSweep {
         self
     }
 
-    /// The sweep grid: axes `scenario`, `policy`, `cache_chunks`, `load`,
-    /// `backend`, in that order, seeded from the config seed.
+    /// The sweep grid: axes `scenario`, (`placement` when configured),
+    /// `policy`, `cache_chunks`, `load`, `backend`, in that order, seeded
+    /// from the config seed.
     pub fn grid(&self) -> SweepGrid {
-        SweepGrid::named(&self.name, self.config.seed)
-            .axis("scenario", self.scenarios.iter().map(|s| s.name.clone()))
-            .axis("policy", self.policies.iter().map(|&p| policy_label(p)))
+        let mut grid = SweepGrid::named(&self.name, self.config.seed)
+            .axis("scenario", self.scenarios.iter().map(|s| s.name.clone()));
+        if let Some(placements) = &self.placements {
+            grid = grid.axis("placement", placements.iter().map(|p| p.label()));
+        }
+        grid.axis("policy", self.policies.iter().map(|&p| policy_label(p)))
             .axis(
                 "cache_chunks",
                 self.cache_sizes.iter().map(|c| c.to_string()),
@@ -318,6 +354,9 @@ impl SimSweep {
         for file in &mut spec.files {
             file.arrival_rate *= load;
         }
+        if let Some(placements) = &self.placements {
+            spec.placement = placements[cell.idx("placement")].clone();
+        }
         let system = SproutSystem::new(spec)?;
         let plan = match policy.requires_plan() {
             true => Some(system.optimize_with(&self.optimizer)?),
@@ -340,12 +379,37 @@ impl SimSweep {
                 Some(SproutSystem::new(byte_spec)?)
             }
         };
+        let rebalance = self
+            .placements
+            .as_ref()
+            .map(|_| Self::churn_rebalance(&system, scenario_spec));
         Ok(CellContext {
             sim,
             plan,
             policy,
             byte_system,
+            rebalance,
         })
+    }
+
+    /// Replays a scenario's membership events in time order and sums the
+    /// rebalance the system's placement strategy would perform at each one —
+    /// the strategy-response cost a real cluster would pay in data movement.
+    fn churn_rebalance(system: &SproutSystem, scenario: &ScenarioSpec) -> RebalanceReport {
+        let mut ordered: Vec<_> = scenario.events.iter().collect();
+        ordered.sort_by(|a, b| a.at.total_cmp(&b.at));
+        let mut view = ClusterView::all_online(system.spec().node_services.len());
+        let mut total = RebalanceReport::default();
+        for event in ordered {
+            let after = match &event.action {
+                ScenarioActionSpec::NodeDown { node } => view.with_node_online(*node, false),
+                ScenarioActionSpec::NodeUp { node } => view.with_node_online(*node, true),
+                _ => continue,
+            };
+            total.absorb(system.rebalance_report(&view, &after));
+            view = after;
+        }
+        total
     }
 
     /// Runs one replication of a cell and folds its report into a sample.
@@ -380,6 +444,12 @@ impl SimSweep {
             .metric("cache_fraction", report.slots.cache_fraction());
         if let Some(plan) = &ctx.plan {
             sample = sample.metric("analytic_bound_s", plan.objective);
+        }
+        if let Some(rebalance) = &ctx.rebalance {
+            sample = sample
+                .metric("rebalance_objects", rebalance.objects_moved as f64)
+                .metric("rebalance_chunks", rebalance.moved_chunks as f64)
+                .metric("rebalance_bytes", rebalance.moved_bytes as f64);
         }
         sample = sample
             .counter("completed", report.completed_requests)
@@ -455,6 +525,108 @@ mod tests {
         );
         assert_eq!(grid.len(), 2 * 2 * 2 * 2 * 2);
         assert_eq!(grid.axes()[3].values, vec!["0.5", "1"]);
+    }
+
+    #[test]
+    fn placement_axis_is_opt_in_and_slots_in_after_scenario() {
+        let system = small_system();
+        let base = SimSweep::new("zoo", &system, SimConfig::new(100.0, 1)).cache_sizes(vec![2, 6]);
+        // Without the axis the grid keeps the legacy five dimensions (and
+        // therefore the legacy coordinate-derived cell seeds).
+        let legacy: Vec<String> = base.grid().axes().iter().map(|a| a.name.clone()).collect();
+        assert_eq!(
+            legacy,
+            vec!["scenario", "policy", "cache_chunks", "load", "backend"]
+        );
+        let sweep = base.placements(vec![
+            PlacementChoice::default(),
+            PlacementChoice::ConsistentHash { vnodes: 64 },
+        ]);
+        let names: Vec<String> = sweep.grid().axes().iter().map(|a| a.name.clone()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "scenario",
+                "placement",
+                "policy",
+                "cache_chunks",
+                "load",
+                "backend"
+            ]
+        );
+        assert_eq!(sweep.grid().len(), 2 * 2);
+        assert_eq!(sweep.grid().axes()[1].values, vec!["random", "ring64"]);
+    }
+
+    #[test]
+    fn placement_cells_run_and_report_rebalance_under_churn() {
+        let spec = SystemSpec::builder()
+            .node_service_rates(&[0.6, 0.6, 0.45, 0.45, 0.3, 0.3])
+            .uniform_files(6, 2, 4, 0.04)
+            .cache_capacity_chunks(6)
+            .seed(3)
+            .build()
+            .unwrap();
+        let mut spec = spec;
+        for f in &mut spec.files {
+            f.size_bytes = 8 * 1024;
+        }
+        let system = SproutSystem::new(spec).unwrap();
+        let report = SimSweep::new("churn", &system, SimConfig::new(2_000.0, 7))
+            .scenarios(vec![
+                ScenarioSpec::named("steady"),
+                ScenarioSpec::named("churn")
+                    .at(500.0, ScenarioActionSpec::NodeDown { node: 0 })
+                    .at(1_500.0, ScenarioActionSpec::NodeUp { node: 0 }),
+            ])
+            .placements(vec![
+                PlacementChoice::default(),
+                PlacementChoice::XorProximity,
+            ])
+            .run(2)
+            .unwrap();
+        assert_eq!(report.rows.len(), 4);
+        for row in &report.rows {
+            assert!(row.counter("completed").unwrap() > 0);
+            let rebalance = row.metric("rebalance_chunks").unwrap().mean;
+            if row.coord("scenario") == "steady" {
+                assert_eq!(rebalance, 0.0, "no churn, no movement");
+            } else {
+                // A down/up cycle re-places at least one object's chunks
+                // under every strategy in the zoo.
+                assert!(rebalance > 0.0, "{}: no rebalance", row.coord("placement"));
+                assert!(row.metric("rebalance_bytes").unwrap().mean > 0.0);
+            }
+        }
+        // Placement changes the system, so latency samples differ by strategy.
+        let random = report
+            .find_row(&[("scenario", "churn"), ("placement", "random")])
+            .unwrap();
+        let xor = report
+            .find_row(&[("scenario", "churn"), ("placement", "xor")])
+            .unwrap();
+        assert_ne!(
+            random.metric("mean_latency_s").unwrap().mean,
+            xor.metric("mean_latency_s").unwrap().mean
+        );
+    }
+
+    #[test]
+    fn placement_axis_report_is_bit_identical_across_worker_counts() {
+        let system = small_system();
+        let sweep = SimSweep::new("det_zoo", &system, SimConfig::new(1_000.0, 11))
+            .scenarios(vec![ScenarioSpec::named("churn")
+                .at(200.0, ScenarioActionSpec::NodeDown { node: 0 })
+                .at(800.0, ScenarioActionSpec::NodeUp { node: 0 })])
+            .placements(vec![
+                PlacementChoice::default(),
+                PlacementChoice::TwoChoices,
+                PlacementChoice::AntiAffinity { zones: 3 },
+            ])
+            .replications(2);
+        let one = sweep.run(1).unwrap().to_json();
+        let four = sweep.run(4).unwrap().to_json();
+        assert_eq!(one, four);
     }
 
     #[test]

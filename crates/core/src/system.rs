@@ -1,9 +1,8 @@
 //! The [`SproutSystem`] facade: optimize → analyze → simulate.
 
 use serde::{Deserialize, Serialize};
-use sprout_optimizer::{
-    optimize, optimize_from, CachePlan, FileModel, OptimizerConfig, StorageModel,
-};
+use sprout_cluster::{ClusterView, ObjectDesc, RebalanceReport};
+use sprout_optimizer::{CachePlan, FileModel, Optimizer, OptimizerConfig, StorageModel};
 use sprout_sim::policy::SchedulingRule;
 use sprout_sim::{CacheScheme, SimConfig, SimFile, SimReport, Simulation};
 
@@ -119,11 +118,7 @@ impl SproutSystem {
     ///
     /// Propagates optimizer errors (e.g. an unstable system).
     pub fn optimize(&self) -> Result<CachePlan, SproutError> {
-        Ok(optimize(
-            &self.model,
-            self.spec.cache_capacity_chunks,
-            &OptimizerConfig::default(),
-        )?)
+        self.optimize_with(&OptimizerConfig::default())
     }
 
     /// Runs Algorithm 1 with a custom configuration.
@@ -132,11 +127,7 @@ impl SproutSystem {
     ///
     /// Propagates optimizer errors.
     pub fn optimize_with(&self, config: &OptimizerConfig) -> Result<CachePlan, SproutError> {
-        Ok(optimize(
-            &self.model,
-            self.spec.cache_capacity_chunks,
-            config,
-        )?)
+        Ok(Optimizer::new(*config).run(&self.model, self.spec.cache_capacity_chunks)?)
     }
 
     /// Runs Algorithm 1 warm-started from a previous plan's scheduling (the
@@ -150,12 +141,85 @@ impl SproutSystem {
         config: &OptimizerConfig,
         previous: &CachePlan,
     ) -> Result<CachePlan, SproutError> {
-        Ok(optimize_from(
-            &self.model,
-            self.spec.cache_capacity_chunks,
-            config,
-            &previous.scheduling,
-        )?)
+        Ok(Optimizer::new(*config)
+            .warm_start(previous)
+            .run(&self.model, self.spec.cache_capacity_chunks)?)
+    }
+
+    /// Runs Algorithm 1 on a *degraded* model: the nodes in `down` are
+    /// removed from every file's candidate set, so the plan schedules no
+    /// storage read onto a failed node. Scheduling rows keep their full
+    /// length `m` (down nodes simply carry probability zero), so the plan
+    /// drops into the simulation engine unchanged. An empty `down` list is
+    /// exactly [`optimize_with`](Self::optimize_with).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SproutError::InvalidSpec`] if a file retains fewer than `k`
+    /// online hosts (it cannot be reconstructed from storage at all);
+    /// propagates optimizer errors.
+    pub fn optimize_excluding(
+        &self,
+        config: &OptimizerConfig,
+        down: &[usize],
+    ) -> Result<CachePlan, SproutError> {
+        if down.is_empty() {
+            return self.optimize_with(config);
+        }
+        let nodes = self
+            .spec
+            .node_services
+            .iter()
+            .map(|d| d.moments())
+            .collect::<Vec<_>>();
+        let files = self
+            .spec
+            .files
+            .iter()
+            .zip(&self.placements)
+            .enumerate()
+            .map(|(i, (f, p))| {
+                let surviving: Vec<usize> =
+                    p.iter().copied().filter(|n| !down.contains(n)).collect();
+                if surviving.len() < f.k {
+                    return Err(SproutError::InvalidSpec(format!(
+                        "file {i} keeps only {} of {} hosts with nodes {down:?} down \
+                         but needs k = {}",
+                        surviving.len(),
+                        p.len(),
+                        f.k
+                    )));
+                }
+                Ok(FileModel::new(f.arrival_rate, f.k, surviving))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let degraded = StorageModel::new(nodes, files)?;
+        Ok(Optimizer::new(*config).run(&degraded, self.spec.cache_capacity_chunks)?)
+    }
+
+    /// Prices the rebalance the spec's placement strategy would perform on a
+    /// membership change: every auto-placed file is re-placed under `before`
+    /// and `after` views and chunks landing on new nodes are counted (files
+    /// with an explicit placement are pinned and never move). Chunk sizes
+    /// come from each file's `size_bytes`.
+    pub fn rebalance_report(&self, before: &ClusterView, after: &ClusterView) -> RebalanceReport {
+        let strategy = self
+            .spec
+            .placement
+            .build(self.spec.node_services.len().max(1), self.spec.seed);
+        let objects: Vec<ObjectDesc> = self
+            .spec
+            .files
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.placement.is_none())
+            .map(|(i, f)| ObjectDesc {
+                id: i as u64,
+                n: f.n,
+                chunk_bytes: f.size_bytes.div_ceil(f.k.max(1) as u64),
+            })
+            .collect();
+        strategy.on_membership_change(&objects, before, after)
     }
 
     /// Returns a copy of the system with new per-file arrival rates (a new

@@ -20,33 +20,125 @@ fn to_unstable(e: sprout_queueing::stability::StabilityError) -> OptimizerError 
     }
 }
 
+/// Config-first entry point to Algorithm 1.
+///
+/// Carries the [`OptimizerConfig`] and an optional warm start, so call sites
+/// configure once and run against any number of models:
+///
+/// ```
+/// use sprout_optimizer::{FileModel, Optimizer, OptimizerConfig, StorageModel};
+/// use sprout_queueing::dist::ServiceDistribution;
+///
+/// let nodes = vec![
+///     ServiceDistribution::exponential(1.0).moments(),
+///     ServiceDistribution::exponential(0.8).moments(),
+///     ServiceDistribution::exponential(0.5).moments(),
+/// ];
+/// let files = vec![FileModel::new(0.05, 2, vec![0, 1, 2])];
+/// let model = StorageModel::new(nodes, files)?;
+/// let optimizer = Optimizer::new(OptimizerConfig::default());
+/// let cold = optimizer.run(&model, 1)?;
+/// let warm = optimizer.warm_start(&cold).run(&model, 2)?;
+/// assert!(warm.objective <= cold.objective + 1e-9);
+/// # Ok::<(), sprout_optimizer::OptimizerError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Optimizer {
+    config: OptimizerConfig,
+    initial_pi: Option<Vec<Vec<f64>>>,
+}
+
+impl Optimizer {
+    /// Creates an optimizer with the given configuration and no warm start.
+    pub fn new(config: OptimizerConfig) -> Self {
+        Optimizer {
+            config,
+            initial_pi: None,
+        }
+    }
+
+    /// The configuration this optimizer runs with.
+    pub fn config(&self) -> &OptimizerConfig {
+        &self.config
+    }
+
+    /// Warm-starts from a previous plan's scheduling probabilities (the paper
+    /// warm-starts across cache sizes in its convergence experiment).
+    #[must_use]
+    pub fn warm_start(mut self, plan: &CachePlan) -> Self {
+        self.initial_pi = Some(plan.scheduling.clone());
+        self
+    }
+
+    /// Warm-starts from raw scheduling probabilities.
+    #[must_use]
+    pub fn warm_start_pi(mut self, initial_pi: Vec<Vec<f64>>) -> Self {
+        self.initial_pi = Some(initial_pi);
+        self
+    }
+
+    /// Runs Algorithm 1 on `model` with a cache of `cache_capacity` chunks.
+    ///
+    /// Values larger than `Σ_i k_i` are silently clamped (a bigger cache
+    /// cannot help further). Starts from the warm-start point if one was set,
+    /// otherwise from the default no-cache, uniform-scheduling point.
+    ///
+    /// # Errors
+    ///
+    /// * [`OptimizerError::UnstableSystem`] if no stable scheduling exists
+    ///   even with the cache fully utilized.
+    /// * [`OptimizerError::InvalidModel`] is never produced here (the model
+    ///   was validated at construction) but is part of the shared error type.
+    pub fn run(
+        &self,
+        model: &StorageModel,
+        cache_capacity: usize,
+    ) -> Result<CachePlan, OptimizerError> {
+        match &self.initial_pi {
+            Some(pi) => run_from(model, cache_capacity, &self.config, pi),
+            None => run_from(
+                model,
+                cache_capacity,
+                &self.config,
+                &uniform_initial_pi(model),
+            ),
+        }
+    }
+}
+
 /// Runs Algorithm 1 starting from the default (no-cache, uniform-scheduling)
 /// initial point.
 ///
-/// `cache_capacity` is the cache size in chunks; values larger than
-/// `Σ_i k_i` are silently clamped (a bigger cache cannot help further).
-///
 /// # Errors
 ///
-/// * [`OptimizerError::UnstableSystem`] if no stable scheduling exists even
-///   with the cache fully utilized.
-/// * [`OptimizerError::InvalidModel`] is never produced here (the model was
-///   validated at construction) but is part of the shared error type.
+/// See [`Optimizer::run`].
+#[deprecated(note = "use Optimizer::new(config).run(model, cache_capacity)")]
 pub fn optimize(
     model: &StorageModel,
     cache_capacity: usize,
     config: &OptimizerConfig,
 ) -> Result<CachePlan, OptimizerError> {
-    optimize_from(model, cache_capacity, config, &uniform_initial_pi(model))
+    run_from(model, cache_capacity, config, &uniform_initial_pi(model))
 }
 
-/// Runs Algorithm 1 from a caller-supplied starting point (used to warm-start
-/// across cache sizes, as the paper does for its convergence plot).
+/// Runs Algorithm 1 from a caller-supplied starting point.
 ///
 /// # Errors
 ///
-/// See [`optimize`].
+/// See [`Optimizer::run`].
+#[deprecated(note = "use Optimizer::new(config).warm_start_pi(pi).run(model, cache_capacity)")]
 pub fn optimize_from(
+    model: &StorageModel,
+    cache_capacity: usize,
+    config: &OptimizerConfig,
+    initial_pi: &[Vec<f64>],
+) -> Result<CachePlan, OptimizerError> {
+    run_from(model, cache_capacity, config, initial_pi)
+}
+
+/// The shared implementation behind [`Optimizer::run`] and the deprecated
+/// free functions.
+fn run_from(
     model: &StorageModel,
     cache_capacity: usize,
     config: &OptimizerConfig,
@@ -169,6 +261,10 @@ fn finalize(
 
 #[cfg(test)]
 mod tests {
+    // The deprecated free functions stay under test as shims over the same
+    // implementation the `Optimizer` entry point uses.
+    #![allow(deprecated)]
+
     use super::*;
     use crate::model::FileModel;
     use sprout_queueing::dist::ServiceDistribution;
@@ -297,6 +393,22 @@ mod tests {
             plan.cached_chunks
         );
         assert!(plan.cached_chunks[1] >= 1);
+    }
+
+    #[test]
+    fn optimizer_entry_point_matches_the_free_functions_exactly() {
+        let m = model(8, 0.012);
+        let config = OptimizerConfig::default();
+        let optimizer = Optimizer::new(config);
+        let cold = optimizer.run(&m, 6).unwrap();
+        let legacy = optimize(&m, 6, &config).unwrap();
+        assert_eq!(cold.cached_chunks, legacy.cached_chunks);
+        assert_eq!(cold.scheduling, legacy.scheduling);
+        assert_eq!(cold.objective, legacy.objective);
+        let warm = optimizer.clone().warm_start(&cold).run(&m, 6).unwrap();
+        let legacy_warm = optimize_from(&m, 6, &config, &cold.scheduling).unwrap();
+        assert_eq!(warm.scheduling, legacy_warm.scheduling);
+        assert_eq!(warm.objective, legacy_warm.objective);
     }
 
     #[test]

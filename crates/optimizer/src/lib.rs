@@ -29,7 +29,7 @@
 //! # Example
 //!
 //! ```
-//! use sprout_optimizer::{optimize, FileModel, OptimizerConfig, StorageModel};
+//! use sprout_optimizer::{FileModel, Optimizer, OptimizerConfig, StorageModel};
 //! use sprout_queueing::dist::ServiceDistribution;
 //!
 //! // Four nodes, two files with a (3, 2) code each.
@@ -44,7 +44,7 @@
 //!     FileModel::new(0.20, 2, vec![1, 2, 3]),
 //! ];
 //! let model = StorageModel::new(nodes, files)?;
-//! let plan = optimize(&model, 1, &OptimizerConfig::default())?;
+//! let plan = Optimizer::new(OptimizerConfig::default()).run(&model, 1)?;
 //! assert_eq!(plan.cached_chunks.iter().sum::<usize>(), 1);
 //! # Ok::<(), sprout_optimizer::OptimizerError>(())
 //! ```
@@ -62,6 +62,8 @@ pub mod prob_z;
 pub mod projection;
 pub mod solution;
 
+pub use algorithm1::Optimizer;
+#[allow(deprecated)]
 pub use algorithm1::{optimize, optimize_from};
 pub use config::{OptimizerConfig, RoundingStrategy};
 pub use error::OptimizerError;

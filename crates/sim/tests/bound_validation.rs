@@ -3,7 +3,7 @@
 //! discrete-event simulator, and optimizer-driven functional caching must
 //! beat the no-cache configuration in simulation.
 
-use sprout_optimizer::{optimize, FileModel, OptimizerConfig, StorageModel};
+use sprout_optimizer::{FileModel, Optimizer, OptimizerConfig, StorageModel};
 use sprout_queueing::dist::ServiceDistribution;
 use sprout_sim::{CacheScheme, SimConfig, SimFile, Simulation};
 
@@ -36,7 +36,9 @@ fn dists() -> Vec<ServiceDistribution> {
 #[test]
 fn analytic_bound_dominates_simulated_mean_latency() {
     let (model, sim_files) = build_model(6, 0.05);
-    let plan = optimize(&model, 6, &OptimizerConfig::default()).unwrap();
+    let plan = Optimizer::new(OptimizerConfig::default())
+        .run(&model, 6)
+        .unwrap();
 
     let sim = Simulation::new(
         dists(),
@@ -61,7 +63,9 @@ fn analytic_bound_dominates_simulated_mean_latency() {
 #[test]
 fn optimized_functional_caching_beats_no_cache_in_simulation() {
     let (model, sim_files) = build_model(8, 0.06);
-    let plan = optimize(&model, 8, &OptimizerConfig::default()).unwrap();
+    let plan = Optimizer::new(OptimizerConfig::default())
+        .run(&model, 8)
+        .unwrap();
     assert!(plan.cache_chunks_used() > 0);
 
     let cached = Simulation::new(
@@ -93,7 +97,9 @@ fn optimized_functional_caching_beats_no_cache_in_simulation() {
 #[test]
 fn probabilistic_scheduling_beats_uniform_scheduling_on_heterogeneous_nodes() {
     let (model, sim_files) = build_model(6, 0.06);
-    let plan = optimize(&model, 3, &OptimizerConfig::default()).unwrap();
+    let plan = Optimizer::new(OptimizerConfig::default())
+        .run(&model, 3)
+        .unwrap();
 
     let probabilistic = Simulation::new(
         dists(),

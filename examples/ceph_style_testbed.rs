@@ -10,7 +10,7 @@
 //! Run with `cargo run --release --example ceph_style_testbed`.
 
 use sprout::cluster::{CachePolicy, ClusterConfig, DeviceModel, ErasureCodedStore};
-use sprout::optimizer::{optimize, FileModel, OptimizerConfig, StorageModel};
+use sprout::optimizer::{FileModel, Optimizer, OptimizerConfig, StorageModel};
 use sprout::workload::spec::MB;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -56,7 +56,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         })
         .collect();
     let model = StorageModel::new(nodes, files)?;
-    let plan = optimize(&model, 10, &OptimizerConfig::default())?;
+    let plan = Optimizer::new(OptimizerConfig::default()).run(&model, 10)?;
     println!(
         "optimizer cache allocation (chunks per object): {:?}",
         plan.cached_chunks

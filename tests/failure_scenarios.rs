@@ -148,3 +148,65 @@ fn reoptimization_after_a_rate_shift_recovers_cache_effectiveness() {
     assert!(report.overall.mean.is_finite());
     assert!(report.slots.cache_fraction() > 0.0, "cache stays in use");
 }
+
+#[test]
+fn reoptimize_while_a_node_is_down_excludes_it_from_the_swapped_plan() {
+    // Regression: `Reoptimize` used to hand Algorithm 1 the full node set
+    // even when the event order left nodes down, so the swapped-in plan
+    // scheduled reads onto failed nodes. The compiled plan must carry zero
+    // scheduling probability on every node that is down at the reoptimize
+    // point — and regain it after the node recovers.
+    let system = system(9);
+    let spec = ScenarioSpec::named("degraded reoptimize")
+        .at(10.0, ScenarioActionSpec::NodeDown { node: 0 })
+        .at(20.0, ScenarioActionSpec::Reoptimize)
+        .at(30.0, ScenarioActionSpec::NodeUp { node: 0 })
+        .at(40.0, ScenarioActionSpec::Reoptimize);
+    let scenario = spec.compile(&system, &OptimizerConfig::default()).unwrap();
+
+    let scheduling_of = |idx: usize| match &scenario.events()[idx].action {
+        sprout_sim::ScenarioAction::SwapScheme {
+            scheme: sprout_sim::CacheScheme::Functional { scheduling, .. },
+        } => scheduling.clone(),
+        other => panic!("expected a functional plan swap, got {other:?}"),
+    };
+
+    // The full-membership plan (what the buggy path produced) does schedule
+    // reads on node 0, so this test fails without the exclusion.
+    let full = system.optimize().unwrap();
+    assert!(
+        full.scheduling.iter().any(|row| row[0] > 1e-9),
+        "node 0 carries load under full membership; the assertion below is vacuous otherwise"
+    );
+
+    let degraded = scheduling_of(1);
+    for (file, row) in degraded.iter().enumerate() {
+        assert_eq!(row.len(), 6, "rows keep full length m");
+        assert!(
+            row[0].abs() < 1e-12,
+            "file {file} schedules {} onto the down node",
+            row[0]
+        );
+    }
+
+    // After recovery the next reoptimize may use node 0 again.
+    let recovered = scheduling_of(3);
+    assert!(
+        recovered.iter().any(|row| row[0] > 1e-9),
+        "recovered node should carry load again"
+    );
+}
+
+#[test]
+fn optimize_excluding_rejects_unreconstructible_files() {
+    // (4, 2) code: a file keeps only 1 of 4 hosts when 3 of them fail —
+    // fewer than k = 2, so the degraded model must be rejected, not solved.
+    let system = system(9);
+    let placement = system.placements()[0].clone();
+    let down: Vec<usize> = placement[..3].to_vec();
+    let err = system
+        .optimize_excluding(&OptimizerConfig::default(), &down)
+        .unwrap_err();
+    let msg = format!("{err}");
+    assert!(msg.contains("needs k"), "unexpected error: {msg}");
+}
