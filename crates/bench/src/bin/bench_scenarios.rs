@@ -9,14 +9,15 @@
 //! streaming-arrivals and pooled-allocation regression guards).
 //!
 //! The artifact is the determinism canary of the whole sweep subsystem: CI
-//! runs this binary with `--threads 1`, `2` and `4` and requires the three
-//! JSON files to be byte-identical.
+//! runs this binary with `--threads 1`, `2` and `4` and with `--shards 1`,
+//! `2` and `4`, and requires every JSON file to be byte-identical to the
+//! single-thread single-shard reference.
 //!
 //! Usage:
 //!
 //! ```sh
 //! cargo run --release -p sprout-bench --bin bench_scenarios -- \
-//!     [--quick] [--threads N] [--out PATH]
+//!     [--quick] [--threads N] [--shards N] [--out PATH]
 //! ```
 
 use sprout::sim::SimConfig;
@@ -63,7 +64,8 @@ fn main() {
         // size-independent, only the stored payloads shrink.
         .byte_object_bytes(64 * 1024)
         .replications(replications)
-        .byte_replications(byte_replications);
+        .byte_replications(byte_replications)
+        .shards(cli.shards_or(1));
 
     // Byte-accurate replications (with per-request decode verification) are
     // expensive, so the byte leg covers the node-churn scenario only.

@@ -1,0 +1,127 @@
+//! Sharded-engine scaling snapshot, emitted as `BENCH_sharding.json`.
+//!
+//! Runs **one replication** of a large streaming scenario — a cluster of
+//! disjoint placement groups with mid-horizon node churn crossing epoch
+//! boundaries — at shard counts 1, 2, 4 and 8, and records the wall-clock
+//! of each run plus the engine's per-shard high-water guards
+//! (`peak_event_queue`, `peak_in_flight`, maximized over logical shards).
+//!
+//! Two different contracts are on display:
+//!
+//! * **Determinism (hard, asserted here):** every run's `SimReport` must be
+//!   bit-identical to the 1-shard reference. The binary aborts otherwise, so
+//!   regenerating this artifact in CI is itself a shard-determinism canary.
+//! * **Speedup (informational):** `speedup_vs_1shard` is wall-clock and
+//!   scales with the cores actually available — on a single-core runner the
+//!   sharded runs tie (or pay a small barrier tax); on an N-core machine the
+//!   disjoint groups run genuinely in parallel. `available_parallelism` is
+//!   recorded in the meta so a number is never read without its context. No
+//!   threshold is gated on these values.
+//!
+//! Usage:
+//!
+//! ```sh
+//! cargo run --release -p sprout-bench --bin bench_sharding -- [--quick] [--out PATH]
+//! ```
+
+use std::time::Instant;
+
+use sprout::queueing::dist::ServiceDistribution;
+use sprout::sim::sweep::{Sample, SweepGrid};
+use sprout::sim::{CacheScheme, Scenario, SimConfig, SimFile, SimReport, Simulation};
+use sprout_bench::{emit, FigureCli};
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const GROUPS: usize = 16;
+const NODES_PER_GROUP: usize = 4;
+const FILES_PER_GROUP: usize = 128;
+
+/// The large streaming scenario: `GROUPS` disjoint placement groups (so the
+/// partitioner finds `GROUPS` logical shards), every file erasure-coded
+/// `(4, 2)` across its group at ~0.64 per-node utilization, with one node
+/// failing and recovering mid-horizon (two epoch edges every loop must
+/// synchronize on).
+fn scenario_sim(horizon: f64, shards: usize) -> Simulation {
+    let nodes = vec![ServiceDistribution::exponential(25.0); GROUPS * NODES_PER_GROUP];
+    let mut files = Vec::with_capacity(GROUPS * FILES_PER_GROUP);
+    for g in 0..GROUPS {
+        for _ in 0..FILES_PER_GROUP {
+            let placement: Vec<usize> = (0..NODES_PER_GROUP)
+                .map(|j| g * NODES_PER_GROUP + j)
+                .collect();
+            files.push(SimFile::new(0.25, 2, placement));
+        }
+    }
+    Simulation::new(
+        nodes,
+        files,
+        CacheScheme::NoCache,
+        SimConfig::new(horizon, 2016).with_shards(shards),
+    )
+    .with_scenario(
+        Scenario::default()
+            .node_down(horizon / 3.0, 0)
+            .node_up(2.0 * horizon / 3.0, 0),
+    )
+}
+
+fn main() {
+    let cli = FigureCli::parse();
+    let horizon = if cli.quick { 400.0 } else { 4_000.0 };
+
+    // Measure sequentially (never on the sweep pool: concurrent cells would
+    // contend for the cores the sharded runs are trying to use), asserting
+    // every report against the 1-shard reference.
+    let mut walls: Vec<f64> = Vec::with_capacity(SHARD_COUNTS.len());
+    let mut reports: Vec<SimReport> = Vec::with_capacity(SHARD_COUNTS.len());
+    for &shards in &SHARD_COUNTS {
+        let sim = scenario_sim(horizon, shards);
+        let start = Instant::now();
+        let report = sim.run();
+        walls.push(start.elapsed().as_secs_f64());
+        if let Some(reference) = reports.first() {
+            assert_eq!(
+                reference, &report,
+                "report at {shards} shards must be bit-identical to the 1-shard reference"
+            );
+        }
+        reports.push(report);
+    }
+
+    let grid = SweepGrid::named("bench_sharding", 0)
+        .axis("shards", SHARD_COUNTS.iter().map(|s| s.to_string()));
+    let report = grid.run(1, |cell, _, _| {
+        let i = cell.idx("shards");
+        let r = &reports[i];
+        Sample::new()
+            .metric("wall_s", walls[i])
+            .metric("speedup_vs_1shard", walls[0] / walls[i])
+            .counter("completed", r.completed_requests)
+            .counter("failed", r.failed_requests)
+            .maximum("peak_event_queue", r.peak_event_queue as u64)
+            .maximum("peak_in_flight", r.peak_in_flight as u64)
+            .maximum("logical_shards", r.logical_shards as u64)
+    });
+
+    let report = report
+        .with_meta("quick", cli.quick.to_string())
+        .with_meta(
+            "system",
+            format!(
+                "{} nodes in {GROUPS} disjoint groups, {} files, (4, 2) code, node churn at h/3 and 2h/3",
+                GROUPS * NODES_PER_GROUP,
+                GROUPS * FILES_PER_GROUP,
+            ),
+        )
+        .with_meta("horizon_s", format!("{horizon}"))
+        .with_meta(
+            "available_parallelism",
+            FigureCli::available_threads().to_string(),
+        )
+        .with_note(
+            "reports are asserted bit-identical across shard counts on every run; wall_s and \
+             speedup_vs_1shard are wall-clock, vary run to run and scale with available cores \
+             (no thresholds gated on them)",
+        );
+    emit(&report, cli.out_or("BENCH_sharding.json"));
+}

@@ -4,15 +4,16 @@
 //! [`SimSweep`](sprout::SimSweep)) plus a cell task; this module supplies the
 //! parts they share:
 //!
-//! * [`FigureCli`] — the common flags `--quick`, `--threads N`, `--out PATH`
-//!   (plus the `SPROUT_SCALE=paper` environment switch the suite has always
-//!   honoured).
+//! * [`FigureCli`] — the common flags `--quick`, `--threads N`, `--shards N`,
+//!   `--out PATH` (plus the `SPROUT_SCALE=paper` environment switch the suite
+//!   has always honoured).
 //! * [`emit`] — writes the [`SweepReport`] JSON artifact and prints a
 //!   human-readable table of the same rows to stdout.
 //!
 //! The JSON artifact is the machine-readable record CI uploads and diffs; it
 //! contains nothing scheduling-dependent, so running the same figure with
-//! different `--threads` values must produce byte-identical files.
+//! different `--threads` or `--shards` values must produce byte-identical
+//! files.
 
 use sprout::sim::sweep::{SweepReport, SweepTimings};
 
@@ -25,6 +26,10 @@ pub struct FigureCli {
     /// `--threads N`: worker count for the sweep pool (results never depend
     /// on it). `None` when not given; see [`FigureCli::threads_or`].
     pub threads: Option<usize>,
+    /// `--shards N`: event loops each simulation replication is sharded onto
+    /// (results never depend on it either — the sharded engine's determinism
+    /// contract). `None` when not given; see [`FigureCli::shards_or`].
+    pub shards: Option<usize>,
     /// `--out PATH`: where to write the JSON artifact. `None` means the
     /// figure's default (`FIG_*.json` / `TAB_*.json` / `BENCH_*.json`).
     pub out: Option<String>,
@@ -51,6 +56,7 @@ impl FigureCli {
         let mut cli = FigureCli {
             quick: false,
             threads: None,
+            shards: None,
             out: None,
         };
         let mut args = args.into_iter();
@@ -67,6 +73,16 @@ impl FigureCli {
                     assert!(threads > 0, "--threads must be at least 1");
                     cli.threads = Some(threads);
                 }
+                "--shards" => {
+                    let value = args
+                        .next()
+                        .unwrap_or_else(|| panic!("--shards requires a value"));
+                    let shards: usize = value
+                        .parse()
+                        .unwrap_or_else(|_| panic!("--shards expects a number, got '{value}'"));
+                    assert!(shards > 0, "--shards must be at least 1");
+                    cli.shards = Some(shards);
+                }
                 "--out" => {
                     cli.out = Some(
                         args.next()
@@ -74,7 +90,7 @@ impl FigureCli {
                     );
                 }
                 other => panic!(
-                    "unknown argument '{other}' (supported: --quick, --threads N, --out PATH)"
+                    "unknown argument '{other}' (supported: --quick, --threads N, --shards N, --out PATH)"
                 ),
             }
         }
@@ -86,6 +102,13 @@ impl FigureCli {
     /// pass [`FigureCli::available_threads`].
     pub fn threads_or(&self, default: usize) -> usize {
         self.threads.unwrap_or(default).max(1)
+    }
+
+    /// The shard count to use: the `--shards` flag, or `default` when the
+    /// flag is absent. Passed to `SimSweep::shards` / `SimConfig::with_shards`
+    /// by the simulation bins; artifacts are shard-count-invariant.
+    pub fn shards_or(&self, default: usize) -> usize {
+        self.shards.unwrap_or(default).max(1)
     }
 
     /// The machine's available parallelism (the default for simulation and
@@ -196,17 +219,29 @@ mod tests {
             FigureCli {
                 quick: false,
                 threads: None,
+                shards: None,
                 out: None
             }
         );
-        let cli = FigureCli::from_args(args(&["--quick", "--threads", "4", "--out", "x.json"]));
+        let cli = FigureCli::from_args(args(&[
+            "--quick",
+            "--threads",
+            "4",
+            "--shards",
+            "2",
+            "--out",
+            "x.json",
+        ]));
         assert!(cli.quick);
         assert_eq!(cli.threads, Some(4));
+        assert_eq!(cli.shards, Some(2));
         assert_eq!(cli.out.as_deref(), Some("x.json"));
         assert_eq!(cli.threads_or(8), 4);
+        assert_eq!(cli.shards_or(1), 2);
         assert_eq!(cli.out_or("default.json"), "x.json");
         let cli = FigureCli::from_args(args(&["--quick"]));
         assert_eq!(cli.threads_or(8), 8);
+        assert_eq!(cli.shards_or(1), 1);
         assert_eq!(cli.out_or("default.json"), "default.json");
     }
 

@@ -229,6 +229,18 @@ impl SimSweep {
         self
     }
 
+    /// Sets the shard count every cell's simulation runs with (the sharded
+    /// engine's parallelism knob). Purely an execution parameter: reports —
+    /// and therefore the sweep JSON — are bit-identical at any value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.config = self.config.with_shards(shards);
+        self
+    }
+
     /// Records the per-slot cache/storage chunk counts of replication 0 as
     /// row series (the Fig. 7 quantity).
     pub fn record_slots(mut self, record: bool) -> Self {
@@ -459,7 +471,8 @@ impl SimSweep {
             .counter("cache_promotions", report.cache_promotions)
             .counter("cache_evictions", report.cache_evictions)
             .maximum("peak_event_queue", report.peak_event_queue as u64)
-            .maximum("peak_in_flight", report.peak_in_flight as u64);
+            .maximum("peak_in_flight", report.peak_in_flight as u64)
+            .maximum("logical_shards", report.logical_shards as u64);
         if self.record_slots {
             sample = sample
                 .series(

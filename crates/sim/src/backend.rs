@@ -21,6 +21,13 @@
 //! backend's, so two backends given the same seed make **identical
 //! chunk-source decisions** — the differential-testing hook the byte-accurate
 //! backend exists for.
+//!
+//! [`AnalyticBackend`] keeps one service RNG **per node**, seeded from
+//! `(seed, node)` only. A node's service-time stream therefore depends only
+//! on that node's own sequence of chunk reads — never on what other nodes
+//! serve — which is what lets the sharded engine run disjoint placement
+//! components on separate event loops and still produce reports bit-identical
+//! to the single-loop run (see [`crate::shard`]).
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -102,18 +109,24 @@ pub trait ChunkBackend {
 pub struct AnalyticBackend {
     dists: Vec<ServiceDistribution>,
     online: Vec<bool>,
-    rng: StdRng,
+    /// One decorrelated RNG stream per node, so a node's service draws are a
+    /// function of its own read sequence alone (shard-decomposable).
+    rngs: Vec<StdRng>,
 }
 
 impl AnalyticBackend {
     /// Creates a backend over per-node service distributions. `seed` feeds
-    /// the service-time RNG (the engine derives it from the run seed).
+    /// the per-node service-time RNG streams (the engine derives it from the
+    /// run seed).
     pub fn new(dists: Vec<ServiceDistribution>, seed: u64) -> Self {
         let online = vec![true; dists.len()];
+        let rngs = (0..dists.len())
+            .map(|node| StdRng::seed_from_u64(crate::engine::service_seed(seed, node)))
+            .collect();
         AnalyticBackend {
             dists,
             online,
-            rng: StdRng::seed_from_u64(seed ^ 0x5E2F_1CE5),
+            rngs,
         }
     }
 }
@@ -132,7 +145,7 @@ impl ChunkBackend for AnalyticBackend {
     }
 
     fn sample_service(&mut self, node: usize, _file: usize) -> f64 {
-        self.dists[node].sample(&mut self.rng)
+        self.dists[node].sample(&mut self.rngs[node])
     }
 }
 
@@ -159,6 +172,22 @@ mod tests {
             let s = a.sample_service(0, 0);
             assert!(s > 0.0);
             assert_eq!(s, b.sample_service(0, 0));
+        }
+    }
+
+    #[test]
+    fn per_node_service_streams_are_independent() {
+        // Interleaving reads on other nodes must not perturb a node's own
+        // service-time stream — the property the sharded engine relies on.
+        let dists = vec![ServiceDistribution::exponential(0.5); 3];
+        let mut solo = AnalyticBackend::new(dists.clone(), 77);
+        let mut mixed = AnalyticBackend::new(dists, 77);
+        for i in 0..50 {
+            if i % 2 == 0 {
+                mixed.sample_service(1, 0);
+                mixed.sample_service(2, 0);
+            }
+            assert_eq!(solo.sample_service(0, 0), mixed.sample_service(0, 0));
         }
     }
 

@@ -1,38 +1,45 @@
 //! The discrete-event simulation engine.
 //!
-//! The engine is a *streaming*, *backend-generic*, *scenario-driven* runtime:
+//! The engine is a *streaming*, *backend-generic*, *scenario-driven*,
+//! *shardable* runtime:
 //!
 //! * **Streaming arrivals** — each file keeps exactly one pending arrival
-//!   event (drawn lazily from an [`ArrivalStream`]), so event-heap residency
-//!   is O(files + nodes + scenario events) regardless of how many requests
-//!   the horizon produces. [`SimReport::peak_event_queue`] records the
-//!   high-water mark as a regression guard.
+//!   event (drawn lazily from an arrival stream), so event-heap residency
+//!   is O(files + nodes) regardless of how many requests the horizon
+//!   produces. [`SimReport::peak_event_queue`] records the high-water mark
+//!   as a regression guard.
 //! * **Pluggable backends** — everything that decides *which* chunks serve a
-//!   request lives here; what a chunk read *costs* (and, for byte-accurate
-//!   backends, the actual bytes) is delegated to a [`ChunkBackend`]. Planning
-//!   and service randomness are decoupled, so two backends on the same seed
-//!   make identical chunk-source decisions.
+//!   request lives in the runtime; what a chunk read *costs* (and, for
+//!   byte-accurate backends, the actual bytes) is delegated to a
+//!   [`ChunkBackend`]. Planning and service randomness are decoupled, so two
+//!   backends on the same seed make identical chunk-source decisions.
 //! * **Dynamic scenarios** — timed [`Scenario`] events (node failures and
-//!   recoveries, arrival-rate shifts, online cache-plan swaps) interleave
-//!   deterministically with the workload.
+//!   recoveries, arrival-rate shifts, online cache-plan swaps) apply at
+//!   deterministic epoch edges between event-loop drains.
+//! * **Sharded execution** — [`Simulation::run`] partitions the cluster into
+//!   logical shards (placement-graph components) and can run them as
+//!   parallel epoch-synchronized event loops ([`crate::shard`]); the
+//!   [`SimConfig::shards`] knob is purely an execution parameter and reports
+//!   are bit-identical at any value. Every random stream is keyed per entity
+//!   ([`stream_seed`]/[`plan_seed`] per file, [`service_seed`] per node) to
+//!   make that possible.
+//!
+//! The event-loop mechanics themselves (queues, slab, planning, epoch
+//! synchronization, report merging) live in [`crate::shard`]; this module
+//! holds the model description ([`Simulation`], [`SimFile`]), the report
+//! ([`SimReport`]) and the seed derivations.
 
-use std::collections::VecDeque;
-
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
-use sprout_cluster::{CacheTier, LruTier};
 use sprout_queueing::dist::ServiceDistribution;
-use sprout_workload::arrivals::{ArrivalStream, RateProfile};
+use sprout_workload::arrivals::RateProfile;
 use sprout_workload::timebins::RateSchedule;
 
-use crate::backend::{AnalyticBackend, ChunkBackend, FinishedRequest};
+use crate::backend::ChunkBackend;
 use crate::config::SimConfig;
-use crate::event::EventQueue;
 use crate::metrics::{LatencySummary, SlotCounts};
-use crate::policy::{CacheScheme, SchedulingRule};
-use crate::scenario::{Scenario, ScenarioAction};
-use crate::scheduler::{systematic_sample_into, uniform_sample_into};
+use crate::policy::CacheScheme;
+use crate::scenario::Scenario;
+use crate::shard::{ShardPlan, ShardedEngine};
 
 /// A file as seen by the simulator: its arrival rate, code dimension `k` and
 /// the storage nodes hosting its chunks.
@@ -81,182 +88,24 @@ pub struct SimReport {
     /// Completed requests whose backend reconstruction failed (always zero
     /// for the analytic backend).
     pub reconstruction_failures: u64,
-    /// High-water mark of the event queue — O(files + nodes + scenario
-    /// events) under streaming arrivals, *not* O(total requests).
+    /// High-water mark of pending events, maximized over logical shards —
+    /// O(files_in_shard + nodes_in_shard) under streaming arrivals, *not*
+    /// O(total requests). Independent of the shard count.
     pub peak_event_queue: usize,
-    /// High-water mark of concurrently in-flight requests — the number of
-    /// slots the request slab grew to. Guards the pooled-allocation property:
-    /// steady-state arrivals reuse these slots instead of allocating.
+    /// High-water mark of concurrently in-flight requests, maximized over
+    /// logical shards. Guards the pooled-allocation property: the request
+    /// slab grows to this count and steady-state arrivals then reuse slots
+    /// instead of allocating.
     pub peak_in_flight: usize,
+    /// Number of logical shards the run decomposed into: the connected
+    /// components of the file–node placement graph (1 when a globally
+    /// coupled cache scheme forces a single component). Independent of
+    /// [`SimConfig::shards`], which only packs these onto event loops.
+    pub logical_shards: usize,
     /// Objects promoted into the LRU cache tier (zero for other schemes).
     pub cache_promotions: u64,
     /// Objects evicted from the LRU cache tier by admission pressure.
     pub cache_evictions: u64,
-}
-
-#[derive(Debug, Clone, PartialEq)]
-enum Event {
-    /// The next request of a file arrives. The epoch stamps the arrival
-    /// stream generation: rate-shift scenario events bump it, so stale
-    /// pre-shift arrivals are discarded when popped.
-    Arrival { file: usize, epoch: u32 },
-    /// A storage node finishes the chunk it was serving.
-    NodeComplete(usize),
-    /// A scenario action fires (index into the scenario's event list).
-    Scenario(usize),
-}
-
-#[derive(Debug, Clone, Default)]
-struct RequestState {
-    file: usize,
-    start: f64,
-    outstanding: usize,
-    last_completion: f64,
-    cache_chunks: usize,
-    nodes: Vec<usize>,
-}
-
-/// Free-list slab of in-flight request state.
-///
-/// The arrival hot path used to allocate twice per request — a fresh
-/// `nodes` Vec clone plus `HashMap` bucket churn. The slab recycles whole
-/// `RequestState` slots (including the `nodes` capacity), so steady-state
-/// arrivals allocate nothing: slot count grows to the peak number of
-/// concurrently in-flight requests and then stays flat.
-///
-/// Slot reuse without generation counters is sound because an id can only
-/// reach a node queue from a live request, and the slot is released exactly
-/// when its last queued chunk completes — no stale id can survive a release.
-#[derive(Debug, Default)]
-struct RequestSlab {
-    slots: Vec<RequestState>,
-    free: Vec<usize>,
-}
-
-impl RequestSlab {
-    /// Claims a slot, reusing a freed one (and its `nodes` capacity) when
-    /// available, and returns its id.
-    fn insert(
-        &mut self,
-        file: usize,
-        start: f64,
-        last_completion: f64,
-        cache_chunks: usize,
-        nodes: &[usize],
-    ) -> u64 {
-        let slot = match self.free.pop() {
-            Some(slot) => slot,
-            None => {
-                self.slots.push(RequestState::default());
-                self.slots.len() - 1
-            }
-        };
-        let state = &mut self.slots[slot];
-        state.file = file;
-        state.start = start;
-        state.outstanding = nodes.len();
-        state.last_completion = last_completion;
-        state.cache_chunks = cache_chunks;
-        state.nodes.clear();
-        state.nodes.extend_from_slice(nodes);
-        slot as u64
-    }
-
-    fn get_mut(&mut self, id: u64) -> &mut RequestState {
-        &mut self.slots[id as usize]
-    }
-
-    /// Returns a slot (and its `nodes` buffer) to the free list for reuse by
-    /// a later `insert`.
-    fn release(&mut self, id: u64) {
-        self.free.push(id as usize);
-    }
-}
-
-#[derive(Debug, Default, Clone)]
-struct NodeState {
-    queue: VecDeque<(u64, usize)>, // (request id, file) waiting for this node
-    serving: Option<u64>,
-    busy_time: f64,
-}
-
-/// Per-node FIFO service queues in virtual time. Service durations come from
-/// the backend; this struct only sequences them.
-#[derive(Debug, Default)]
-struct ServiceQueues {
-    nodes: Vec<NodeState>,
-}
-
-impl ServiceQueues {
-    fn new(count: usize) -> Self {
-        ServiceQueues {
-            nodes: vec![NodeState::default(); count],
-        }
-    }
-
-    fn enqueue<B: ChunkBackend>(
-        &mut self,
-        node: usize,
-        request: u64,
-        file: usize,
-        now: f64,
-        events: &mut EventQueue<Event>,
-        backend: &mut B,
-    ) {
-        if self.nodes[node].serving.is_none() {
-            self.start(node, request, file, now, events, backend);
-        } else {
-            self.nodes[node].queue.push_back((request, file));
-        }
-    }
-
-    fn start<B: ChunkBackend>(
-        &mut self,
-        node: usize,
-        request: u64,
-        file: usize,
-        now: f64,
-        events: &mut EventQueue<Event>,
-        backend: &mut B,
-    ) {
-        let service = backend.sample_service(node, file);
-        let state = &mut self.nodes[node];
-        state.serving = Some(request);
-        state.busy_time += service;
-        events.push(now + service, Event::NodeComplete(node));
-    }
-}
-
-/// The engine's LRU cache tier for [`CacheScheme::LruReplicated`]: the same
-/// [`LruTier`] implementation the cluster's byte-accurate `Cache` runs, here
-/// with *chunks* as the weight unit (the abstract model has no byte sizes).
-/// The tier's decisions scale linearly with the unit, so a byte-accurate
-/// mirror fed the same access sequence stays in lockstep — see
-/// `sprout_cluster::tier`.
-fn lru_tier_for(scheme: &CacheScheme) -> Option<LruTier> {
-    match scheme {
-        CacheScheme::LruReplicated {
-            capacity_chunks,
-            replication,
-        } => Some(LruTier::new(*capacity_chunks as u64, (*replication).max(1))),
-        _ => None,
-    }
-}
-
-/// Reusable buffers for the per-arrival planning step.
-///
-/// `plan_request` runs once per simulated request — millions of times at the
-/// paper's horizons — so its working sets (sampling marginals, the sampled
-/// index set, the chosen node list and the offline-repair pool) live here
-/// instead of being allocated per call.
-#[derive(Debug, Default)]
-struct PlanScratch {
-    marginals: Vec<f64>,
-    picks: Vec<usize>,
-    /// Online candidates used to repair a plan that picked failed nodes.
-    avail: Vec<usize>,
-    /// Output: the storage nodes chosen to serve the request.
-    nodes: Vec<usize>,
 }
 
 /// SplitMix64 finalizer: decorrelates seeds derived from a base seed.
@@ -279,19 +128,38 @@ pub(crate) fn mix_seed(base: u64, salt: u64) -> u64 {
     splitmix64(base ^ salt.wrapping_mul(0x2545_F491_4F6C_DD1D))
 }
 
-fn stream_seed(base: u64, file: usize) -> u64 {
+/// Seed of a file's arrival stream. Per-file streams are what keep arrivals
+/// independent of the event interleaving — a precondition for sharded
+/// execution being bit-identical to the single loop.
+pub(crate) fn stream_seed(base: u64, file: usize) -> u64 {
     splitmix64(base ^ (file as u64).wrapping_mul(0xA24B_AED4_963E_E407))
+}
+
+/// Seed of a file's request-planning RNG (chunk-source sampling and offline
+/// repair draws). One stream per file, so a file's planning decisions depend
+/// only on its own request sequence — never on other files' interleaved
+/// arrivals.
+pub(crate) fn plan_seed(base: u64, file: usize) -> u64 {
+    splitmix64(base ^ 0x5EED ^ (file as u64).wrapping_mul(0x9E6C_63D0_876A_3F6B))
+}
+
+/// Seed of a node's service-time RNG ([`crate::AnalyticBackend`] keeps one
+/// stream per node). A node's service draws depend only on its own read
+/// sequence, which is what lets disjoint placement components run on
+/// separate event loops without perturbing each other's samples.
+pub(crate) fn service_seed(base: u64, node: usize) -> u64 {
+    splitmix64(base ^ 0x5E2F_1CE5 ^ (node as u64).wrapping_mul(0xFF51_AFD7_ED55_8CCD))
 }
 
 /// A configured simulation, ready to run.
 #[derive(Debug, Clone)]
 pub struct Simulation {
-    nodes: Vec<ServiceDistribution>,
-    files: Vec<SimFile>,
-    scheme: CacheScheme,
-    config: SimConfig,
-    scenario: Scenario,
-    profiles: Option<Vec<RateProfile>>,
+    pub(crate) nodes: Vec<ServiceDistribution>,
+    pub(crate) files: Vec<SimFile>,
+    pub(crate) scheme: CacheScheme,
+    pub(crate) config: SimConfig,
+    pub(crate) scenario: Scenario,
+    pub(crate) profiles: Option<Vec<RateProfile>>,
 }
 
 impl Simulation {
@@ -343,9 +211,10 @@ impl Simulation {
     /// Drives arrivals from a piecewise-constant rate schedule instead of the
     /// per-file constant rates (the rate is zero past the schedule's end).
     ///
-    /// A [`ScenarioAction::SetRates`]/[`ScenarioAction::SetFileRate`] event
-    /// supersedes the remaining schedule for the affected files: from the
-    /// event on, the scenario's rate holds as a constant.
+    /// A [`crate::scenario::ScenarioAction::SetRates`]/
+    /// [`crate::scenario::ScenarioAction::SetFileRate`] event supersedes the
+    /// remaining schedule for the affected files: from the event on, the
+    /// scenario's rate holds as a constant.
     ///
     /// # Panics
     ///
@@ -374,13 +243,17 @@ impl Simulation {
     }
 
     /// Runs the simulation on the analytic backend and returns the report.
+    ///
+    /// Execution is sharded per [`SimConfig::shards`] (see
+    /// [`ShardedEngine`]); the report is bit-identical at any shard count.
     pub fn run(&self) -> SimReport {
-        let mut backend = AnalyticBackend::new(self.nodes.clone(), self.config.seed);
-        self.run_on(&mut backend)
+        ShardedEngine::new(self).run()
     }
 
     /// Runs the simulation on an explicit backend (e.g. the byte-accurate
-    /// `StoreBackend` of the facade crate).
+    /// `StoreBackend` of the facade crate). Always a single event loop —
+    /// external backends own global state the sharded engine cannot split —
+    /// so the report is trivially independent of [`SimConfig::shards`].
     ///
     /// # Panics
     ///
@@ -393,402 +266,15 @@ impl Simulation {
             backend.num_nodes(),
             self.nodes.len()
         );
-        let horizon = self.config.horizon;
-        let mut plan_rng = StdRng::seed_from_u64(self.config.seed ^ 0x5EED);
-        let mut scheme = self.scheme.clone();
-
-        // One lazily-sampled arrival stream per file; exactly one pending
-        // arrival event per file lives in the queue at any time.
-        let mut streams: Vec<ArrivalStream> = self
-            .files
-            .iter()
-            .enumerate()
-            .map(|(i, f)| {
-                let profile = match &self.profiles {
-                    Some(p) => p[i].clone(),
-                    None => RateProfile::constant(f.arrival_rate),
-                };
-                ArrivalStream::new(profile, stream_seed(self.config.seed, i))
-            })
-            .collect();
-        let mut epochs = vec![0u32; self.files.len()];
-
-        let mut events: EventQueue<Event> = EventQueue::new();
-        for (i, ev) in self.scenario.events().iter().enumerate() {
-            if ev.at < horizon {
-                events.push(ev.at, Event::Scenario(i));
-            }
-        }
-        for (file, stream) in streams.iter_mut().enumerate() {
-            if let Some(t) = stream.next_arrival(0.0, horizon) {
-                events.push(t, Event::Arrival { file, epoch: 0 });
-            }
-        }
-
-        let mut queues = ServiceQueues::new(self.nodes.len());
-        let mut requests = RequestSlab::default();
-        let mut latencies: Vec<Vec<f64>> = vec![Vec::new(); self.files.len()];
-        let mut slots = SlotCounts::new(horizon, self.config.slot_length);
-        let mut node_chunks_served = vec![0u64; self.nodes.len()];
-        let mut full_cache_hits = 0u64;
-        let mut completed = 0u64;
-        let mut failed = 0u64;
-        let mut reconstruction_failures = 0u64;
-        let mut tier = lru_tier_for(&scheme);
-        // Promotion/eviction counts accumulated across scheme swaps (a swap
-        // restarts the tier cold).
-        let mut tier_promotions = 0u64;
-        let mut tier_evictions = 0u64;
-        let mut scratch = PlanScratch::default();
-        let mut peak_events = events.len();
-
-        while let Some((now, event)) = events.pop() {
-            match event {
-                Event::Arrival { file, epoch } => {
-                    if epoch != epochs[file] {
-                        continue; // stale arrival from before a rate shift
-                    }
-                    // Keep the stream primed: schedule this file's next
-                    // arrival before processing the current one.
-                    if let Some(t) = streams[file].next_arrival(now, horizon) {
-                        events.push(t, Event::Arrival { file, epoch });
-                    }
-                    match self.plan_request(
-                        file,
-                        &scheme,
-                        backend,
-                        &mut plan_rng,
-                        &mut tier,
-                        &mut scratch,
-                    ) {
-                        None => failed += 1,
-                        Some(cache_chunks) => {
-                            slots.record(now, cache_chunks as u64, scratch.nodes.len() as u64);
-                            for &node in &scratch.nodes {
-                                node_chunks_served[node] += 1;
-                            }
-                            let cache_latency = if cache_chunks > 0 {
-                                backend
-                                    .sample_cache_read(file, cache_chunks)
-                                    .unwrap_or(self.config.cache_chunk_latency)
-                            } else {
-                                0.0
-                            };
-
-                            if scratch.nodes.is_empty() {
-                                // Served entirely from the cache.
-                                if !backend.finish_request(FinishedRequest {
-                                    file,
-                                    cache_chunks,
-                                    storage_nodes: &[],
-                                }) {
-                                    reconstruction_failures += 1;
-                                }
-                                full_cache_hits += 1;
-                                completed += 1;
-                                if now >= self.config.warmup {
-                                    latencies[file].push(cache_latency);
-                                }
-                                continue;
-                            }
-
-                            let id = requests.insert(
-                                file,
-                                now,
-                                now + cache_latency,
-                                cache_chunks,
-                                &scratch.nodes,
-                            );
-                            for &node in &scratch.nodes {
-                                queues.enqueue(node, id, file, now, &mut events, backend);
-                            }
-                        }
-                    }
-                }
-                Event::NodeComplete(node) => {
-                    let finished = queues.nodes[node]
-                        .serving
-                        .take()
-                        .expect("completion without a job");
-                    let req = requests.get_mut(finished);
-                    req.outstanding -= 1;
-                    req.last_completion = req.last_completion.max(now);
-                    if req.outstanding == 0 {
-                        if !backend.finish_request(FinishedRequest {
-                            file: req.file,
-                            cache_chunks: req.cache_chunks,
-                            storage_nodes: &req.nodes,
-                        }) {
-                            reconstruction_failures += 1;
-                        }
-                        completed += 1;
-                        if req.start >= self.config.warmup {
-                            latencies[req.file].push(req.last_completion - req.start);
-                        }
-                        requests.release(finished);
-                    }
-                    // Start the next queued chunk, if any.
-                    if let Some((next, file)) = queues.nodes[node].queue.pop_front() {
-                        queues.start(node, next, file, now, &mut events, backend);
-                    }
-                }
-                Event::Scenario(i) => match &self.scenario.events()[i].action {
-                    ScenarioAction::NodeDown { node } => backend.set_node_online(*node, false),
-                    ScenarioAction::NodeUp { node } => backend.set_node_online(*node, true),
-                    ScenarioAction::SetRates { rates } => {
-                        for (file, &rate) in rates.iter().enumerate() {
-                            Self::retarget_rate(
-                                file,
-                                rate,
-                                now,
-                                horizon,
-                                &mut streams,
-                                &mut epochs,
-                                &mut events,
-                            );
-                        }
-                    }
-                    ScenarioAction::SetFileRate { file, rate } => {
-                        Self::retarget_rate(
-                            *file,
-                            *rate,
-                            now,
-                            horizon,
-                            &mut streams,
-                            &mut epochs,
-                            &mut events,
-                        );
-                    }
-                    ScenarioAction::SwapScheme { scheme: next } => {
-                        if let Some(old) = tier.take() {
-                            let stats = old.stats();
-                            tier_promotions += stats.promotions;
-                            tier_evictions += stats.evictions;
-                        }
-                        scheme = next.clone();
-                        tier = lru_tier_for(&scheme);
-                        backend.apply_scheme(&scheme);
-                    }
-                },
-            }
-            peak_events = peak_events.max(events.len());
-        }
-
-        if let Some(tier) = &tier {
-            let stats = tier.stats();
-            tier_promotions += stats.promotions;
-            tier_evictions += stats.evictions;
-        }
-
-        let all: Vec<f64> = latencies.iter().flatten().copied().collect();
-        SimReport {
-            overall: LatencySummary::from_samples(&all),
-            per_file: latencies
-                .iter()
-                .map(|l| LatencySummary::from_samples(l))
-                .collect(),
-            node_utilization: queues
-                .nodes
-                .iter()
-                .map(|n| (n.busy_time / horizon).min(1.0))
-                .collect(),
-            slots,
-            full_cache_hits,
-            completed_requests: completed,
-            node_chunks_served,
-            failed_requests: failed,
-            reconstruction_failures,
-            peak_event_queue: peak_events,
-            peak_in_flight: requests.slots.len(),
-            cache_promotions: tier_promotions,
-            cache_evictions: tier_evictions,
-        }
-    }
-
-    /// Re-seats a file's arrival process at a new constant rate from `now`
-    /// on. By Poisson memorylessness the pending pre-shift arrival can simply
-    /// be discarded (the epoch bump invalidates it) and a fresh interarrival
-    /// drawn at the new rate.
-    fn retarget_rate(
-        file: usize,
-        rate: f64,
-        now: f64,
-        horizon: f64,
-        streams: &mut [ArrivalStream],
-        epochs: &mut [u32],
-        events: &mut EventQueue<Event>,
-    ) {
-        epochs[file] = epochs[file].wrapping_add(1);
-        streams[file].set_rate(rate);
-        if let Some(t) = streams[file].next_arrival(now, horizon) {
-            events.push(
-                t,
-                Event::Arrival {
-                    file,
-                    epoch: epochs[file],
-                },
-            );
-        }
-    }
-
-    /// Decides, for one request of `file`, how many chunks the cache serves
-    /// and which storage nodes serve the rest (written to `scratch.nodes`).
-    /// Returns `None` when node failures leave fewer online hosts than the
-    /// request needs. All working sets live in `scratch`, so the arrival hot
-    /// loop allocates nothing beyond per-request state.
-    ///
-    /// For [`CacheScheme::LruReplicated`] the engine's `tier` is the single
-    /// source of truth for hit/miss/promotion/eviction decisions; every
-    /// admission and eviction is mirrored into the backend
-    /// ([`ChunkBackend::tier_promote`] / [`ChunkBackend::tier_evict`]) so
-    /// byte-accurate backends keep the same objects resident.
-    fn plan_request<B: ChunkBackend>(
-        &self,
-        file: usize,
-        scheme: &CacheScheme,
-        backend: &mut B,
-        rng: &mut StdRng,
-        tier: &mut Option<LruTier>,
-        scratch: &mut PlanScratch,
-    ) -> Option<usize> {
-        let spec = &self.files[file];
-        scratch.nodes.clear();
-        match scheme {
-            CacheScheme::NoCache => {
-                uniform_sample_into(spec.placement.len(), spec.k, rng, &mut scratch.picks);
-                scratch
-                    .nodes
-                    .extend(scratch.picks.iter().map(|&i| spec.placement[i]));
-                self.repair_offline(&spec.placement, backend, rng, scratch)
-                    .then_some(0)
-            }
-            CacheScheme::Functional {
-                cached_chunks,
-                scheduling,
-                rule,
-            } => {
-                let d = cached_chunks.get(file).copied().unwrap_or(0).min(spec.k);
-                let needed = spec.k - d;
-                if needed == 0 {
-                    return Some(d);
-                }
-                match rule {
-                    SchedulingRule::Probabilistic => {
-                        scratch.marginals.clear();
-                        scratch.marginals.extend(
-                            spec.placement
-                                .iter()
-                                .map(|&j| scheduling[file].get(j).copied().unwrap_or(0.0)),
-                        );
-                        systematic_sample_into(&scratch.marginals, rng, &mut scratch.picks);
-                    }
-                    SchedulingRule::Uniform => {
-                        uniform_sample_into(spec.placement.len(), needed, rng, &mut scratch.picks);
-                    }
-                }
-                scratch
-                    .nodes
-                    .extend(scratch.picks.iter().map(|&i| spec.placement[i]));
-                self.repair_offline(&spec.placement, backend, rng, scratch)
-                    .then_some(d)
-            }
-            CacheScheme::Exact {
-                cached_chunks,
-                scheduling,
-            } => {
-                let d = cached_chunks.get(file).copied().unwrap_or(0).min(spec.k);
-                let needed = spec.k - d;
-                if needed == 0 {
-                    return Some(d);
-                }
-                // The first d placement entries host the exactly-cached rows
-                // and cannot serve the request.
-                let eligible = &spec.placement[d..];
-                scratch.marginals.clear();
-                scratch.marginals.extend(
-                    eligible
-                        .iter()
-                        .map(|&j| scheduling[file].get(j).copied().unwrap_or(0.0)),
-                );
-                let total: f64 = scratch.marginals.iter().sum();
-                if (total - needed as f64).abs() < 1e-6 {
-                    systematic_sample_into(&scratch.marginals, rng, &mut scratch.picks);
-                } else {
-                    uniform_sample_into(
-                        eligible.len(),
-                        needed.min(eligible.len()),
-                        rng,
-                        &mut scratch.picks,
-                    );
-                }
-                scratch
-                    .nodes
-                    .extend(scratch.picks.iter().map(|&i| eligible[i]));
-                self.repair_offline(eligible, backend, rng, scratch)
-                    .then_some(d)
-            }
-            CacheScheme::LruReplicated { .. } => {
-                let tier = tier.as_mut().expect("an LRU scheme always has a tier");
-                if tier.touch(file as u64) {
-                    return Some(spec.k);
-                }
-                // Miss: read k chunks from storage, then promote the object.
-                uniform_sample_into(spec.placement.len(), spec.k, rng, &mut scratch.picks);
-                scratch
-                    .nodes
-                    .extend(scratch.picks.iter().map(|&i| spec.placement[i]));
-                if !self.repair_offline(&spec.placement, backend, rng, scratch) {
-                    return None;
-                }
-                let admission = tier.admit(file as u64, spec.k as u64);
-                for &victim in &admission.evicted {
-                    backend.tier_evict(victim as usize);
-                }
-                if admission.admitted {
-                    backend.tier_promote(file);
-                }
-                Some(0)
-            }
-        }
-    }
-
-    /// Replaces planned reads that landed on offline nodes with draws from
-    /// the online remainder of `pool`. Returns `false` (degraded beyond
-    /// repair) when fewer online candidates exist than chunks are needed.
-    /// Draws happen only when a failure is actually present, so runs without
-    /// scenarios consume the planning RNG exactly as before.
-    fn repair_offline<B: ChunkBackend>(
-        &self,
-        pool: &[usize],
-        backend: &B,
-        rng: &mut StdRng,
-        scratch: &mut PlanScratch,
-    ) -> bool {
-        if scratch.nodes.iter().all(|&n| backend.is_online(n)) {
-            return true;
-        }
-        let target = scratch.nodes.len();
-        scratch.nodes.retain(|&n| backend.is_online(n));
-        scratch.avail.clear();
-        scratch.avail.extend(
-            pool.iter()
-                .copied()
-                .filter(|&n| backend.is_online(n) && !scratch.nodes.contains(&n)),
-        );
-        while scratch.nodes.len() < target {
-            if scratch.avail.is_empty() {
-                return false;
-            }
-            let j = rng.gen_range(0..scratch.avail.len());
-            scratch.nodes.push(scratch.avail.swap_remove(j));
-        }
-        true
+        let plan = ShardPlan::new(self);
+        crate::shard::run_single(self, &plan, backend)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::policy::SchedulingRule;
 
     fn nodes(n: usize, rate: f64) -> Vec<ServiceDistribution> {
         vec![ServiceDistribution::exponential(rate); n]
@@ -827,6 +313,7 @@ mod tests {
             report.node_chunks_served[0], report.completed_requests,
             "every request reads one chunk from the only node"
         );
+        assert_eq!(report.logical_shards, 1);
     }
 
     #[test]
@@ -938,6 +425,8 @@ mod tests {
         // After both files are promoted every request is a full cache hit.
         assert!(report.full_cache_hits > report.completed_requests / 2);
         assert!(report.overall.mean < 1.0);
+        // The global LRU tier couples all files into one logical shard.
+        assert_eq!(report.logical_shards, 1);
     }
 
     #[test]
@@ -1010,21 +499,6 @@ mod tests {
         )
         .run();
         assert_eq!(a, b, "same seed must give a bit-identical report");
-    }
-
-    #[test]
-    fn request_slab_recycles_slots_and_node_capacity() {
-        let mut slab = RequestSlab::default();
-        let a = slab.insert(0, 0.0, 0.0, 1, &[1, 2, 3]);
-        let b = slab.insert(1, 0.5, 0.5, 0, &[4]);
-        assert_eq!(slab.slots.len(), 2);
-        slab.release(a);
-        // The freed slot (and its nodes buffer) is reused, not reallocated.
-        let c = slab.insert(2, 1.0, 1.0, 2, &[5, 6]);
-        assert_eq!(c, a);
-        assert_eq!(slab.slots.len(), 2);
-        assert_eq!(slab.get_mut(c).nodes, vec![5, 6]);
-        assert_eq!(slab.get_mut(b).nodes, vec![4]);
     }
 
     #[test]

@@ -37,6 +37,7 @@ pub mod policy;
 pub mod replicate;
 pub mod scenario;
 pub mod scheduler;
+pub mod shard;
 pub mod sweep;
 
 pub use backend::{AnalyticBackend, ChunkBackend, FinishedRequest};
@@ -46,6 +47,7 @@ pub use metrics::{LatencySummary, SlotCounts};
 pub use policy::CacheScheme;
 pub use replicate::{run_replications, MeanCi, ReplicationSummary};
 pub use scenario::{Scenario, ScenarioAction, ScenarioEvent};
+pub use shard::{ShardPlan, ShardedEngine};
 pub use sweep::{
     CellTiming, Sample, SweepCancelled, SweepCell, SweepGrid, SweepReport, SweepRow, SweepTimings,
 };

@@ -247,6 +247,7 @@ mod tests {
             reconstruction_failures: 0,
             peak_event_queue: 0,
             peak_in_flight: 0,
+            logical_shards: 1,
             cache_promotions: 0,
             cache_evictions: 0,
         }

@@ -1,6 +1,6 @@
 //! Integration tests for the streaming runtime: event-heap residency,
-//! bit-identical determinism, and thread-count invariance of the
-//! replication runner.
+//! bit-identical determinism, thread-count invariance of the replication
+//! runner, and shard-count invariance of the sharded engine.
 
 use sprout_queueing::dist::ServiceDistribution;
 use sprout_sim::{CacheScheme, SimConfig, SimFile, Simulation};
@@ -73,6 +73,68 @@ fn same_seed_gives_bit_identical_reports() {
     )
     .run();
     assert_ne!(a.completed_requests, c.completed_requests);
+}
+
+/// The sharded engine at streaming scale: many files split across disjoint
+/// placement groups run as parallel epoch-synchronized event loops. The
+/// reported heap/in-flight peaks are per *logical shard* — bounded by
+/// O(files_in_shard + nodes_in_shard), far below the global file count — and
+/// the whole report, counters included, is bit-identical to the unsharded
+/// run.
+#[test]
+fn many_file_sharded_run_bounds_per_shard_heap_and_matches_unsharded() {
+    let groups = 8;
+    let nodes_per_group = 2;
+    let files_per_group = 8;
+    let build = |shards: usize| {
+        // 64 files at 2 req/s, k = 1 on 2 nodes per group: 8 chunk/s per
+        // node against a service rate of 10/s (ρ = 0.8), ~256k requests.
+        let mut grouped = Vec::new();
+        for g in 0..groups {
+            for _ in 0..files_per_group {
+                let placement: Vec<usize> = (0..nodes_per_group)
+                    .map(|j| g * nodes_per_group + j)
+                    .collect();
+                grouped.push(SimFile::new(2.0, 1, placement));
+            }
+        }
+        Simulation::new(
+            nodes(groups * nodes_per_group, 10.0),
+            grouped,
+            CacheScheme::NoCache,
+            SimConfig::new(2_000.0, 7).with_shards(shards),
+        )
+    };
+
+    let unsharded = build(1).run();
+    assert!(
+        unsharded.completed_requests > 100_000,
+        "the horizon should produce a six-figure request count, got {}",
+        unsharded.completed_requests
+    );
+    assert_eq!(unsharded.logical_shards, groups);
+    assert!(
+        unsharded.peak_event_queue <= files_per_group + nodes_per_group,
+        "per-shard heap peak {} must be O(files_in_shard + nodes_in_shard), \
+         not O(total files)",
+        unsharded.peak_event_queue
+    );
+
+    for shards in [2, 8] {
+        let sharded = build(shards).run();
+        assert_eq!(
+            sharded.completed_requests, unsharded.completed_requests,
+            "summed counters must match the unsharded run at {shards} shards"
+        );
+        assert_eq!(
+            sharded.node_chunks_served, unsharded.node_chunks_served,
+            "per-node chunk counts must match at {shards} shards"
+        );
+        assert_eq!(
+            sharded, unsharded,
+            "the full report must be bit-identical at {shards} shards"
+        );
+    }
 }
 
 /// The replication runner's summary must not depend on how many worker
