@@ -4,13 +4,15 @@
 //! "very minimal").
 //!
 //! Every group runs once per slice kernel (`scalar` is the seed's log/exp
-//! reference; `table` and `word` are the fast kernels), so the ids read
-//! `rs_encode_7_4/word/1048576` and kernel-vs-kernel speedups can be read
-//! straight off one run. `cargo run -p sprout-bench --bin bench_coding`
-//! produces the same measurements as machine-readable `BENCH_coding.json`.
+//! reference; `table`, `word` and `simd` are the fast rungs), so the ids
+//! read `rs_encode_7_4/word/1048576` and kernel-vs-kernel speedups can be
+//! read straight off one run. A striped-encode group benches the
+//! multi-threaded path at 1/2/4 workers. `cargo run -p sprout-bench --bin
+//! bench_coding` produces the same measurements as machine-readable
+//! `BENCH_coding.json`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use sprout::erasure::{Chunk, CodeParams, FunctionalCacheCodec, Kernel};
+use sprout::erasure::{Chunk, CodeParams, FunctionalCacheCodec, Kernel, StripeOpts};
 use sprout::gf::{kernel, Gf256};
 
 const SIZES: [usize; 2] = [64 * 1024, 1024 * 1024];
@@ -59,6 +61,21 @@ fn coding_benches(c: &mut Criterion) {
                 b.iter(|| codec.cache_chunks(data, 2).unwrap());
             });
         }
+    }
+    group.finish();
+
+    // Striped multi-threaded encoding, auto kernel: 8 MiB objects split into
+    // 64 KiB stripes (32 per chunk), so worker count is the variable.
+    let mut group = c.benchmark_group("rs_encode_striped_7_4_8mib");
+    let size = 8 * 1024 * 1024;
+    let data: Vec<u8> = (0..size).map(|i| (i * 11 + 5) as u8).collect();
+    group.throughput(Throughput::Bytes(size as u64));
+    for workers in [1usize, 2, 4] {
+        let codec = codec_with(Kernel::auto());
+        let opts = StripeOpts::new(64 * 1024, workers);
+        group.bench_with_input(BenchmarkId::new("workers", workers), &data, |b, data| {
+            b.iter(|| codec.encode_striped(data, opts).unwrap());
+        });
     }
     group.finish();
 

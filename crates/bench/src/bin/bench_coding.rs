@@ -1,16 +1,26 @@
 //! Coding-layer throughput snapshot, emitted as `BENCH_coding.json`.
 //!
 //! Measures MB/s for the three coding-hot-path operations — `encode`,
-//! `decode` (2 cache + 2 storage chunks) and `cache_chunks` (d = 2) — at
-//! 64 KiB and 1 MiB objects, once per slice kernel (`scalar`, `table`,
-//! `word`), so the kernel-vs-kernel speedup and the absolute throughput
-//! trajectory are tracked from one JSON artifact per run.
+//! `decode` (2 cache + 2 storage chunks) and `cache_chunks` (d = 2) — over a
+//! `kernel × size × threads` grid:
 //!
-//! The kernel × size grid runs on the shared sweep harness, but **defaults
-//! to `--threads 1`**: unlike the simulation sweeps, these cells measure
+//! * **kernel** — every slice-kernel rung (`scalar`, `table`, `word`,
+//!   `simd`), so the ladder's rung-over-rung speedup is tracked from one
+//!   JSON artifact. `SPROUT_KERNEL=<name>` restricts the axis to one rung.
+//! * **size_bytes** — 64 KiB, 1 MiB and 8 MiB objects.
+//! * **threads** — 1 (the plain single-pass paths) or 2/4 (striped coding on
+//!   a scoped worker pool, 64 KiB stripes), measuring the multi-core payoff.
+//!
+//! Every cell runs 3 replications, so the emitted `std_dev`/`ci95` are real
+//! run-to-run spread, and records the decode-matrix memo's hit/miss counters
+//! (summed across replications).
+//!
+//! The grid runs on the shared sweep harness, but **defaults to
+//! `--threads 1`**: unlike the simulation sweeps, these cells measure
 //! wall-clock throughput, and concurrent cells would contend for cores and
 //! corrupt each other's numbers. (`--threads` is still honoured for a quick
-//! parallel smoke where absolute numbers do not matter.)
+//! parallel smoke where absolute numbers do not matter; it is the harness's
+//! cell parallelism, unrelated to the grid's `threads` axis.)
 //!
 //! Usage:
 //!
@@ -20,12 +30,15 @@
 
 use std::time::Instant;
 
-use sprout::erasure::{Chunk, CodeParams, FunctionalCacheCodec, Kernel};
+use sprout::erasure::{Chunk, CodeParams, FunctionalCacheCodec, Kernel, StripeOpts};
 use sprout::sim::sweep::{Sample, SweepGrid};
 use sprout_bench::{emit, FigureCli};
 
-const SIZES: [usize; 2] = [64 * 1024, 1024 * 1024];
+const SIZES: [usize; 3] = [64 * 1024, 1024 * 1024, 8 * 1024 * 1024];
+const THREADS: [usize; 3] = [1, 2, 4];
+const STRIPE_LEN: usize = 64 * 1024;
 const CACHE_CHUNKS: usize = 2;
+const REPLICATIONS: usize = 3;
 
 /// Runs `f` repeatedly until the time budget is spent and returns MB/s
 /// (throughput of `bytes` of input per call).
@@ -49,13 +62,32 @@ fn main() {
     let budget = if cli.quick { 0.05 } else { 0.5 };
     let params = CodeParams::new(7, 4).expect("(7, 4) is a valid code");
 
+    // SPROUT_KERNEL pins the kernel axis to a single rung (e.g. the CI
+    // fallback leg benches only `word`); unset, every rung is measured.
+    let kernels: Vec<Kernel> = match Kernel::from_env() {
+        Ok(Some(k)) => vec![k],
+        Ok(None) => Kernel::ALL.to_vec(),
+        Err(msg) => {
+            eprintln!("bench_coding: {msg}");
+            std::process::exit(2);
+        }
+    };
+
     let grid = SweepGrid::named("bench_coding", 0)
-        .axis("kernel", Kernel::ALL.iter().map(|k| k.name()))
-        .axis("size_bytes", SIZES.iter().map(|s| s.to_string()));
+        .axis("kernel", kernels.iter().map(|k| k.name()))
+        .axis("size_bytes", SIZES.iter().map(|s| s.to_string()))
+        .axis("threads", THREADS.iter().map(|t| t.to_string()))
+        .replications(REPLICATIONS);
     let report = grid.run(cli.threads_or(1), |cell, _, _| {
-        let kernel = Kernel::ALL[cell.idx("kernel")];
+        let kernel = kernels[cell.idx("kernel")];
         let size = SIZES[cell.idx("size_bytes")];
-        let codec = FunctionalCacheCodec::with_kernel(params, kernel).expect("valid kernel");
+        let threads = THREADS[cell.idx("threads")];
+        // threads == 1 measures the plain single-pass paths; more threads
+        // switch the codec to striped coding on a scoped worker pool.
+        let striping = (threads > 1).then(|| StripeOpts::new(STRIPE_LEN, threads));
+        let codec = FunctionalCacheCodec::with_kernel(params, kernel)
+            .expect("valid kernel")
+            .with_striping(striping);
         let data: Vec<u8> = (0..size).map(|i| (i * 31 + 7) as u8).collect();
 
         let encode = throughput(size, budget, || {
@@ -75,19 +107,46 @@ fn main() {
             std::hint::black_box(codec.decode(&have, size).unwrap());
         });
 
+        // The decode-matrix memo: every decode above reuses one row subset,
+        // so a healthy memo shows exactly 1 miss and the rest hits.
+        let (memo_hits, memo_misses) = codec.code().decode_memo_stats();
         Sample::new()
             .metric("encode_mb_per_s", encode)
             .metric("cache_chunks_mb_per_s", cache)
             .metric("decode_mb_per_s", decode)
+            .counter("decode_memo_hits", memo_hits)
+            .counter("decode_memo_misses", memo_misses)
     });
 
+    let simd = sprout::gf::simd_level();
     let report = report
         .with_meta("quick", cli.quick.to_string())
         .with_meta("code", "(7, 4), cache_chunks_d = 2")
         .with_meta("unit", "MB/s of object bytes per operation")
+        .with_meta("replications", REPLICATIONS.to_string())
+        .with_meta("simd_level", simd.name())
+        .with_meta("stripe_len_bytes", STRIPE_LEN.to_string())
         .with_note(
             "wall-clock throughput: numbers vary run to run (no thresholds gated on them) \
              and are only comparable within a --threads 1 run",
+        )
+        .with_note(
+            "threads axis: 1 = plain single-pass coding; >1 = striped coding over 64 KiB \
+             stripes on a scoped thread pool (objects whose chunks fit one stripe degenerate \
+             to the single-pass path)",
+        )
+        .with_note(
+            "decode_memo_hits/misses count decode-matrix memo lookups per cell (summed over \
+             replications); striped decode computes the matrix once, so misses stay at 1 per \
+             distinct row subset",
         );
+    let report = if simd == sprout::gf::SimdLevel::None {
+        report.with_note(
+            "simd fallback: no usable SIMD level on this host (or SPROUT_DISABLE_SIMD set) — \
+             the `simd` kernel rows measure its word-kernel fallback path",
+        )
+    } else {
+        report
+    };
     emit(&report, cli.out_or("BENCH_coding.json"));
 }

@@ -74,3 +74,6 @@ pub use placement::{
 };
 pub use store::{ClusterConfig, ClusterConfigBuilder, ErasureCodedStore, ReadOutcome};
 pub use tier::{Admission, CacheTier, LruTier, TierStats};
+// Re-exported so store configurers can pick a coding kernel / striping
+// without a direct `sprout-erasure` dependency.
+pub use sprout_erasure::{Kernel, StripeOpts};

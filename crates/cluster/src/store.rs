@@ -5,7 +5,7 @@ use std::collections::HashMap;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use sprout_erasure::{Chunk, CodeParams, FunctionalCacheCodec};
+use sprout_erasure::{Chunk, CodeParams, FunctionalCacheCodec, Kernel, StripeOpts};
 
 use crate::cache::{Cache, CachePolicy, CacheStats};
 use crate::device::DeviceModel;
@@ -35,6 +35,13 @@ pub struct ClusterConfig {
     /// Chunk-placement strategy (defaults to the paper's random placement
     /// groups, [`PlacementChoice::RandomGroups`]).
     pub placement: PlacementChoice,
+    /// GF(2^8) slice kernel for all coding; `None` (the default) resolves
+    /// to [`Kernel::auto`] — the best rung the running CPU supports.
+    pub coding_kernel: Option<Kernel>,
+    /// Striped multi-threaded coding for large objects; `Some` (the
+    /// default) makes put/get of multi-MiB objects fan chunk-length stripes
+    /// out over a scoped thread pool. Coded bytes are identical either way.
+    pub striping: Option<StripeOpts>,
 }
 
 impl ClusterConfig {
@@ -56,6 +63,8 @@ pub struct ClusterConfigBuilder {
     cache_device: DeviceModel,
     seed: u64,
     placement: PlacementChoice,
+    coding_kernel: Option<Kernel>,
+    striping: Option<StripeOpts>,
 }
 
 impl Default for ClusterConfigBuilder {
@@ -70,6 +79,8 @@ impl Default for ClusterConfigBuilder {
             cache_device: DeviceModel::ssd(),
             seed: 0,
             placement: PlacementChoice::default(),
+            coding_kernel: None,
+            striping: Some(StripeOpts::default()),
         }
     }
 }
@@ -130,6 +141,19 @@ impl ClusterConfigBuilder {
         self
     }
 
+    /// Pins the GF(2^8) slice kernel (`None` → [`Kernel::auto`]).
+    pub fn coding_kernel(&mut self, kernel: Option<Kernel>) -> &mut Self {
+        self.coding_kernel = kernel;
+        self
+    }
+
+    /// Configures striped multi-threaded coding of large objects (`None`
+    /// disables it; the default is [`StripeOpts::default`]).
+    pub fn striping(&mut self, striping: Option<StripeOpts>) -> &mut Self {
+        self.striping = striping;
+        self
+    }
+
     /// Sets the number of placement groups of the random-groups strategy.
     #[deprecated(note = "use .placement(PlacementChoice::RandomGroups { groups: Some(g) })")]
     pub fn placement_groups(&mut self, groups: usize) -> &mut Self {
@@ -154,6 +178,8 @@ impl ClusterConfigBuilder {
             cache_device: self.cache_device,
             seed: self.seed,
             placement: self.placement.clone(),
+            coding_kernel: self.coding_kernel,
+            striping: self.striping,
         }
     }
 }
@@ -230,7 +256,14 @@ impl ErasureCodedStore {
             )));
         }
         let params = CodeParams::new(config.n, config.k)?;
-        let codec = FunctionalCacheCodec::new(params)?;
+        // The codec rides the best kernel the CPU supports (unless pinned)
+        // and stripes large objects across threads; both choices affect
+        // throughput only — coded bytes are kernel- and stripe-invariant.
+        let codec = FunctionalCacheCodec::with_kernel(
+            params,
+            config.coding_kernel.unwrap_or_else(Kernel::auto),
+        )?
+        .with_striping(config.striping);
         let nodes = config
             .devices
             .iter()
@@ -261,6 +294,12 @@ impl ErasureCodedStore {
     /// The erasure-code parameters.
     pub fn code_params(&self) -> CodeParams {
         self.codec.params()
+    }
+
+    /// The GF(2^8) slice kernel the store's codec resolved to (the config's
+    /// pin, or [`Kernel::auto`]'s pick for this CPU).
+    pub fn coding_kernel(&self) -> Kernel {
+        self.codec.kernel()
     }
 
     /// Number of stored objects.
@@ -689,6 +728,39 @@ mod tests {
         assert_eq!(out.cache_chunks_used, 0);
         assert!(out.latency > 0.0);
         assert_eq!(out.nodes_used.len(), 4);
+    }
+
+    #[test]
+    fn striped_multi_mib_put_get_matches_unstriped() {
+        // Defaults: kernel auto + striping on. Pin: scalar kernel, no
+        // striping. Stored chunk bytes and read-back data must be identical.
+        let data = payload(3 * 1024 * 1024 + 13, 7);
+        let mut fast = store(CachePolicy::None);
+        assert!(fast.config().striping.is_some(), "striping on by default");
+        assert_eq!(fast.coding_kernel(), Kernel::auto());
+        let pinned_config = ClusterConfig::builder()
+            .nodes(8)
+            .code(7, 4)
+            .uniform_device(DeviceModel::exponential(0.010))
+            .cache_policy(CachePolicy::None)
+            .cache_capacity_bytes(1_000_000)
+            .seed(11)
+            .coding_kernel(Some(Kernel::Scalar))
+            .striping(None)
+            .build();
+        let mut slow = ErasureCodedStore::new(pinned_config).unwrap();
+        assert_eq!(slow.coding_kernel(), Kernel::Scalar);
+        fast.put(9, &data).unwrap();
+        slow.put(9, &data).unwrap();
+        for node in 0..8 {
+            assert_eq!(
+                fast.chunk_on_node(9, node).map(|c| c.data.as_ref()),
+                slow.chunk_on_node(9, node).map(|c| c.data.as_ref()),
+                "chunk bytes must be kernel- and stripe-invariant (node {node})"
+            );
+        }
+        assert_eq!(fast.get(9, 0.0).unwrap().data, data);
+        assert_eq!(slow.get(9, 0.0).unwrap().data, data);
     }
 
     #[test]

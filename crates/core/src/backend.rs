@@ -24,7 +24,7 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use sprout_cluster::{CachePolicy, ClusterConfig, DeviceModel, ErasureCodedStore};
+use sprout_cluster::{CachePolicy, ClusterConfig, DeviceModel, ErasureCodedStore, Kernel};
 use sprout_erasure::Chunk;
 use sprout_queueing::dist::ServiceDistribution;
 use sprout_sim::{CacheScheme, ChunkBackend, FinishedRequest};
@@ -120,6 +120,13 @@ impl StoreBackend {
     /// The underlying store (cache statistics, node contents, ...).
     pub fn store(&self) -> &ErasureCodedStore {
         &self.store
+    }
+
+    /// The GF(2^8) slice kernel the store's coder resolved to — with the
+    /// default configuration, [`Kernel::auto`]'s pick for this CPU (SIMD on
+    /// machines with AVX2/SSSE3, the word kernel otherwise).
+    pub fn coding_kernel(&self) -> Kernel {
+        self.store.coding_kernel()
     }
 
     /// Completed requests whose bytes decoded to the original payload.
@@ -402,6 +409,16 @@ mod tests {
         // Roughly the Table V scale for a 500 kB chunk: well under the ~6.7 ms
         // HDD read of a 1 MB chunk.
         assert!(latency < 0.005, "cache reads stay SSD-fast, got {latency}");
+    }
+
+    #[test]
+    fn byte_backend_resolves_the_auto_kernel() {
+        // The facade builds its store with the default coding config, so the
+        // backend's kernel must be whatever `Kernel::auto()` picks here, and
+        // striped large-object coding must be enabled.
+        let backend = byte_backend_for(4096);
+        assert_eq!(backend.coding_kernel(), Kernel::auto());
+        assert!(backend.store().config().striping.is_some());
     }
 
     #[test]

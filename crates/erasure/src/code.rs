@@ -16,6 +16,7 @@ use sprout_gf::{builders, kernel, Kernel, Matrix};
 use crate::chunk::{Chunk, ChunkId, ChunkSource};
 use crate::error::CodingError;
 use crate::stripe;
+use crate::striped::{self, StripeOpts};
 
 /// Validated `(n, k)` erasure-code parameters.
 ///
@@ -145,6 +146,10 @@ pub struct ReedSolomon {
     generator: Matrix,
     /// Slice kernel used for all bulk GF(2^8) work.
     kernel: Kernel,
+    /// When set, `encode`/`decode`/`encode_rows` automatically stripe large
+    /// objects across a scoped thread pool (see [`StripeOpts`]). `None`
+    /// keeps every operation a single pass on the calling thread.
+    striping: Option<StripeOpts>,
     /// Memo of inverted decode matrices, keyed by the sorted row subset.
     ///
     /// Shared (via `Arc`) between clones of the code, so a codec cloned into
@@ -241,8 +246,30 @@ impl ReedSolomon {
             params,
             generator,
             kernel,
+            striping: None,
             decode_memo: Arc::new(Mutex::new(InverseMemo::default())),
         })
+    }
+
+    /// Enables (or disables, with `None`) automatic striped coding: with
+    /// options set, [`ReedSolomon::encode`], [`ReedSolomon::decode`] and
+    /// [`ReedSolomon::encode_rows`] fan multi-stripe objects out over a
+    /// scoped thread pool. Results are byte-identical either way; only
+    /// throughput changes.
+    #[must_use]
+    pub fn with_striping(mut self, striping: Option<StripeOpts>) -> Self {
+        self.set_striping(striping);
+        self
+    }
+
+    /// Switches automatic striping. See [`ReedSolomon::with_striping`].
+    pub fn set_striping(&mut self, striping: Option<StripeOpts>) {
+        self.striping = striping;
+    }
+
+    /// The automatic striping options, if enabled.
+    pub fn striping(&self) -> Option<StripeOpts> {
+        self.striping
     }
 
     /// The code parameters.
@@ -293,6 +320,35 @@ impl ReedSolomon {
     /// This operation does not currently fail; the `Result` mirrors
     /// [`ReedSolomon::decode`] for API symmetry.
     pub fn encode(&self, file: &[u8]) -> Result<EncodedFile, CodingError> {
+        self.encode_impl(file, self.striping)
+    }
+
+    /// Encodes a file with explicitly striped, multi-threaded parity
+    /// computation (regardless of the code's automatic-striping setting).
+    ///
+    /// The object's chunk length is partitioned into stripes of
+    /// `opts.stripe_len` bytes and the parity rows of each stripe are
+    /// encoded concurrently on a scoped thread pool writing disjoint
+    /// sub-slices of the final chunk buffers — no per-stripe allocation and
+    /// no reassembly copy. The result is byte-identical to
+    /// [`ReedSolomon::encode`].
+    ///
+    /// # Errors
+    ///
+    /// See [`ReedSolomon::encode`].
+    pub fn encode_striped(
+        &self,
+        file: &[u8],
+        opts: StripeOpts,
+    ) -> Result<EncodedFile, CodingError> {
+        self.encode_impl(file, Some(opts))
+    }
+
+    fn encode_impl(
+        &self,
+        file: &[u8],
+        striping: Option<StripeOpts>,
+    ) -> Result<EncodedFile, CodingError> {
         let k = self.params.k();
         let n = self.params.n();
         let (data_chunks, chunk_len) = stripe::split(file, k);
@@ -303,7 +359,12 @@ impl ReedSolomon {
         let mut parity: Vec<Vec<u8>> = parity_rows.iter().map(|_| vec![0u8; chunk_len]).collect();
         {
             let mut outs: Vec<&mut [u8]> = parity.iter_mut().map(Vec::as_mut_slice).collect();
-            self.encode_rows_into(&data_refs, &parity_rows, &mut outs);
+            match striping {
+                Some(opts) => {
+                    self.encode_rows_striped_into(&data_refs, &parity_rows, &mut outs, opts);
+                }
+                None => self.encode_rows_into(&data_refs, &parity_rows, &mut outs),
+            }
         }
 
         // ... then the data chunks are moved into the systematic prefix.
@@ -336,7 +397,10 @@ impl ReedSolomon {
         let data_refs: Vec<&[u8]> = data_chunks.iter().map(Vec::as_slice).collect();
         let mut payloads: Vec<Vec<u8>> = rows.iter().map(|_| vec![0u8; chunk_len]).collect();
         let mut outs: Vec<&mut [u8]> = payloads.iter_mut().map(Vec::as_mut_slice).collect();
-        self.encode_rows_into(&data_refs, rows, &mut outs);
+        match self.striping {
+            Some(opts) => self.encode_rows_striped_into(&data_refs, rows, &mut outs, opts),
+            None => self.encode_rows_into(&data_refs, rows, &mut outs),
+        }
         payloads
     }
 
@@ -394,6 +458,76 @@ impl ReedSolomon {
         }
     }
 
+    /// The striped, multi-threaded variant of
+    /// [`ReedSolomon::encode_rows_into`]: the chunk length is partitioned
+    /// into `opts.stripe_len`-byte stripes, and each stripe's slice of every
+    /// output row is encoded concurrently on a scoped thread pool.
+    ///
+    /// Stripes are disjoint byte ranges of caller-provided buffers, so
+    /// nothing is allocated per stripe and the result is byte-identical to
+    /// the single-pass variant for any thread count. Objects that produce at
+    /// most one stripe (or `opts` resolving to one worker) run inline.
+    ///
+    /// # Panics
+    ///
+    /// As [`ReedSolomon::encode_rows_into`].
+    pub fn encode_rows_striped_into(
+        &self,
+        data_chunks: &[&[u8]],
+        rows: &[usize],
+        outputs: &mut [&mut [u8]],
+        opts: StripeOpts,
+    ) {
+        let chunk_len = data_chunks.first().map_or(0, |c| c.len());
+        let ranges = stripe::stripe_ranges(chunk_len, opts.stripe_len);
+        let workers = opts.effective_threads().min(ranges.len()).max(1);
+        if workers == 1 {
+            self.encode_rows_into(data_chunks, rows, outputs);
+            return;
+        }
+        // Same contract checks as the single-pass variant (it is not called
+        // here, so they must run up front — before buffers are carved).
+        assert_eq!(
+            data_chunks.len(),
+            self.params.k(),
+            "expected exactly k data chunks"
+        );
+        assert!(
+            data_chunks.iter().all(|c| c.len() == chunk_len),
+            "all data chunks must have the same length"
+        );
+        assert_eq!(
+            outputs.len(),
+            rows.len(),
+            "expected one output buffer per row"
+        );
+        for (&row, out) in rows.iter().zip(outputs.iter()) {
+            assert!(
+                row < self.params.extended_rows(),
+                "generator row {row} out of range"
+            );
+            assert_eq!(
+                out.len(),
+                chunk_len,
+                "output buffer length must equal the chunk length"
+            );
+        }
+        let tasks = striped::carve(outputs, &ranges);
+        striped::run_tasks(tasks, workers, |range, outs| {
+            for (&row, out) in rows.iter().zip(outs.iter_mut()) {
+                for (j, data) in data_chunks.iter().enumerate() {
+                    let coeff = self.generator.get(row, j);
+                    let src = &data[range.clone()];
+                    if j == 0 {
+                        kernel::mul_slice(self.kernel, coeff, src, out);
+                    } else {
+                        kernel::mul_acc_slice(self.kernel, coeff, src, out);
+                    }
+                }
+            }
+        });
+    }
+
     /// Decodes the original file from any `k` distinct chunks.
     ///
     /// Chunks may come from storage rows, cache rows, or a mix; only `k`
@@ -407,6 +541,35 @@ impl ReedSolomon {
     /// * [`CodingError::ChunkSizeMismatch`] if payload lengths differ.
     /// * [`CodingError::InvalidFileLength`] if `original_len` exceeds `k * chunk_len`.
     pub fn decode(&self, chunks: &[Chunk], original_len: usize) -> Result<Vec<u8>, CodingError> {
+        self.decode_impl(chunks, original_len, self.striping)
+    }
+
+    /// Decodes with explicitly striped, multi-threaded reconstruction
+    /// (regardless of the code's automatic-striping setting).
+    ///
+    /// The inverse decode matrix is computed (or memo-served) once; the
+    /// chunk length is then partitioned into `opts.stripe_len`-byte stripes
+    /// reconstructed concurrently into disjoint sub-slices of the flat
+    /// output buffer. Byte-identical to [`ReedSolomon::decode`].
+    ///
+    /// # Errors
+    ///
+    /// See [`ReedSolomon::decode`].
+    pub fn decode_striped(
+        &self,
+        chunks: &[Chunk],
+        original_len: usize,
+        opts: StripeOpts,
+    ) -> Result<Vec<u8>, CodingError> {
+        self.decode_impl(chunks, original_len, Some(opts))
+    }
+
+    fn decode_impl(
+        &self,
+        chunks: &[Chunk],
+        original_len: usize,
+        striping: Option<StripeOpts>,
+    ) -> Result<Vec<u8>, CodingError> {
         let k = self.params.k();
         let max = self.params.extended_rows();
 
@@ -466,13 +629,37 @@ impl ReedSolomon {
         // i*chunk_len..(i+1)*chunk_len of the decoded file), so no per-chunk
         // buffers or join copy are needed.
         let mut flat = vec![0u8; k * chunk_len];
-        for (i, data) in flat.chunks_mut(chunk_len.max(1)).enumerate() {
-            for (j, chunk) in selected.iter().enumerate() {
-                let coeff = inv.get(i, j);
-                if j == 0 {
-                    kernel::mul_slice(self.kernel, coeff, &chunk.data, data);
-                } else {
-                    kernel::mul_acc_slice(self.kernel, coeff, &chunk.data, data);
+        let ranges = striping
+            .map(|opts| stripe::stripe_ranges(chunk_len, opts.stripe_len))
+            .unwrap_or_default();
+        let workers = striping.map_or(1, |opts| opts.effective_threads().min(ranges.len()).max(1));
+        if workers > 1 {
+            // Striped: carve each logical data chunk of the flat buffer
+            // along the stripe ranges and reconstruct stripes concurrently.
+            let mut data_slices: Vec<&mut [u8]> = flat.chunks_mut(chunk_len).collect();
+            let tasks = striped::carve(&mut data_slices, &ranges);
+            striped::run_tasks(tasks, workers, |range, outs| {
+                for (i, data) in outs.iter_mut().enumerate() {
+                    for (j, chunk) in selected.iter().enumerate() {
+                        let coeff = inv.get(i, j);
+                        let src = &chunk.data[range.clone()];
+                        if j == 0 {
+                            kernel::mul_slice(self.kernel, coeff, src, data);
+                        } else {
+                            kernel::mul_acc_slice(self.kernel, coeff, src, data);
+                        }
+                    }
+                }
+            });
+        } else {
+            for (i, data) in flat.chunks_mut(chunk_len.max(1)).enumerate() {
+                for (j, chunk) in selected.iter().enumerate() {
+                    let coeff = inv.get(i, j);
+                    if j == 0 {
+                        kernel::mul_slice(self.kernel, coeff, &chunk.data, data);
+                    } else {
+                        kernel::mul_acc_slice(self.kernel, coeff, &chunk.data, data);
+                    }
                 }
             }
         }

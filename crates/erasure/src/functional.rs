@@ -15,6 +15,7 @@ use crate::chunk::{Chunk, ChunkId};
 use crate::code::{CodeParams, EncodedFile, ReedSolomon};
 use crate::error::CodingError;
 use crate::stripe;
+use crate::striped::StripeOpts;
 
 /// Encoder/decoder for files stored with an `(n, k)` code plus up to `k`
 /// functional cache chunks.
@@ -73,6 +74,53 @@ impl FunctionalCacheCodec {
     /// Switches the slice kernel.
     pub fn set_kernel(&mut self, kernel: Kernel) {
         self.code.set_kernel(kernel);
+    }
+
+    /// Enables (or disables, with `None`) automatic striped coding of large
+    /// objects. See [`ReedSolomon::with_striping`].
+    #[must_use]
+    pub fn with_striping(mut self, striping: Option<StripeOpts>) -> Self {
+        self.set_striping(striping);
+        self
+    }
+
+    /// Switches automatic striping. See [`ReedSolomon::set_striping`].
+    pub fn set_striping(&mut self, striping: Option<StripeOpts>) {
+        self.code.set_striping(striping);
+    }
+
+    /// The automatic striping options, if enabled.
+    pub fn striping(&self) -> Option<StripeOpts> {
+        self.code.striping()
+    }
+
+    /// Encodes a file with explicitly striped, multi-threaded parity
+    /// computation. See [`ReedSolomon::encode_striped`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from [`ReedSolomon::encode_striped`].
+    pub fn encode_striped(
+        &self,
+        file: &[u8],
+        opts: StripeOpts,
+    ) -> Result<EncodedFile, CodingError> {
+        self.code.encode_striped(file, opts)
+    }
+
+    /// Decodes with explicitly striped, multi-threaded reconstruction. See
+    /// [`ReedSolomon::decode_striped`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from [`ReedSolomon::decode_striped`].
+    pub fn decode_striped(
+        &self,
+        chunks: &[Chunk],
+        original_len: usize,
+        opts: StripeOpts,
+    ) -> Result<Vec<u8>, CodingError> {
+        self.code.decode_striped(chunks, original_len, opts)
     }
 
     /// Wraps an existing Reed–Solomon code.

@@ -40,11 +40,13 @@ pub mod code;
 pub mod error;
 pub mod functional;
 pub mod stripe;
+pub mod striped;
 
 pub use chunk::{Chunk, ChunkId, ChunkSource};
 pub use code::{CodeParams, EncodedFile, ReedSolomon};
 pub use error::CodingError;
 pub use functional::FunctionalCacheCodec;
+pub use striped::StripeOpts;
 // Re-exported so coding callers can pick a slice kernel without a direct
 // `sprout-gf` dependency.
 pub use sprout_gf::Kernel;

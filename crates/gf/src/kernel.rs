@@ -7,7 +7,7 @@
 //! * `dst[i]  = c * src[i]` — multiply–overwrite ([`mul_slice`]).
 //!
 //! The seed implementation walked both slices a byte at a time through the
-//! log/exp tables with a per-byte zero branch. This module layers three
+//! log/exp tables with a per-byte zero branch. This module layers four
 //! interchangeable kernels behind the [`Kernel`] enum so the fast paths can
 //! be differentially tested against the original loop:
 //!
@@ -15,11 +15,17 @@
 //!   verbatim as the reference implementation.
 //! * [`Kernel::Table`] — a branch-free byte loop through a per-coefficient
 //!   256-entry product table ([`MulTable::full`]).
-//! * [`Kernel::Word`] — the default: 8 bytes per step through `u64` words
-//!   using the bit-sliced broadcast technique (the scalar-safe analogue of
-//!   the SIMD kernels in Jerasure/ISA-L), with a table-driven scalar tail.
-//!   The inner loop is branch-free straight-line integer code, which LLVM
-//!   auto-vectorizes on any target with SIMD (see `.cargo/config.toml`).
+//! * [`Kernel::Word`] — the portable default: 8 bytes per step through
+//!   `u64` words using the bit-sliced broadcast technique (the scalar-safe
+//!   analogue of the SIMD kernels in Jerasure/ISA-L), with a table-driven
+//!   scalar tail. The inner loop is branch-free straight-line integer code,
+//!   which LLVM auto-vectorizes on any target with SIMD (see
+//!   `.cargo/config.toml`).
+//! * [`Kernel::Simd`] — explicit SSSE3/AVX2 nibble-table shuffles
+//!   ([`crate::simd`]): 16 or 32 bytes per `pshufb`/`vpshufb` step, detected
+//!   at runtime, with the word kernel as tail and as the fallback on
+//!   hardware without SSSE3. [`Kernel::auto`] picks this rung when it is
+//!   available.
 //!
 //! Per-coefficient tables are built lazily, once per process, and shared by
 //! every caller ([`MulTable::for_coeff`]), so an encode that reuses the same
@@ -28,6 +34,7 @@
 use std::sync::OnceLock;
 
 use crate::field::{scalar_mul_acc, scalar_scale, Gf256};
+use crate::simd;
 
 /// Byte with the low bit of every lane set — the bit-slice extraction mask.
 const LSB: u64 = 0x0101_0101_0101_0101;
@@ -104,14 +111,25 @@ pub enum Kernel {
     /// Branch-free byte loop through a 256-entry per-coefficient table.
     Table,
     /// Bit-sliced `u64` kernel: 8 bytes per step, table-driven tail.
+    ///
+    /// The portable default: correct and fast on every target. Prefer
+    /// [`Kernel::auto`] when the caller can tolerate runtime CPU detection.
     #[default]
     Word,
+    /// Explicit-SIMD nibble-table shuffle (SSSE3 `pshufb`, widened to AVX2
+    /// `vpshufb` when available): 16 or 32 bytes per step, word-kernel tail.
+    ///
+    /// Selected instructions are detected at runtime
+    /// ([`simd::simd_level`](crate::simd::simd_level)); on hardware without
+    /// SSSE3 — or with `SPROUT_DISABLE_SIMD` set — this rung transparently
+    /// runs the [`Kernel::Word`] path, so it is always safe to pick.
+    Simd,
 }
 
 impl Kernel {
     /// Every kernel, in reference-first order (useful for differential tests
     /// and benchmarks).
-    pub const ALL: [Kernel; 3] = [Kernel::Scalar, Kernel::Table, Kernel::Word];
+    pub const ALL: [Kernel; 4] = [Kernel::Scalar, Kernel::Table, Kernel::Word, Kernel::Simd];
 
     /// Stable lower-case name (used in benchmark ids and JSON output).
     pub fn name(self) -> &'static str {
@@ -119,6 +137,46 @@ impl Kernel {
             Kernel::Scalar => "scalar",
             Kernel::Table => "table",
             Kernel::Word => "word",
+            Kernel::Simd => "simd",
+        }
+    }
+
+    /// The best rung for the running CPU: [`Kernel::Simd`] when SSSE3/AVX2
+    /// is detected (and not disabled via `SPROUT_DISABLE_SIMD`), otherwise
+    /// the portable [`Kernel::Word`].
+    pub fn auto() -> Kernel {
+        if simd::simd_available() {
+            Kernel::Simd
+        } else {
+            Kernel::Word
+        }
+    }
+
+    /// Parses a kernel name as emitted by [`Kernel::name`]; `"auto"` maps to
+    /// [`Kernel::auto`]. Returns `None` for unknown names.
+    pub fn from_name(name: &str) -> Option<Kernel> {
+        match name.trim().to_ascii_lowercase().as_str() {
+            "scalar" => Some(Kernel::Scalar),
+            "table" => Some(Kernel::Table),
+            "word" => Some(Kernel::Word),
+            "simd" => Some(Kernel::Simd),
+            "auto" => Some(Kernel::auto()),
+            _ => None,
+        }
+    }
+
+    /// Reads the `SPROUT_KERNEL` environment variable (the bench-bin
+    /// override): `Ok(None)` when unset or empty, `Ok(Some(_))` for a valid
+    /// kernel name, and the offending value as `Err` otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Returns the unparseable variable value so callers can report it.
+    pub fn from_env() -> Result<Option<Kernel>, String> {
+        match std::env::var("SPROUT_KERNEL") {
+            Ok(v) if v.trim().is_empty() => Ok(None),
+            Ok(v) => Kernel::from_name(&v).map(Some).ok_or(v),
+            Err(_) => Ok(None),
         }
     }
 }
@@ -156,6 +214,13 @@ pub fn mul_acc_slice(kernel: Kernel, coeff: Gf256, src: &[u8], dst: &mut [u8]) {
             }
         }
         Kernel::Word => word_mul_acc(MulTable::for_coeff(coeff), src, dst),
+        Kernel::Simd => {
+            let t = MulTable::for_coeff(coeff);
+            // The SIMD prefix covers whole 16/32-byte blocks (none when the
+            // CPU lacks SSSE3); the word kernel finishes the tail.
+            let done = simd::mul_acc_prefix(t, src, dst);
+            word_mul_acc(t, &src[done..], &mut dst[done..]);
+        }
     }
 }
 
@@ -193,6 +258,11 @@ pub fn mul_slice(kernel: Kernel, coeff: Gf256, src: &[u8], dst: &mut [u8]) {
             }
         }
         Kernel::Word => word_mul(MulTable::for_coeff(coeff), src, dst),
+        Kernel::Simd => {
+            let t = MulTable::for_coeff(coeff);
+            let done = simd::mul_prefix(t, src, dst);
+            word_mul(t, &src[done..], &mut dst[done..]);
+        }
     }
 }
 
@@ -207,7 +277,9 @@ pub fn scale_slice(kernel: Kernel, coeff: Gf256, buf: &mut [u8]) {
     }
     match kernel {
         Kernel::Scalar => scalar_scale(coeff, buf),
-        Kernel::Table | Kernel::Word => {
+        // Scaling runs on matrix rows (k × k elements), never on bulk chunk
+        // data, so the table loop is plenty for every fast rung.
+        Kernel::Table | Kernel::Word | Kernel::Simd => {
             let t = MulTable::for_coeff(coeff);
             for b in buf.iter_mut() {
                 *b = t.full[*b as usize];
@@ -318,7 +390,7 @@ mod tests {
             let coeff = Gf256::new(c);
             let mut want = vec![0x5Au8; src.len()];
             mul_acc_slice(Kernel::Scalar, coeff, &src, &mut want);
-            for kernel in [Kernel::Table, Kernel::Word] {
+            for kernel in [Kernel::Table, Kernel::Word, Kernel::Simd] {
                 let mut got = vec![0x5Au8; src.len()];
                 mul_acc_slice(kernel, coeff, &src, &mut got);
                 assert_eq!(got, want, "mul_acc {kernel} c={c}");
@@ -341,11 +413,33 @@ mod tests {
     #[test]
     fn kernel_names_and_display() {
         assert_eq!(Kernel::default(), Kernel::Word);
-        assert_eq!(Kernel::ALL.len(), 3);
+        assert_eq!(Kernel::ALL.len(), 4);
         assert_eq!(Kernel::ALL[0], Kernel::Scalar);
         assert_eq!(Kernel::Scalar.name(), "scalar");
         assert_eq!(Kernel::Table.to_string(), "table");
         assert_eq!(Kernel::Word.to_string(), "word");
+        assert_eq!(Kernel::Simd.to_string(), "simd");
+    }
+
+    #[test]
+    fn auto_picks_simd_exactly_when_available() {
+        let auto = Kernel::auto();
+        if crate::simd::simd_available() {
+            assert_eq!(auto, Kernel::Simd);
+        } else {
+            assert_eq!(auto, Kernel::Word);
+        }
+    }
+
+    #[test]
+    fn from_name_round_trips_and_rejects_unknown() {
+        for kernel in Kernel::ALL {
+            assert_eq!(Kernel::from_name(kernel.name()), Some(kernel));
+        }
+        assert_eq!(Kernel::from_name(" SIMD "), Some(Kernel::Simd));
+        assert_eq!(Kernel::from_name("auto"), Some(Kernel::auto()));
+        assert_eq!(Kernel::from_name("avx512"), None);
+        assert_eq!(Kernel::from_name(""), None);
     }
 
     #[test]

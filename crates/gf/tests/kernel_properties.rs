@@ -1,7 +1,8 @@
 //! Differential property tests for the GF(2^8) slice kernels.
 //!
-//! Every fast kernel ([`Kernel::Table`], [`Kernel::Word`]) must be
-//! byte-identical to the scalar log/exp reference ([`Kernel::Scalar`]) on:
+//! Every fast kernel ([`Kernel::Table`], [`Kernel::Word`], [`Kernel::Simd`])
+//! must be byte-identical to the scalar log/exp reference
+//! ([`Kernel::Scalar`]) on:
 //!
 //! * arbitrary coefficients, including the 0 and 1 fast-path cases;
 //! * lengths 0..=257 — below, at, and just past the 8-byte word size, so
@@ -32,7 +33,7 @@ fn buffer_pair() -> impl Strategy<Value = (Vec<u8>, Vec<u8>)> {
     })
 }
 
-const FAST_KERNELS: [Kernel; 2] = [Kernel::Table, Kernel::Word];
+const FAST_KERNELS: [Kernel; 3] = [Kernel::Table, Kernel::Word, Kernel::Simd];
 
 proptest! {
     #[test]
