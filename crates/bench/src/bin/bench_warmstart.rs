@@ -1,0 +1,98 @@
+//! Warm-start benchmark: plan chaining along the load axis, emitted as
+//! `BENCH_warmstart.json`.
+//!
+//! The paper warm-starts Algorithm 1 across cache sizes in its convergence
+//! experiment; [`SimSweep::warm_start_loads`](sprout::SimSweep) applies the
+//! same trick across a sweep's load axis, where each cell seeds the
+//! optimizer with the plan its previous load point converged to. This
+//! binary quantifies the payoff on the paper's §V-A system: for a monotone
+//! ramp of load multipliers it optimizes every point twice — cold from the
+//! default start, and warm through the chain — and records the outer
+//! iteration count and final latency bound of both.
+//!
+//! The artifact is deterministic (iteration counts and objectives, never
+//! wall times), so CI can diff it; both starts must agree on the bound
+//! within the convergence tolerance while the warm chain spends fewer
+//! iterations after the first point.
+//!
+//! Usage:
+//!
+//! ```sh
+//! cargo run --release -p sprout-bench --bin bench_warmstart -- \
+//!     [--quick] [--threads N] [--out PATH]
+//! ```
+
+use sprout::optimizer::CachePlan;
+use sprout::sim::sweep::{Sample, SweepGrid};
+use sprout::SproutSystem;
+use sprout_bench::{emit, experiment_config, paper_scale, paper_system, scale_cache, FigureCli};
+
+const LOADS: [f64; 4] = [0.4, 0.6, 0.8, 1.0];
+
+/// The paper system with every arrival rate scaled by `load`.
+fn system_at(base: &SproutSystem, load: f64) -> SproutSystem {
+    let mut spec = base.spec().clone();
+    for file in &mut spec.files {
+        file.arrival_rate *= load;
+    }
+    SproutSystem::new(spec).expect("a rescaled stable spec stays valid")
+}
+
+fn main() {
+    let cli = FigureCli::parse();
+    let config = experiment_config();
+    let base = paper_system(scale_cache(500));
+
+    // The warm chain is inherently sequential (each plan consumes its
+    // predecessor), so both ramps are computed up front and the grid below
+    // only reports them.
+    let cold: Vec<CachePlan> = LOADS
+        .iter()
+        .map(|&load| {
+            system_at(&base, load)
+                .optimize_with(&config)
+                .expect("the swept loads keep the cluster stable")
+        })
+        .collect();
+    let mut warm: Vec<CachePlan> = Vec::with_capacity(LOADS.len());
+    for (i, &load) in LOADS.iter().enumerate() {
+        let system = system_at(&base, load);
+        let plan = match i {
+            0 => system.optimize_with(&config),
+            _ => system.optimize_warm(&config, &warm[i - 1]),
+        }
+        .expect("the swept loads keep the cluster stable");
+        warm.push(plan);
+    }
+
+    let grid = SweepGrid::named("bench_warmstart", 2016)
+        .axis("load", LOADS.iter().map(|l| format!("{l}")))
+        .axis("start", ["cold", "warm"].iter().map(|s| s.to_string()));
+    let report = grid.run(cli.threads_or(1), |cell, _, _| {
+        let ramp = match cell.coord("start") {
+            "warm" => &warm,
+            _ => &cold,
+        };
+        let plan = &ramp[cell.idx("load")];
+        Sample::new()
+            .metric("latency_bound_s", plan.objective)
+            .metric("outer_iterations", plan.trace.outer_iterations() as f64)
+            .series("objective_trace", plan.trace.outer_objectives.clone())
+    });
+
+    let iterations =
+        |ramp: &[CachePlan]| -> usize { ramp.iter().map(|p| p.trace.outer_iterations()).sum() };
+    let report = report
+        .with_meta("scale", if paper_scale() { "paper" } else { "reduced" })
+        .with_meta("quick", cli.quick.to_string())
+        .with_meta(
+            "objective",
+            "mean latency bound (seconds); series = per-iteration objective",
+        )
+        .with_note(format!(
+            "total outer iterations over the load ramp: cold {}, warm-chained {}",
+            iterations(&cold),
+            iterations(&warm)
+        ));
+    emit(&report, cli.out_or("BENCH_warmstart.json"));
+}

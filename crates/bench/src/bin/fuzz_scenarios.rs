@@ -1,0 +1,118 @@
+//! The seeded scenario fuzzer's CI entry point.
+//!
+//! Generates bounded random systems + event streams with
+//! [`sprout::ScenarioFuzzer`] and checks every engine invariant on each one:
+//! event-queue and in-flight high-water bounds, shard-count bit-identity,
+//! byte-backend/analytic agreement, decode verification of every completed
+//! request, and zero tier-mirror failures. Any violation prints the case
+//! seed (replay it with `--seed <that seed> --iterations 1`) and exits
+//! non-zero.
+//!
+//! Usage:
+//!
+//! ```sh
+//! cargo run --release -p sprout-bench --bin fuzz_scenarios -- \
+//!     [--iterations N] [--seed S]
+//! ```
+//!
+//! Environment fallbacks (what CI sets): `SPROUT_FUZZ_ITERS` for the
+//! iteration count (default 50) and `SPROUT_FUZZ_SEED` for the base seed
+//! (decimal or `0x`-prefixed hex; default [`sprout::fuzz::DEFAULT_BASE_SEED`]),
+//! so a CI failure reproduces locally by exporting the same two variables.
+
+use sprout::fuzz::{ScenarioFuzzer, DEFAULT_BASE_SEED};
+
+fn parse_seed(value: &str) -> Option<u64> {
+    match value
+        .strip_prefix("0x")
+        .or_else(|| value.strip_prefix("0X"))
+    {
+        Some(hex) => u64::from_str_radix(hex, 16).ok(),
+        None => value.parse().ok(),
+    }
+}
+
+fn env_or<T>(name: &str, parse: impl Fn(&str) -> Option<T>, default: T) -> T {
+    match std::env::var(name) {
+        Ok(value) => parse(&value).unwrap_or_else(|| {
+            eprintln!("error: {name}='{value}' does not parse");
+            std::process::exit(2);
+        }),
+        Err(_) => default,
+    }
+}
+
+fn main() {
+    let mut iterations = env_or("SPROUT_FUZZ_ITERS", |v| v.parse().ok(), 50usize);
+    let mut base_seed = env_or("SPROUT_FUZZ_SEED", parse_seed, DEFAULT_BASE_SEED);
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value_of = |flag: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("error: {flag} requires a value");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--iterations" => {
+                let value = value_of("--iterations");
+                iterations = value.parse().unwrap_or_else(|_| {
+                    eprintln!("error: --iterations expects a number, got '{value}'");
+                    std::process::exit(2);
+                });
+            }
+            "--seed" => {
+                let value = value_of("--seed");
+                base_seed = parse_seed(&value).unwrap_or_else(|| {
+                    eprintln!("error: --seed expects a u64 (decimal or 0x hex), got '{value}'");
+                    std::process::exit(2);
+                });
+            }
+            other => {
+                eprintln!("unknown argument '{other}' (supported: --iterations N, --seed S)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    println!("# fuzz_scenarios: {iterations} iterations, base seed {base_seed:#018x}");
+    let fuzzer = ScenarioFuzzer::new(base_seed);
+    let mut total_completed = 0u64;
+    let mut total_failed = 0u64;
+    let mut total_events = 0usize;
+    for index in 0..iterations {
+        let case = fuzzer.case(index);
+        match ScenarioFuzzer::run_case(&case) {
+            Ok(stats) => {
+                println!(
+                    "case {index:>4} seed {seed:#018x}: ok ({nodes} nodes, {files} files, \
+                     ({n},{k}) code, {events} events, {completed} completed)",
+                    seed = case.seed,
+                    nodes = case.spec.node_services.len(),
+                    files = case.spec.files.len(),
+                    n = case.spec.files[0].n,
+                    k = case.spec.files[0].k,
+                    events = stats.events,
+                    completed = stats.completed,
+                );
+                total_completed += stats.completed;
+                total_failed += stats.failed;
+                total_events += stats.events;
+            }
+            Err(failure) => {
+                eprintln!("case {index} FAILED: {failure}");
+                eprintln!(
+                    "replay: fuzz_scenarios --seed {:#x} --iterations {}",
+                    base_seed,
+                    index + 1
+                );
+                std::process::exit(1);
+            }
+        }
+    }
+    println!(
+        "# all {iterations} cases passed: {total_completed} completed requests, \
+         {total_failed} scheduled-while-down failures, {total_events} scenario events"
+    );
+}

@@ -60,6 +60,8 @@
 
 pub mod backend;
 pub mod error;
+pub mod fuzz;
+pub mod loader;
 pub mod scenario;
 pub mod spec;
 pub mod sweep;
@@ -68,6 +70,8 @@ pub mod timebins;
 
 pub use backend::StoreBackend;
 pub use error::SproutError;
+pub use fuzz::{fuzz_case_seed, FuzzCase, FuzzFailure, FuzzStats, ScenarioFuzzer};
+pub use loader::{LoadError, RunSpec, SimKnobs, SweepKnobs, SystemKnobs, TraceKnobs};
 pub use scenario::{ScenarioActionSpec, ScenarioEventSpec, ScenarioSpec};
 pub use spec::{FileConfig, SystemSpec, SystemSpecBuilder};
 pub use sprout_cluster::{ClusterView, Placement, PlacementChoice, RebalanceReport};

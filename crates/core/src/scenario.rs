@@ -34,6 +34,20 @@ pub enum ScenarioActionSpec {
         /// New per-file rates.
         rates: Vec<f64>,
     },
+    /// One file's arrival rate changes (a flash crowd on a single object).
+    SetFileRate {
+        /// The file whose rate changes.
+        file: usize,
+        /// The new rate (requests/second).
+        rate: f64,
+    },
+    /// Every file's arrival rate is multiplied by a factor — the natural way
+    /// for a hand-written scenario file to express a load wave without
+    /// spelling out per-file rate vectors.
+    ScaleRates {
+        /// Multiplier applied to every rate in force at this point.
+        factor: f64,
+    },
     /// Re-run the optimizer against the rates in force at this point and
     /// swap the resulting functional-caching plan in online.
     Reoptimize,
@@ -148,6 +162,39 @@ impl ScenarioSpec {
                         rates: next.clone(),
                     }
                 }
+                ScenarioActionSpec::SetFileRate { file, rate } => {
+                    if *file >= num_files {
+                        return Err(SproutError::InvalidSpec(format!(
+                            "scenario '{}' sets the rate of file {file} but the system has {num_files} files",
+                            self.name
+                        )));
+                    }
+                    if rate.is_nan() || *rate < 0.0 {
+                        return Err(SproutError::InvalidSpec(format!(
+                            "scenario '{}' sets a negative or NaN arrival rate",
+                            self.name
+                        )));
+                    }
+                    rates[*file] = *rate;
+                    ScenarioAction::SetFileRate {
+                        file: *file,
+                        rate: *rate,
+                    }
+                }
+                ScenarioActionSpec::ScaleRates { factor } => {
+                    if !factor.is_finite() || *factor < 0.0 {
+                        return Err(SproutError::InvalidSpec(format!(
+                            "scenario '{}' scales rates by invalid factor {factor}",
+                            self.name
+                        )));
+                    }
+                    for r in &mut rates {
+                        *r *= factor;
+                    }
+                    ScenarioAction::SetRates {
+                        rates: rates.clone(),
+                    }
+                }
                 ScenarioActionSpec::Reoptimize => {
                     // Failure-aware: nodes down at this point in the event
                     // order are excluded from the recompiled plan, so the
@@ -213,6 +260,50 @@ mod tests {
                 );
             }
             other => panic!("expected a functional plan swap, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn scale_and_single_file_rates_lower_onto_the_tracked_rate_vector() {
+        let sys = system();
+        let spec = ScenarioSpec::named("wave")
+            .at(10.0, ScenarioActionSpec::ScaleRates { factor: 2.0 })
+            .at(20.0, ScenarioActionSpec::SetFileRate { file: 1, rate: 0.5 })
+            .at(30.0, ScenarioActionSpec::ScaleRates { factor: 0.5 });
+        let scenario = spec.compile(&sys, &OptimizerConfig::default()).unwrap();
+        match &scenario.events()[0].action {
+            ScenarioAction::SetRates { rates } => {
+                assert!(rates.iter().all(|&r| (r - 0.08).abs() < 1e-12));
+            }
+            other => panic!("expected SetRates, got {other:?}"),
+        }
+        match &scenario.events()[1].action {
+            ScenarioAction::SetFileRate { file: 1, rate } => {
+                assert!((rate - 0.5).abs() < 1e-12);
+            }
+            other => panic!("expected SetFileRate on file 1, got {other:?}"),
+        }
+        // The final scale applies to the vector *including* the single-file
+        // override from the previous event.
+        match &scenario.events()[2].action {
+            ScenarioAction::SetRates { rates } => {
+                assert!((rates[0] - 0.04).abs() < 1e-12);
+                assert!((rates[1] - 0.25).abs() < 1e-12);
+            }
+            other => panic!("expected SetRates, got {other:?}"),
+        }
+
+        let bad_file = ScenarioSpec::named("x").at(
+            1.0,
+            ScenarioActionSpec::SetFileRate {
+                file: 99,
+                rate: 0.1,
+            },
+        );
+        assert!(bad_file.compile(&sys, &OptimizerConfig::default()).is_err());
+        for factor in [-1.0, f64::NAN, f64::INFINITY] {
+            let bad = ScenarioSpec::named("x").at(1.0, ScenarioActionSpec::ScaleRates { factor });
+            assert!(bad.compile(&sys, &OptimizerConfig::default()).is_err());
         }
     }
 

@@ -32,6 +32,7 @@ pub mod backend;
 pub mod config;
 pub mod engine;
 pub mod event;
+pub mod invariants;
 pub mod metrics;
 pub mod policy;
 pub mod replicate;
@@ -43,6 +44,7 @@ pub mod sweep;
 pub use backend::{AnalyticBackend, ChunkBackend, FinishedRequest};
 pub use config::SimConfig;
 pub use engine::{replication_seed, SimFile, SimReport, Simulation};
+pub use invariants::{check_report, check_shard_identity, EngineBounds, InvariantViolation};
 pub use metrics::{LatencySummary, SlotCounts};
 pub use policy::CacheScheme;
 pub use replicate::{run_replications, MeanCi, ReplicationSummary};

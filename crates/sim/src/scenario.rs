@@ -6,11 +6,11 @@
 //! arrivals and completions, so scenario effects interleave deterministically
 //! with the workload.
 //!
-//! The types derive `Serialize`/`Deserialize`, so a scenario description can
-//! be loaded from any serde format once a real serde implementation replaces
-//! the vendored marker stub. Higher-level actions (e.g. "re-run the optimizer
-//! at this bin boundary") live in the `sprout` facade crate, which compiles
-//! them down to these primitive actions.
+//! The types derive `Serialize`/`Deserialize` and load from TOML/JSON
+//! through the vendored serde stack — the committed files under
+//! `scenarios/` are the canonical examples. Higher-level actions (e.g.
+//! "re-run the optimizer at this bin boundary") live in the `sprout` facade
+//! crate, which compiles them down to these primitive actions.
 
 use serde::{Deserialize, Serialize};
 

@@ -39,10 +39,12 @@ pub mod arrivals;
 pub mod estimator;
 pub mod spec;
 pub mod timebins;
+pub mod trace;
 pub mod zipf;
 
 pub use arrivals::{ArrivalStream, PoissonArrivals, RateProfile, Request};
 pub use estimator::SlidingWindowEstimator;
 pub use spec::{FileSpec, ObjectSizeClass, WorkloadSpec};
 pub use timebins::{RateSchedule, TimeBin};
+pub use trace::{binned_rate_profiles, parse_trace_csv, TraceError, TraceEvent};
 pub use zipf::ZipfPopularity;

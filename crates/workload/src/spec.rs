@@ -92,7 +92,10 @@ pub fn paper_server_service_rates() -> Vec<f64> {
 
 /// An object-size class of the paper's 24-hour production workload
 /// (Table III) with its average per-object request arrival rate.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+///
+/// Serializable for reports, but not deserializable: the `&'static str`
+/// label only exists for the fixed paper table, never as file input.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
 pub struct ObjectSizeClass {
     /// Object size in bytes.
     pub size_bytes: u64,

@@ -1,0 +1,271 @@
+//! CSV trace-driven arrival replay.
+//!
+//! Production traces (like the 24-hour one behind the paper's Table III)
+//! arrive as flat request logs: one `(timestamp, object)` record per
+//! request. This module parses that shape from CSV text and folds it into
+//! per-file [`RateProfile`]s by counting requests in fixed-width time bins —
+//! the same piecewise-constant shape the time-bin machinery and scenario
+//! compiler already consume, so a trace can drive a simulation through the
+//! ordinary `SetRates` path.
+//!
+//! The format is deliberately minimal: two comma-separated columns
+//! `time_s,file`, optional spaces, `#` comment lines, and an optional header
+//! row (any first line whose fields do not parse as numbers). Every parse
+//! failure is a typed [`TraceError`] carrying the 1-based line number — a
+//! malformed trace must never panic the loader.
+
+use crate::arrivals::RateProfile;
+use std::fmt;
+
+/// One request record of a trace: a file (object) requested at a time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceEvent {
+    /// Arrival time in seconds from the start of the trace.
+    pub at: f64,
+    /// Index of the requested file.
+    pub file: usize,
+}
+
+/// A typed error from trace parsing or binning.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceError {
+    /// A line failed to parse; carries the 1-based line number.
+    Parse {
+        /// 1-based line number of the offending record.
+        line: usize,
+        /// What was wrong with it.
+        message: String,
+    },
+    /// The trace parsed but cannot be binned as requested.
+    Invalid(String),
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Parse { line, message } => {
+                write!(f, "trace parse error at line {line}: {message}")
+            }
+            TraceError::Invalid(message) => write!(f, "invalid trace: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// Parses a `time_s,file` CSV trace.
+///
+/// Blank lines and `#` comments are skipped; a single header row is allowed
+/// as the first non-blank record. Times must be finite and non-negative.
+/// Records need not be time-sorted (production logs often interleave
+/// front-end shards); the returned events preserve file order per timestamp
+/// by sorting stably on time.
+///
+/// # Errors
+///
+/// Returns [`TraceError::Parse`] with the offending 1-based line for wrong
+/// column counts, non-numeric fields past the header, or invalid times.
+pub fn parse_trace_csv(text: &str) -> Result<Vec<TraceEvent>, TraceError> {
+    let mut events = Vec::new();
+    let mut saw_record = false;
+    for (idx, raw) in text.lines().enumerate() {
+        let line = idx + 1;
+        let trimmed = raw.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = trimmed.split(',').map(str::trim).collect();
+        if fields.len() != 2 {
+            return Err(TraceError::Parse {
+                line,
+                message: format!("expected 2 comma-separated fields, found {}", fields.len()),
+            });
+        }
+        let parsed_at = fields[0].parse::<f64>();
+        let parsed_file = fields[1].parse::<usize>();
+        match (parsed_at, parsed_file) {
+            (Ok(at), Ok(file)) => {
+                if !at.is_finite() || at < 0.0 {
+                    return Err(TraceError::Parse {
+                        line,
+                        message: format!("time {at} is not finite and non-negative"),
+                    });
+                }
+                saw_record = true;
+                events.push(TraceEvent { at, file });
+            }
+            _ if !saw_record => {
+                // A non-numeric first record is a header row.
+                saw_record = true;
+            }
+            _ => {
+                return Err(TraceError::Parse {
+                    line,
+                    message: format!("non-numeric fields '{}', '{}'", fields[0], fields[1]),
+                });
+            }
+        }
+    }
+    events.sort_by(|a, b| a.at.partial_cmp(&b.at).expect("times checked finite"));
+    Ok(events)
+}
+
+/// Folds a trace into per-file piecewise-constant [`RateProfile`]s: the rate
+/// of file `f` during bin `b` is its request count in `[b·len, (b+1)·len)`
+/// divided by the bin length. The number of bins covers the last event; a
+/// file with no requests gets a constant zero profile.
+///
+/// # Errors
+///
+/// Returns [`TraceError::Invalid`] if `num_files == 0` or `bin_seconds` is
+/// not positive-finite, and [`TraceError::Invalid`] naming the offending
+/// event if one references a file index `>= num_files`.
+pub fn binned_rate_profiles(
+    events: &[TraceEvent],
+    num_files: usize,
+    bin_seconds: f64,
+) -> Result<Vec<RateProfile>, TraceError> {
+    if num_files == 0 {
+        return Err(TraceError::Invalid("num_files must be positive".into()));
+    }
+    if !bin_seconds.is_finite() || bin_seconds <= 0.0 {
+        return Err(TraceError::Invalid(format!(
+            "bin length {bin_seconds} must be positive and finite"
+        )));
+    }
+    let horizon = events.iter().fold(0.0_f64, |acc, e| acc.max(e.at));
+    let bins = ((horizon / bin_seconds).floor() as usize) + 1;
+    let mut counts = vec![vec![0u64; bins]; num_files];
+    for event in events {
+        if event.file >= num_files {
+            return Err(TraceError::Invalid(format!(
+                "event at t={} references file {} but the population has {num_files}",
+                event.at, event.file
+            )));
+        }
+        let bin = ((event.at / bin_seconds).floor() as usize).min(bins - 1);
+        counts[event.file][bin] += 1;
+    }
+    Ok(counts
+        .into_iter()
+        .map(|per_bin| {
+            if per_bin.iter().all(|&c| c == 0) {
+                return RateProfile::constant(0.0);
+            }
+            let segments: Vec<(f64, f64)> = per_bin
+                .iter()
+                .map(|&c| (bin_seconds, c as f64 / bin_seconds))
+                .collect();
+            RateProfile::piecewise(&segments)
+        })
+        .collect())
+}
+
+/// The per-file rate vector in force at the start of each bin, derived from
+/// the binned profiles — the bridge from a trace to scenario `SetRates`
+/// events. Returns `(bin_start_time, rates)` pairs for bins `1..` (bin 0 is
+/// the system's initial rates, not an event).
+pub fn rate_schedule_events(profiles: &[RateProfile], bin_seconds: f64) -> Vec<(f64, Vec<f64>)> {
+    let bins = profiles
+        .iter()
+        .map(|p| match p {
+            RateProfile::Constant(_) => 1,
+            RateProfile::Piecewise { ends, .. } => ends.len(),
+        })
+        .max()
+        .unwrap_or(1);
+    (1..bins)
+        .map(|b| {
+            let t = b as f64 * bin_seconds;
+            let rates = profiles.iter().map(|p| p.rate_at(t)).collect();
+            (t, rates)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TRACE: &str = "\
+# a tiny two-file trace
+time_s,file
+0.5, 0
+1.5,0
+2.5,1
+ 3.5 , 0
+";
+
+    #[test]
+    fn parses_comments_header_and_spaces() {
+        let events = parse_trace_csv(TRACE).unwrap();
+        assert_eq!(events.len(), 4);
+        assert_eq!(events[0], TraceEvent { at: 0.5, file: 0 });
+        assert_eq!(events[2], TraceEvent { at: 2.5, file: 1 });
+    }
+
+    #[test]
+    fn unsorted_input_is_sorted_stably() {
+        let events = parse_trace_csv("3.0,1\n1.0,0\n2.0,2\n").unwrap();
+        let order: Vec<usize> = events.iter().map(|e| e.file).collect();
+        assert_eq!(order, vec![0, 2, 1]);
+    }
+
+    #[test]
+    fn malformed_lines_are_typed_errors_with_line_numbers() {
+        let missing = parse_trace_csv("0.5,0\n1.5\n");
+        assert!(
+            matches!(missing, Err(TraceError::Parse { line: 2, .. })),
+            "{missing:?}"
+        );
+        let nonnum = parse_trace_csv("0.5,0\nabc,def\n");
+        assert!(matches!(nonnum, Err(TraceError::Parse { line: 2, .. })));
+        let negative = parse_trace_csv("-1.0,0\n");
+        assert!(matches!(negative, Err(TraceError::Parse { line: 1, .. })));
+        let nan = parse_trace_csv("NaN,0\n");
+        assert!(matches!(nan, Err(TraceError::Parse { line: 1, .. })));
+    }
+
+    #[test]
+    fn binning_counts_requests_per_file() {
+        let events = parse_trace_csv(TRACE).unwrap();
+        let profiles = binned_rate_profiles(&events, 2, 2.0).unwrap();
+        // File 0: bins [0,2) -> 2 requests, [2,4) -> 1 request.
+        assert!((profiles[0].rate_at(1.0) - 1.0).abs() < 1e-12);
+        assert!((profiles[0].rate_at(3.0) - 0.5).abs() < 1e-12);
+        // File 1: one request in bin [2,4).
+        assert!((profiles[1].rate_at(1.0) - 0.0).abs() < 1e-12);
+        assert!((profiles[1].rate_at(3.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn binning_rejects_bad_parameters_and_indices() {
+        let events = parse_trace_csv(TRACE).unwrap();
+        assert!(binned_rate_profiles(&events, 0, 2.0).is_err());
+        assert!(binned_rate_profiles(&events, 2, 0.0).is_err());
+        assert!(binned_rate_profiles(&events, 2, f64::NAN).is_err());
+        assert!(matches!(
+            binned_rate_profiles(&events, 1, 2.0),
+            Err(TraceError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn schedule_events_start_at_the_second_bin() {
+        let events = parse_trace_csv(TRACE).unwrap();
+        let profiles = binned_rate_profiles(&events, 2, 2.0).unwrap();
+        let schedule = rate_schedule_events(&profiles, 2.0);
+        assert_eq!(schedule.len(), 1);
+        let (t, rates) = &schedule[0];
+        assert!((t - 2.0).abs() < 1e-12);
+        assert!((rates[0] - 0.5).abs() < 1e-12);
+        assert!((rates[1] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn files_with_no_requests_get_zero_profiles() {
+        let profiles = binned_rate_profiles(&[TraceEvent { at: 1.0, file: 0 }], 3, 2.0).unwrap();
+        assert_eq!(profiles[1], RateProfile::Constant(0.0));
+        assert_eq!(profiles[2], RateProfile::Constant(0.0));
+    }
+}

@@ -1,0 +1,1061 @@
+//! Deserialization half of the data model: [`Deserialize`], [`Deserializer`],
+//! [`Visitor`] and the access traits driven by self-describing formats.
+//!
+//! The surface mirrors the real `serde::de` module for every construct the
+//! workspace and its format crates use, so swapping this vendored crate for
+//! the registry `serde` is a manifest-only change.
+
+use std::fmt::{self, Display};
+use std::marker::PhantomData;
+
+/// Trait for deserialization errors, constructible from a message.
+pub trait Error: Sized + std::error::Error {
+    /// Builds an error carrying a custom message.
+    fn custom<T: Display>(msg: T) -> Self;
+
+    /// The input contained a value of the wrong type.
+    fn invalid_type(unexp: Unexpected<'_>, exp: &dyn Expected) -> Self {
+        Self::custom(format_args!("invalid type: {unexp}, expected {exp}"))
+    }
+
+    /// The input contained a value of the right type but wrong content.
+    fn invalid_value(unexp: Unexpected<'_>, exp: &dyn Expected) -> Self {
+        Self::custom(format_args!("invalid value: {unexp}, expected {exp}"))
+    }
+
+    /// A sequence or map had the wrong number of elements.
+    fn invalid_length(len: usize, exp: &dyn Expected) -> Self {
+        Self::custom(format_args!("invalid length {len}, expected {exp}"))
+    }
+
+    /// An enum key did not match any variant.
+    fn unknown_variant(variant: &str, expected: &'static [&'static str]) -> Self {
+        Self::custom(format_args!(
+            "unknown variant `{variant}`, expected one of {}",
+            OneOf(expected)
+        ))
+    }
+
+    /// A map key did not match any struct field.
+    fn unknown_field(field: &str, expected: &'static [&'static str]) -> Self {
+        Self::custom(format_args!(
+            "unknown field `{field}`, expected one of {}",
+            OneOf(expected)
+        ))
+    }
+
+    /// A required struct field was absent.
+    fn missing_field(field: &'static str) -> Self {
+        Self::custom(format_args!("missing field `{field}`"))
+    }
+
+    /// A struct field appeared more than once.
+    fn duplicate_field(field: &'static str) -> Self {
+        Self::custom(format_args!("duplicate field `{field}`"))
+    }
+}
+
+struct OneOf(&'static [&'static str]);
+
+impl Display for OneOf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0 {
+            [] => f.write_str("nothing"),
+            [one] => write!(f, "`{one}`"),
+            many => {
+                for (i, name) in many.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "`{name}`")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// What a [`Deserializer`] actually encountered, for error messages.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Unexpected<'a> {
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer.
+    Signed(i64),
+    /// An unsigned integer.
+    Unsigned(u64),
+    /// A float.
+    Float(f64),
+    /// A character.
+    Char(char),
+    /// A string.
+    Str(&'a str),
+    /// Raw bytes.
+    Bytes(&'a [u8]),
+    /// An absent optional.
+    Unit,
+    /// A present optional.
+    Option,
+    /// A newtype struct.
+    NewtypeStruct,
+    /// A sequence.
+    Seq,
+    /// A map.
+    Map,
+    /// An enum variant.
+    Enum,
+    /// Something else, described in prose.
+    Other(&'a str),
+}
+
+impl Display for Unexpected<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Unexpected::Bool(v) => write!(f, "boolean `{v}`"),
+            Unexpected::Signed(v) => write!(f, "integer `{v}`"),
+            Unexpected::Unsigned(v) => write!(f, "integer `{v}`"),
+            Unexpected::Float(v) => write!(f, "floating point `{v}`"),
+            Unexpected::Char(v) => write!(f, "character `{v}`"),
+            Unexpected::Str(v) => write!(f, "string {v:?}"),
+            Unexpected::Bytes(_) => f.write_str("byte array"),
+            Unexpected::Unit => f.write_str("unit value"),
+            Unexpected::Option => f.write_str("Option value"),
+            Unexpected::NewtypeStruct => f.write_str("newtype struct"),
+            Unexpected::Seq => f.write_str("sequence"),
+            Unexpected::Map => f.write_str("map"),
+            Unexpected::Enum => f.write_str("enum"),
+            Unexpected::Other(v) => f.write_str(v),
+        }
+    }
+}
+
+/// What a [`Visitor`] expected, for error messages.
+pub trait Expected {
+    /// Writes a prose description of the expectation.
+    fn fmt(&self, formatter: &mut fmt::Formatter<'_>) -> fmt::Result;
+}
+
+impl<'de, T: Visitor<'de>> Expected for T {
+    fn fmt(&self, formatter: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.expecting(formatter)
+    }
+}
+
+impl Expected for &str {
+    fn fmt(&self, formatter: &mut fmt::Formatter<'_>) -> fmt::Result {
+        formatter.write_str(self)
+    }
+}
+
+impl Display for dyn Expected + '_ {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        Expected::fmt(self, f)
+    }
+}
+
+/// A data structure that can be deserialized from any format.
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes a value with the given deserializer.
+    ///
+    /// # Errors
+    ///
+    /// Returns the deserializer's error on malformed or mismatched input.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// A value paired with contextual state needed to deserialize it.
+///
+/// Stateless deserialization (the common case) goes through the blanket
+/// [`PhantomData`] implementation.
+pub trait DeserializeSeed<'de>: Sized {
+    /// The produced value.
+    type Value;
+    /// Deserializes with this seed's state.
+    ///
+    /// # Errors
+    ///
+    /// Returns the deserializer's error on malformed or mismatched input.
+    fn deserialize<D: Deserializer<'de>>(self, deserializer: D) -> Result<Self::Value, D::Error>;
+}
+
+impl<'de, T: Deserialize<'de>> DeserializeSeed<'de> for PhantomData<T> {
+    type Value = T;
+    fn deserialize<D: Deserializer<'de>>(self, deserializer: D) -> Result<T, D::Error> {
+        T::deserialize(deserializer)
+    }
+}
+
+macro_rules! declare_deserialize_method {
+    ($($(#[$doc:meta])* $name:ident)*) => {
+        $(
+            $(#[$doc])*
+            ///
+            /// # Errors
+            ///
+            /// Returns [`Deserializer::Error`] on malformed or mismatched
+            /// input.
+            fn $name<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+        )*
+    };
+}
+
+/// A format from which values of the serde data model can be read.
+///
+/// All vendored format crates are self-describing, so every `deserialize_*`
+/// hint method may legitimately be driven by the same underlying dispatch as
+/// [`Deserializer::deserialize_any`].
+pub trait Deserializer<'de>: Sized {
+    /// Error produced on failure.
+    type Error: Error;
+
+    declare_deserialize_method! {
+        /// Asks the format to pick the visit based on the input.
+        deserialize_any
+        /// Hints that a `bool` is expected.
+        deserialize_bool
+        /// Hints that an `i8` is expected.
+        deserialize_i8
+        /// Hints that an `i16` is expected.
+        deserialize_i16
+        /// Hints that an `i32` is expected.
+        deserialize_i32
+        /// Hints that an `i64` is expected.
+        deserialize_i64
+        /// Hints that a `u8` is expected.
+        deserialize_u8
+        /// Hints that a `u16` is expected.
+        deserialize_u16
+        /// Hints that a `u32` is expected.
+        deserialize_u32
+        /// Hints that a `u64` is expected.
+        deserialize_u64
+        /// Hints that an `f32` is expected.
+        deserialize_f32
+        /// Hints that an `f64` is expected.
+        deserialize_f64
+        /// Hints that a `char` is expected.
+        deserialize_char
+        /// Hints that a borrowed string is expected.
+        deserialize_str
+        /// Hints that an owned string is expected.
+        deserialize_string
+        /// Hints that borrowed bytes are expected.
+        deserialize_bytes
+        /// Hints that an owned byte buffer is expected.
+        deserialize_byte_buf
+        /// Hints that an [`Option`] is expected.
+        deserialize_option
+        /// Hints that `()` is expected.
+        deserialize_unit
+        /// Hints that a sequence is expected.
+        deserialize_seq
+        /// Hints that a map is expected.
+        deserialize_map
+        /// Hints that a struct-field or variant name is expected.
+        deserialize_identifier
+        /// Hints that the value will be ignored.
+        deserialize_ignored_any
+    }
+
+    /// Hints that a unit struct with this name is expected.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Deserializer::Error`] on malformed or mismatched input.
+    fn deserialize_unit_struct<V: Visitor<'de>>(
+        self,
+        name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+
+    /// Hints that a newtype struct with this name is expected.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Deserializer::Error`] on malformed or mismatched input.
+    fn deserialize_newtype_struct<V: Visitor<'de>>(
+        self,
+        name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+
+    /// Hints that a tuple of this length is expected.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Deserializer::Error`] on malformed or mismatched input.
+    fn deserialize_tuple<V: Visitor<'de>>(
+        self,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+
+    /// Hints that a tuple struct with this name and length is expected.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Deserializer::Error`] on malformed or mismatched input.
+    fn deserialize_tuple_struct<V: Visitor<'de>>(
+        self,
+        name: &'static str,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+
+    /// Hints that a struct with these fields is expected.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Deserializer::Error`] on malformed or mismatched input.
+    fn deserialize_struct<V: Visitor<'de>>(
+        self,
+        name: &'static str,
+        fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+
+    /// Hints that an enum with these variants is expected.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Deserializer::Error`] on malformed or mismatched input.
+    fn deserialize_enum<V: Visitor<'de>>(
+        self,
+        name: &'static str,
+        variants: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+}
+
+macro_rules! declare_visit_method {
+    ($($(#[$doc:meta])* $name:ident : $ty:ty => $unexp:expr)*) => {
+        $(
+            $(#[$doc])*
+            ///
+            /// # Errors
+            ///
+            /// The default implementation rejects the input as mismatched.
+            fn $name<E: Error>(self, v: $ty) -> Result<Self::Value, E> {
+                let _ = &v;
+                Err(E::invalid_type($unexp(v), &self))
+            }
+        )*
+    };
+}
+
+/// Walks the value a [`Deserializer`] found in its input.
+///
+/// Every `visit_*` method has a default that errors with an
+/// `invalid type` message built from [`Visitor::expecting`], so visitors
+/// implement exactly the shapes they accept.
+pub trait Visitor<'de>: Sized {
+    /// The value built by this visitor.
+    type Value;
+
+    /// Writes a prose description of what this visitor expects.
+    fn expecting(&self, formatter: &mut fmt::Formatter<'_>) -> fmt::Result;
+
+    declare_visit_method! {
+        /// Visits a `bool`.
+        visit_bool: bool => Unexpected::Bool
+        /// Visits an `i64` (all signed widths funnel here).
+        visit_i64: i64 => Unexpected::Signed
+        /// Visits a `u64` (all unsigned widths funnel here).
+        visit_u64: u64 => Unexpected::Unsigned
+        /// Visits an `f64`.
+        visit_f64: f64 => Unexpected::Float
+        /// Visits a `char`.
+        visit_char: char => Unexpected::Char
+    }
+
+    /// Visits a borrowed string.
+    ///
+    /// # Errors
+    ///
+    /// The default implementation rejects the input as mismatched.
+    fn visit_str<E: Error>(self, v: &str) -> Result<Self::Value, E> {
+        Err(E::invalid_type(Unexpected::Str(v), &self))
+    }
+
+    /// Visits an owned string (defaults to [`Visitor::visit_str`]).
+    ///
+    /// # Errors
+    ///
+    /// See [`Visitor::visit_str`].
+    fn visit_string<E: Error>(self, v: String) -> Result<Self::Value, E> {
+        self.visit_str(&v)
+    }
+
+    /// Visits a string borrowed from the input itself.
+    ///
+    /// # Errors
+    ///
+    /// See [`Visitor::visit_str`].
+    fn visit_borrowed_str<E: Error>(self, v: &'de str) -> Result<Self::Value, E> {
+        self.visit_str(v)
+    }
+
+    /// Visits borrowed bytes.
+    ///
+    /// # Errors
+    ///
+    /// The default implementation rejects the input as mismatched.
+    fn visit_bytes<E: Error>(self, v: &[u8]) -> Result<Self::Value, E> {
+        Err(E::invalid_type(Unexpected::Bytes(v), &self))
+    }
+
+    /// Visits an absent [`Option`].
+    ///
+    /// # Errors
+    ///
+    /// The default implementation rejects the input as mismatched.
+    fn visit_none<E: Error>(self) -> Result<Self::Value, E> {
+        Err(E::invalid_type(Unexpected::Option, &self))
+    }
+
+    /// Visits a present [`Option`].
+    ///
+    /// # Errors
+    ///
+    /// The default implementation rejects the input as mismatched.
+    fn visit_some<D: Deserializer<'de>>(self, deserializer: D) -> Result<Self::Value, D::Error> {
+        let _ = deserializer;
+        Err(Error::invalid_type(Unexpected::Option, &self))
+    }
+
+    /// Visits `()`.
+    ///
+    /// # Errors
+    ///
+    /// The default implementation rejects the input as mismatched.
+    fn visit_unit<E: Error>(self) -> Result<Self::Value, E> {
+        Err(E::invalid_type(Unexpected::Unit, &self))
+    }
+
+    /// Visits the inner value of a newtype struct.
+    ///
+    /// # Errors
+    ///
+    /// The default implementation rejects the input as mismatched.
+    fn visit_newtype_struct<D: Deserializer<'de>>(
+        self,
+        deserializer: D,
+    ) -> Result<Self::Value, D::Error> {
+        let _ = deserializer;
+        Err(Error::invalid_type(Unexpected::NewtypeStruct, &self))
+    }
+
+    /// Visits a sequence.
+    ///
+    /// # Errors
+    ///
+    /// The default implementation rejects the input as mismatched.
+    fn visit_seq<A: SeqAccess<'de>>(self, seq: A) -> Result<Self::Value, A::Error> {
+        let _ = seq;
+        Err(Error::invalid_type(Unexpected::Seq, &self))
+    }
+
+    /// Visits a map.
+    ///
+    /// # Errors
+    ///
+    /// The default implementation rejects the input as mismatched.
+    fn visit_map<A: MapAccess<'de>>(self, map: A) -> Result<Self::Value, A::Error> {
+        let _ = map;
+        Err(Error::invalid_type(Unexpected::Map, &self))
+    }
+
+    /// Visits an enum.
+    ///
+    /// # Errors
+    ///
+    /// The default implementation rejects the input as mismatched.
+    fn visit_enum<A: EnumAccess<'de>>(self, data: A) -> Result<Self::Value, A::Error> {
+        let _ = data;
+        Err(Error::invalid_type(Unexpected::Enum, &self))
+    }
+}
+
+/// Access to the elements of a sequence in the input.
+pub trait SeqAccess<'de> {
+    /// Error produced on failure.
+    type Error: Error;
+
+    /// Reads the next element with a seed.
+    ///
+    /// # Errors
+    ///
+    /// Returns the format's error on malformed input.
+    fn next_element_seed<T: DeserializeSeed<'de>>(
+        &mut self,
+        seed: T,
+    ) -> Result<Option<T::Value>, Self::Error>;
+
+    /// Reads the next element.
+    ///
+    /// # Errors
+    ///
+    /// Returns the format's error on malformed input.
+    fn next_element<T: Deserialize<'de>>(&mut self) -> Result<Option<T>, Self::Error> {
+        self.next_element_seed(PhantomData)
+    }
+
+    /// The number of remaining elements, when known.
+    fn size_hint(&self) -> Option<usize> {
+        None
+    }
+}
+
+/// Access to the entries of a map in the input.
+pub trait MapAccess<'de> {
+    /// Error produced on failure.
+    type Error: Error;
+
+    /// Reads the next key with a seed.
+    ///
+    /// # Errors
+    ///
+    /// Returns the format's error on malformed input.
+    fn next_key_seed<K: DeserializeSeed<'de>>(
+        &mut self,
+        seed: K,
+    ) -> Result<Option<K::Value>, Self::Error>;
+
+    /// Reads the value of the most recent key with a seed.
+    ///
+    /// # Errors
+    ///
+    /// Returns the format's error on malformed input.
+    fn next_value_seed<V: DeserializeSeed<'de>>(
+        &mut self,
+        seed: V,
+    ) -> Result<V::Value, Self::Error>;
+
+    /// Reads the next key.
+    ///
+    /// # Errors
+    ///
+    /// Returns the format's error on malformed input.
+    fn next_key<K: Deserialize<'de>>(&mut self) -> Result<Option<K>, Self::Error> {
+        self.next_key_seed(PhantomData)
+    }
+
+    /// Reads the value of the most recent key.
+    ///
+    /// # Errors
+    ///
+    /// Returns the format's error on malformed input.
+    fn next_value<V: Deserialize<'de>>(&mut self) -> Result<V, Self::Error> {
+        self.next_value_seed(PhantomData)
+    }
+
+    /// Reads the next entry.
+    ///
+    /// # Errors
+    ///
+    /// Returns the format's error on malformed input.
+    fn next_entry<K: Deserialize<'de>, V: Deserialize<'de>>(
+        &mut self,
+    ) -> Result<Option<(K, V)>, Self::Error> {
+        match self.next_key()? {
+            Some(key) => Ok(Some((key, self.next_value()?))),
+            None => Ok(None),
+        }
+    }
+
+    /// The number of remaining entries, when known.
+    fn size_hint(&self) -> Option<usize> {
+        None
+    }
+}
+
+/// Access to the variant key of an enum in the input.
+pub trait EnumAccess<'de>: Sized {
+    /// Error produced on failure.
+    type Error: Error;
+    /// Access to the variant's content once the key is read.
+    type Variant: VariantAccess<'de, Error = Self::Error>;
+
+    /// Reads the variant key with a seed.
+    ///
+    /// # Errors
+    ///
+    /// Returns the format's error on malformed input.
+    fn variant_seed<V: DeserializeSeed<'de>>(
+        self,
+        seed: V,
+    ) -> Result<(V::Value, Self::Variant), Self::Error>;
+
+    /// Reads the variant key.
+    ///
+    /// # Errors
+    ///
+    /// Returns the format's error on malformed input.
+    fn variant<V: Deserialize<'de>>(self) -> Result<(V, Self::Variant), Self::Error> {
+        self.variant_seed(PhantomData)
+    }
+}
+
+/// Access to the content of one enum variant.
+pub trait VariantAccess<'de>: Sized {
+    /// Error produced on failure.
+    type Error: Error;
+
+    /// Finishes a unit variant.
+    ///
+    /// # Errors
+    ///
+    /// Returns the format's error if the variant carries data.
+    fn unit_variant(self) -> Result<(), Self::Error>;
+
+    /// Reads a newtype variant's value with a seed.
+    ///
+    /// # Errors
+    ///
+    /// Returns the format's error on malformed input.
+    fn newtype_variant_seed<T: DeserializeSeed<'de>>(
+        self,
+        seed: T,
+    ) -> Result<T::Value, Self::Error>;
+
+    /// Reads a newtype variant's value.
+    ///
+    /// # Errors
+    ///
+    /// Returns the format's error on malformed input.
+    fn newtype_variant<T: Deserialize<'de>>(self) -> Result<T, Self::Error> {
+        self.newtype_variant_seed(PhantomData)
+    }
+
+    /// Reads a tuple variant's fields.
+    ///
+    /// # Errors
+    ///
+    /// Returns the format's error on malformed input.
+    fn tuple_variant<V: Visitor<'de>>(
+        self,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+
+    /// Reads a struct variant's fields.
+    ///
+    /// # Errors
+    ///
+    /// Returns the format's error on malformed input.
+    fn struct_variant<V: Visitor<'de>>(
+        self,
+        fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+}
+
+/// A value that consumes and discards whatever the input holds.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IgnoredAny;
+
+impl<'de> Visitor<'de> for IgnoredAny {
+    type Value = IgnoredAny;
+
+    fn expecting(&self, formatter: &mut fmt::Formatter<'_>) -> fmt::Result {
+        formatter.write_str("anything at all")
+    }
+
+    fn visit_bool<E: Error>(self, _: bool) -> Result<Self::Value, E> {
+        Ok(IgnoredAny)
+    }
+    fn visit_i64<E: Error>(self, _: i64) -> Result<Self::Value, E> {
+        Ok(IgnoredAny)
+    }
+    fn visit_u64<E: Error>(self, _: u64) -> Result<Self::Value, E> {
+        Ok(IgnoredAny)
+    }
+    fn visit_f64<E: Error>(self, _: f64) -> Result<Self::Value, E> {
+        Ok(IgnoredAny)
+    }
+    fn visit_char<E: Error>(self, _: char) -> Result<Self::Value, E> {
+        Ok(IgnoredAny)
+    }
+    fn visit_str<E: Error>(self, _: &str) -> Result<Self::Value, E> {
+        Ok(IgnoredAny)
+    }
+    fn visit_bytes<E: Error>(self, _: &[u8]) -> Result<Self::Value, E> {
+        Ok(IgnoredAny)
+    }
+    fn visit_none<E: Error>(self) -> Result<Self::Value, E> {
+        Ok(IgnoredAny)
+    }
+    fn visit_some<D: Deserializer<'de>>(self, deserializer: D) -> Result<Self::Value, D::Error> {
+        deserializer.deserialize_ignored_any(self)
+    }
+    fn visit_unit<E: Error>(self) -> Result<Self::Value, E> {
+        Ok(IgnoredAny)
+    }
+    fn visit_newtype_struct<D: Deserializer<'de>>(
+        self,
+        deserializer: D,
+    ) -> Result<Self::Value, D::Error> {
+        deserializer.deserialize_ignored_any(self)
+    }
+    fn visit_seq<A: SeqAccess<'de>>(self, mut seq: A) -> Result<Self::Value, A::Error> {
+        while seq.next_element::<IgnoredAny>()?.is_some() {}
+        Ok(IgnoredAny)
+    }
+    fn visit_map<A: MapAccess<'de>>(self, mut map: A) -> Result<Self::Value, A::Error> {
+        while map.next_entry::<IgnoredAny, IgnoredAny>()?.is_some() {}
+        Ok(IgnoredAny)
+    }
+    fn visit_enum<A: EnumAccess<'de>>(self, data: A) -> Result<Self::Value, A::Error> {
+        let (IgnoredAny, variant) = data.variant()?;
+        variant.newtype_variant::<IgnoredAny>()
+    }
+}
+
+impl<'de> Deserialize<'de> for IgnoredAny {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.deserialize_ignored_any(IgnoredAny)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize impls for std types
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_deserialize_signed {
+    ($($ty:ty => $method:ident, $expect:literal)*) => {
+        $(
+            impl<'de> Deserialize<'de> for $ty {
+                fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                    struct PrimitiveVisitor;
+                    impl<'de> Visitor<'de> for PrimitiveVisitor {
+                        type Value = $ty;
+                        fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                            f.write_str($expect)
+                        }
+                        fn visit_i64<E: Error>(self, v: i64) -> Result<Self::Value, E> {
+                            <$ty>::try_from(v).map_err(|_| {
+                                E::invalid_value(Unexpected::Signed(v), &self)
+                            })
+                        }
+                        fn visit_u64<E: Error>(self, v: u64) -> Result<Self::Value, E> {
+                            <$ty>::try_from(v).map_err(|_| {
+                                E::invalid_value(Unexpected::Unsigned(v), &self)
+                            })
+                        }
+                    }
+                    deserializer.$method(PrimitiveVisitor)
+                }
+            }
+        )*
+    };
+}
+
+impl_deserialize_signed! {
+    i8 => deserialize_i8, "an 8-bit signed integer"
+    i16 => deserialize_i16, "a 16-bit signed integer"
+    i32 => deserialize_i32, "a 32-bit signed integer"
+    i64 => deserialize_i64, "a 64-bit signed integer"
+    isize => deserialize_i64, "a pointer-sized signed integer"
+    u8 => deserialize_u8, "an 8-bit unsigned integer"
+    u16 => deserialize_u16, "a 16-bit unsigned integer"
+    u32 => deserialize_u32, "a 32-bit unsigned integer"
+    u64 => deserialize_u64, "a 64-bit unsigned integer"
+    usize => deserialize_u64, "a pointer-sized unsigned integer"
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct BoolVisitor;
+        impl<'de> Visitor<'de> for BoolVisitor {
+            type Value = bool;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("a boolean")
+            }
+            fn visit_bool<E: Error>(self, v: bool) -> Result<bool, E> {
+                Ok(v)
+            }
+        }
+        deserializer.deserialize_bool(BoolVisitor)
+    }
+}
+
+macro_rules! impl_deserialize_float {
+    ($($ty:ty => $method:ident, $expect:literal)*) => {
+        $(
+            impl<'de> Deserialize<'de> for $ty {
+                fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                    struct FloatVisitor;
+                    impl<'de> Visitor<'de> for FloatVisitor {
+                        type Value = $ty;
+                        fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                            f.write_str($expect)
+                        }
+                        fn visit_f64<E: Error>(self, v: f64) -> Result<Self::Value, E> {
+                            Ok(v as $ty)
+                        }
+                        // Integer literals are accepted where a float is
+                        // expected (`at = 100` in a TOML scenario file).
+                        fn visit_i64<E: Error>(self, v: i64) -> Result<Self::Value, E> {
+                            Ok(v as $ty)
+                        }
+                        fn visit_u64<E: Error>(self, v: u64) -> Result<Self::Value, E> {
+                            Ok(v as $ty)
+                        }
+                    }
+                    deserializer.$method(FloatVisitor)
+                }
+            }
+        )*
+    };
+}
+
+impl_deserialize_float! {
+    f32 => deserialize_f32, "a 32-bit float"
+    f64 => deserialize_f64, "a 64-bit float"
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct CharVisitor;
+        impl<'de> Visitor<'de> for CharVisitor {
+            type Value = char;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("a character")
+            }
+            fn visit_char<E: Error>(self, v: char) -> Result<char, E> {
+                Ok(v)
+            }
+            fn visit_str<E: Error>(self, v: &str) -> Result<char, E> {
+                let mut chars = v.chars();
+                match (chars.next(), chars.next()) {
+                    (Some(c), None) => Ok(c),
+                    _ => Err(E::invalid_value(Unexpected::Str(v), &self)),
+                }
+            }
+        }
+        deserializer.deserialize_char(CharVisitor)
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct StringVisitor;
+        impl<'de> Visitor<'de> for StringVisitor {
+            type Value = String;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("a string")
+            }
+            fn visit_str<E: Error>(self, v: &str) -> Result<String, E> {
+                Ok(v.to_owned())
+            }
+            fn visit_string<E: Error>(self, v: String) -> Result<String, E> {
+                Ok(v)
+            }
+        }
+        deserializer.deserialize_string(StringVisitor)
+    }
+}
+
+impl<'de> Deserialize<'de> for () {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct UnitVisitor;
+        impl<'de> Visitor<'de> for UnitVisitor {
+            type Value = ();
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("unit")
+            }
+            fn visit_unit<E: Error>(self) -> Result<(), E> {
+                Ok(())
+            }
+        }
+        deserializer.deserialize_unit(UnitVisitor)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct OptionVisitor<T>(PhantomData<T>);
+        impl<'de, T: Deserialize<'de>> Visitor<'de> for OptionVisitor<T> {
+            type Value = Option<T>;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("an optional value")
+            }
+            fn visit_none<E: Error>(self) -> Result<Self::Value, E> {
+                Ok(None)
+            }
+            fn visit_unit<E: Error>(self) -> Result<Self::Value, E> {
+                Ok(None)
+            }
+            fn visit_some<D: Deserializer<'de>>(
+                self,
+                deserializer: D,
+            ) -> Result<Self::Value, D::Error> {
+                T::deserialize(deserializer).map(Some)
+            }
+        }
+        deserializer.deserialize_option(OptionVisitor(PhantomData))
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        T::deserialize(deserializer).map(Box::new)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct VecVisitor<T>(PhantomData<T>);
+        impl<'de, T: Deserialize<'de>> Visitor<'de> for VecVisitor<T> {
+            type Value = Vec<T>;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("a sequence")
+            }
+            fn visit_seq<A: SeqAccess<'de>>(self, mut seq: A) -> Result<Self::Value, A::Error> {
+                let mut values = Vec::with_capacity(seq.size_hint().unwrap_or(0).min(4096));
+                while let Some(value) = seq.next_element()? {
+                    values.push(value);
+                }
+                Ok(values)
+            }
+        }
+        deserializer.deserialize_seq(VecVisitor(PhantomData))
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for std::collections::VecDeque<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct DequeVisitor<T>(PhantomData<T>);
+        impl<'de, T: Deserialize<'de>> Visitor<'de> for DequeVisitor<T> {
+            type Value = std::collections::VecDeque<T>;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("a sequence")
+            }
+            fn visit_seq<A: SeqAccess<'de>>(self, mut seq: A) -> Result<Self::Value, A::Error> {
+                let mut values = std::collections::VecDeque::with_capacity(
+                    seq.size_hint().unwrap_or(0).min(4096),
+                );
+                while let Some(value) = seq.next_element()? {
+                    values.push_back(value);
+                }
+                Ok(values)
+            }
+        }
+        deserializer.deserialize_seq(DequeVisitor(PhantomData))
+    }
+}
+
+macro_rules! impl_deserialize_tuple {
+    ($(($len:literal : $($name:ident),+))*) => {
+        $(
+            impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {
+                fn deserialize<DD: Deserializer<'de>>(deserializer: DD) -> Result<Self, DD::Error> {
+                    struct TupleVisitor<$($name),+>(PhantomData<($($name,)+)>);
+                    impl<'de, $($name: Deserialize<'de>),+> Visitor<'de> for TupleVisitor<$($name),+> {
+                        type Value = ($($name,)+);
+                        fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                            write!(f, "a tuple of length {}", $len)
+                        }
+                        #[allow(non_snake_case)]
+                        fn visit_seq<AA: SeqAccess<'de>>(
+                            self,
+                            mut seq: AA,
+                        ) -> Result<Self::Value, AA::Error> {
+                            let mut count = 0usize;
+                            $(
+                                let $name: $name = match seq.next_element()? {
+                                    Some(value) => value,
+                                    None => return Err(Error::invalid_length(count, &self)),
+                                };
+                                count += 1;
+                            )+
+                            let _ = count;
+                            Ok(($($name,)+))
+                        }
+                    }
+                    deserializer.deserialize_tuple($len, TupleVisitor(PhantomData))
+                }
+            }
+        )*
+    };
+}
+
+impl_deserialize_tuple! {
+    (1: A)
+    (2: A, B)
+    (3: A, B, C)
+    (4: A, B, C, D)
+}
+
+impl<'de, K, V, H> Deserialize<'de> for std::collections::HashMap<K, V, H>
+where
+    K: Deserialize<'de> + Eq + std::hash::Hash,
+    V: Deserialize<'de>,
+    H: std::hash::BuildHasher + Default,
+{
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct MapVisitor<K, V, H>(PhantomData<(K, V, H)>);
+        impl<'de, K, V, H> Visitor<'de> for MapVisitor<K, V, H>
+        where
+            K: Deserialize<'de> + Eq + std::hash::Hash,
+            V: Deserialize<'de>,
+            H: std::hash::BuildHasher + Default,
+        {
+            type Value = std::collections::HashMap<K, V, H>;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("a map")
+            }
+            fn visit_map<A: MapAccess<'de>>(self, mut map: A) -> Result<Self::Value, A::Error> {
+                let mut values =
+                    std::collections::HashMap::with_capacity_and_hasher(0, H::default());
+                while let Some((key, value)) = map.next_entry()? {
+                    values.insert(key, value);
+                }
+                Ok(values)
+            }
+        }
+        deserializer.deserialize_map(MapVisitor(PhantomData))
+    }
+}
+
+impl<'de, K: Deserialize<'de> + Ord, V: Deserialize<'de>> Deserialize<'de>
+    for std::collections::BTreeMap<K, V>
+{
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct MapVisitor<K, V>(PhantomData<(K, V)>);
+        impl<'de, K: Deserialize<'de> + Ord, V: Deserialize<'de>> Visitor<'de> for MapVisitor<K, V> {
+            type Value = std::collections::BTreeMap<K, V>;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("a map")
+            }
+            fn visit_map<A: MapAccess<'de>>(self, mut map: A) -> Result<Self::Value, A::Error> {
+                let mut values = std::collections::BTreeMap::new();
+                while let Some((key, value)) = map.next_entry()? {
+                    values.insert(key, value);
+                }
+                Ok(values)
+            }
+        }
+        deserializer.deserialize_map(MapVisitor(PhantomData))
+    }
+}
+
+impl<'de, T: Deserialize<'de> + Ord> Deserialize<'de> for std::collections::BTreeSet<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct SetVisitor<T>(PhantomData<T>);
+        impl<'de, T: Deserialize<'de> + Ord> Visitor<'de> for SetVisitor<T> {
+            type Value = std::collections::BTreeSet<T>;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("a sequence")
+            }
+            fn visit_seq<A: SeqAccess<'de>>(self, mut seq: A) -> Result<Self::Value, A::Error> {
+                let mut values = std::collections::BTreeSet::new();
+                while let Some(value) = seq.next_element()? {
+                    values.insert(value);
+                }
+                Ok(values)
+            }
+        }
+        deserializer.deserialize_seq(SetVisitor(PhantomData))
+    }
+}

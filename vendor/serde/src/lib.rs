@@ -1,13 +1,25 @@
-//! Offline stand-in for `serde`.
+//! Vendored, offline implementation of the `serde` data model.
 //!
-//! The build environment has no access to crates.io, so this stub keeps the
-//! `#[derive(Serialize, Deserialize)]` annotations across the Sprout crates
-//! compiling without pulling in the real framework. [`Serialize`] and
-//! [`Deserialize`] are *marker traits only* — no data format can actually be
-//! read or written through them. When a real serialization format is needed
-//! (e.g. persisting cache plans), replace this vendored crate with the real
-//! `serde` and the derives pick up full implementations without any source
-//! changes in the workspace.
+//! The build environment has no access to crates.io, so this crate implements
+//! the serde serialization framework itself — not a marker-trait stub: the
+//! [`Serialize`]/[`Deserialize`] traits drive real [`Serializer`] /
+//! [`Deserializer`] implementations, and `#[derive(Serialize, Deserialize)]`
+//! (from the companion `serde_derive` crate) generates real field-by-field
+//! code. The vendored `serde_json` and `toml` format crates are built on this
+//! data model, which mirrors the real crate's API for every construct the
+//! workspace uses; replacing the `[workspace.dependencies]` entries with
+//! registry versions is a manifest-only change.
+//!
+//! Known, deliberate divergences from the registry crate:
+//!
+//! * Only the externally-tagged enum representation is implemented (the
+//!   workspace uses no `#[serde(...)]` attributes).
+//! * Derived struct deserializers **reject unknown fields** (as if every
+//!   struct carried `#[serde(deny_unknown_fields)]`): scenario files are
+//!   written by hand, and a typo'd key that silently deserialized to a
+//!   default would corrupt an experiment.
+//! * `Option` fields still default to `None` when the key is absent, so
+//!   optional knobs can be omitted from scenario files.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -16,102 +28,212 @@
 // crate's own tests.
 extern crate self as serde;
 
+pub mod de;
+pub mod ser;
+
+pub use de::{Deserialize, Deserializer};
+pub use ser::{Serialize, Serializer};
 pub use serde_derive::{Deserialize, Serialize};
 
-/// Marker trait standing in for `serde::Serialize`.
-pub trait Serialize {}
-
-/// Marker trait standing in for `serde::Deserialize<'de>`.
-pub trait Deserialize<'de>: Sized {}
-
-macro_rules! impl_markers {
-    ($($ty:ty),* $(,)?) => {
-        $(
-            impl Serialize for $ty {}
-            impl<'de> Deserialize<'de> for $ty {}
-        )*
+/// Implements the hinted `deserialize_*` methods of a [`Deserializer`] by
+/// forwarding to `deserialize_any` — correct for self-describing formats.
+///
+/// ```ignore
+/// impl<'de> serde::Deserializer<'de> for MyFormat {
+///     type Error = MyError;
+///     fn deserialize_any<V: Visitor<'de>>(self, visitor: V) -> ... { ... }
+///     serde::forward_to_deserialize_any! {
+///         bool i8 i16 i32 i64 u8 u16 u32 u64 f32 f64 char str string
+///         bytes byte_buf unit unit_struct newtype_struct seq tuple
+///         tuple_struct map struct identifier ignored_any
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! forward_to_deserialize_any {
+    ($($func:ident)*) => {
+        $($crate::forward_to_deserialize_any_helper!{$func})*
     };
 }
 
-impl_markers!(
-    (),
-    bool,
-    char,
-    u8,
-    u16,
-    u32,
-    u64,
-    u128,
-    usize,
-    i8,
-    i16,
-    i32,
-    i64,
-    i128,
-    isize,
-    f32,
-    f64,
-    String,
-);
-
-impl<T: Serialize> Serialize for Vec<T> {}
-impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {}
-impl<T: Serialize> Serialize for Option<T> {}
-impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {}
-impl<T: Serialize> Serialize for Box<T> {}
-impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {}
-impl<T: Serialize> Serialize for [T] {}
-impl<T: Serialize> Serialize for &T where T: ?Sized {}
-impl<A: Serialize, B: Serialize> Serialize for (A, B) {}
-impl<'de, A: Deserialize<'de>, B: Deserialize<'de>> Deserialize<'de> for (A, B) {}
-impl<K: Serialize, V: Serialize> Serialize for std::collections::HashMap<K, V> {}
-impl<'de, K: Deserialize<'de>, V: Deserialize<'de>> Deserialize<'de>
-    for std::collections::HashMap<K, V>
-{
+/// Implementation detail of [`forward_to_deserialize_any!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! forward_to_deserialize_any_helper {
+    (bool) => {
+        $crate::forward_to_deserialize_any_method! {deserialize_bool}
+    };
+    (i8) => {
+        $crate::forward_to_deserialize_any_method! {deserialize_i8}
+    };
+    (i16) => {
+        $crate::forward_to_deserialize_any_method! {deserialize_i16}
+    };
+    (i32) => {
+        $crate::forward_to_deserialize_any_method! {deserialize_i32}
+    };
+    (i64) => {
+        $crate::forward_to_deserialize_any_method! {deserialize_i64}
+    };
+    (u8) => {
+        $crate::forward_to_deserialize_any_method! {deserialize_u8}
+    };
+    (u16) => {
+        $crate::forward_to_deserialize_any_method! {deserialize_u16}
+    };
+    (u32) => {
+        $crate::forward_to_deserialize_any_method! {deserialize_u32}
+    };
+    (u64) => {
+        $crate::forward_to_deserialize_any_method! {deserialize_u64}
+    };
+    (f32) => {
+        $crate::forward_to_deserialize_any_method! {deserialize_f32}
+    };
+    (f64) => {
+        $crate::forward_to_deserialize_any_method! {deserialize_f64}
+    };
+    (char) => {
+        $crate::forward_to_deserialize_any_method! {deserialize_char}
+    };
+    (str) => {
+        $crate::forward_to_deserialize_any_method! {deserialize_str}
+    };
+    (string) => {
+        $crate::forward_to_deserialize_any_method! {deserialize_string}
+    };
+    (bytes) => {
+        $crate::forward_to_deserialize_any_method! {deserialize_bytes}
+    };
+    (byte_buf) => {
+        $crate::forward_to_deserialize_any_method! {deserialize_byte_buf}
+    };
+    (option) => {
+        $crate::forward_to_deserialize_any_method! {deserialize_option}
+    };
+    (unit) => {
+        $crate::forward_to_deserialize_any_method! {deserialize_unit}
+    };
+    (seq) => {
+        $crate::forward_to_deserialize_any_method! {deserialize_seq}
+    };
+    (map) => {
+        $crate::forward_to_deserialize_any_method! {deserialize_map}
+    };
+    (identifier) => {
+        $crate::forward_to_deserialize_any_method! {deserialize_identifier}
+    };
+    (ignored_any) => {
+        $crate::forward_to_deserialize_any_method! {deserialize_ignored_any}
+    };
+    (unit_struct) => {
+        fn deserialize_unit_struct<V: $crate::de::Visitor<'de>>(
+            self,
+            _name: &'static str,
+            visitor: V,
+        ) -> ::core::result::Result<V::Value, Self::Error> {
+            self.deserialize_any(visitor)
+        }
+    };
+    (newtype_struct) => {
+        fn deserialize_newtype_struct<V: $crate::de::Visitor<'de>>(
+            self,
+            _name: &'static str,
+            visitor: V,
+        ) -> ::core::result::Result<V::Value, Self::Error> {
+            self.deserialize_any(visitor)
+        }
+    };
+    (tuple) => {
+        fn deserialize_tuple<V: $crate::de::Visitor<'de>>(
+            self,
+            _len: usize,
+            visitor: V,
+        ) -> ::core::result::Result<V::Value, Self::Error> {
+            self.deserialize_any(visitor)
+        }
+    };
+    (tuple_struct) => {
+        fn deserialize_tuple_struct<V: $crate::de::Visitor<'de>>(
+            self,
+            _name: &'static str,
+            _len: usize,
+            visitor: V,
+        ) -> ::core::result::Result<V::Value, Self::Error> {
+            self.deserialize_any(visitor)
+        }
+    };
+    (struct) => {
+        fn deserialize_struct<V: $crate::de::Visitor<'de>>(
+            self,
+            _name: &'static str,
+            _fields: &'static [&'static str],
+            visitor: V,
+        ) -> ::core::result::Result<V::Value, Self::Error> {
+            self.deserialize_any(visitor)
+        }
+    };
+    (enum) => {
+        fn deserialize_enum<V: $crate::de::Visitor<'de>>(
+            self,
+            _name: &'static str,
+            _variants: &'static [&'static str],
+            visitor: V,
+        ) -> ::core::result::Result<V::Value, Self::Error> {
+            self.deserialize_any(visitor)
+        }
+    };
 }
-impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {}
-impl<'de, K: Deserialize<'de>, V: Deserialize<'de>> Deserialize<'de>
-    for std::collections::BTreeMap<K, V>
-{
+
+/// Implementation detail of [`forward_to_deserialize_any!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! forward_to_deserialize_any_method {
+    ($func:ident) => {
+        fn $func<V: $crate::de::Visitor<'de>>(
+            self,
+            visitor: V,
+        ) -> ::core::result::Result<V::Value, Self::Error> {
+            self.deserialize_any(visitor)
+        }
+    };
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    #[derive(Serialize, Deserialize)]
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
     struct Plain {
-        _x: u32,
+        x: u32,
+        tag: String,
     }
 
-    #[derive(Serialize, Deserialize)]
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
     enum Choice {
-        _A,
-        _B(f64),
+        A,
+        B(f64),
+        C { left: u8, right: u8 },
+        D(u8, u8),
     }
 
-    #[derive(Serialize, Deserialize)]
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
     struct WithGenerics<T: Clone> {
-        _items: Vec<T>,
-    }
-
-    #[derive(Serialize, Deserialize)]
-    struct WithConst<const N: usize> {
-        _buf: [u8; N],
+        items: Vec<T>,
     }
 
     fn assert_serialize<T: Serialize>() {}
     fn assert_deserialize<T: for<'de> Deserialize<'de>>() {}
 
     #[test]
-    fn derives_produce_marker_impls() {
+    fn derives_produce_real_impls() {
         assert_serialize::<Plain>();
         assert_deserialize::<Plain>();
         assert_serialize::<Choice>();
         assert_deserialize::<Choice>();
         assert_serialize::<WithGenerics<u8>>();
         assert_deserialize::<WithGenerics<u8>>();
-        assert_serialize::<WithConst<4>>();
-        assert_deserialize::<WithConst<4>>();
+        assert_serialize::<Option<Vec<(u8, String)>>>();
+        assert_deserialize::<Option<Vec<(u8, String)>>>();
     }
 }

@@ -1,0 +1,687 @@
+//! Serialization half of the data model: [`Serialize`], [`Serializer`] and
+//! the compound-serializer traits.
+//!
+//! The surface mirrors the real `serde::ser` module for every construct the
+//! workspace and its format crates use, so swapping this vendored crate for
+//! the registry `serde` is a manifest-only change.
+
+use std::fmt::Display;
+
+/// Trait for serialization errors, constructible from a message.
+pub trait Error: Sized + std::error::Error {
+    /// Builds an error carrying a custom message.
+    fn custom<T: Display>(msg: T) -> Self;
+}
+
+/// A data structure that can be serialized into any format.
+pub trait Serialize {
+    /// Serializes `self` with the given serializer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the serializer's error (unsupported shape, I/O, …).
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// A format that can serialize any value of the serde data model.
+pub trait Serializer: Sized {
+    /// Value produced by a successful serialization.
+    type Ok;
+    /// Error produced on failure.
+    type Error: Error;
+    /// Type returned by [`Serializer::serialize_seq`].
+    type SerializeSeq: SerializeSeq<Ok = Self::Ok, Error = Self::Error>;
+    /// Type returned by [`Serializer::serialize_tuple`].
+    type SerializeTuple: SerializeTuple<Ok = Self::Ok, Error = Self::Error>;
+    /// Type returned by [`Serializer::serialize_tuple_struct`].
+    type SerializeTupleStruct: SerializeTupleStruct<Ok = Self::Ok, Error = Self::Error>;
+    /// Type returned by [`Serializer::serialize_tuple_variant`].
+    type SerializeTupleVariant: SerializeTupleVariant<Ok = Self::Ok, Error = Self::Error>;
+    /// Type returned by [`Serializer::serialize_map`].
+    type SerializeMap: SerializeMap<Ok = Self::Ok, Error = Self::Error>;
+    /// Type returned by [`Serializer::serialize_struct`].
+    type SerializeStruct: SerializeStruct<Ok = Self::Ok, Error = Self::Error>;
+    /// Type returned by [`Serializer::serialize_struct_variant`].
+    type SerializeStructVariant: SerializeStructVariant<Ok = Self::Ok, Error = Self::Error>;
+
+    /// Serializes a `bool`.
+    ///
+    /// # Errors
+    ///
+    /// Format-specific.
+    fn serialize_bool(self, v: bool) -> Result<Self::Ok, Self::Error>;
+    /// Serializes an `i8`.
+    ///
+    /// # Errors
+    ///
+    /// Format-specific.
+    fn serialize_i8(self, v: i8) -> Result<Self::Ok, Self::Error> {
+        self.serialize_i64(i64::from(v))
+    }
+    /// Serializes an `i16`.
+    ///
+    /// # Errors
+    ///
+    /// Format-specific.
+    fn serialize_i16(self, v: i16) -> Result<Self::Ok, Self::Error> {
+        self.serialize_i64(i64::from(v))
+    }
+    /// Serializes an `i32`.
+    ///
+    /// # Errors
+    ///
+    /// Format-specific.
+    fn serialize_i32(self, v: i32) -> Result<Self::Ok, Self::Error> {
+        self.serialize_i64(i64::from(v))
+    }
+    /// Serializes an `i64`.
+    ///
+    /// # Errors
+    ///
+    /// Format-specific.
+    fn serialize_i64(self, v: i64) -> Result<Self::Ok, Self::Error>;
+    /// Serializes an `i128`.
+    ///
+    /// # Errors
+    ///
+    /// Errors unless the format overrides it.
+    fn serialize_i128(self, _v: i128) -> Result<Self::Ok, Self::Error> {
+        Err(Error::custom("i128 is not supported by this format"))
+    }
+    /// Serializes a `u8`.
+    ///
+    /// # Errors
+    ///
+    /// Format-specific.
+    fn serialize_u8(self, v: u8) -> Result<Self::Ok, Self::Error> {
+        self.serialize_u64(u64::from(v))
+    }
+    /// Serializes a `u16`.
+    ///
+    /// # Errors
+    ///
+    /// Format-specific.
+    fn serialize_u16(self, v: u16) -> Result<Self::Ok, Self::Error> {
+        self.serialize_u64(u64::from(v))
+    }
+    /// Serializes a `u32`.
+    ///
+    /// # Errors
+    ///
+    /// Format-specific.
+    fn serialize_u32(self, v: u32) -> Result<Self::Ok, Self::Error> {
+        self.serialize_u64(u64::from(v))
+    }
+    /// Serializes a `u64`.
+    ///
+    /// # Errors
+    ///
+    /// Format-specific.
+    fn serialize_u64(self, v: u64) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a `u128`.
+    ///
+    /// # Errors
+    ///
+    /// Errors unless the format overrides it.
+    fn serialize_u128(self, _v: u128) -> Result<Self::Ok, Self::Error> {
+        Err(Error::custom("u128 is not supported by this format"))
+    }
+    /// Serializes an `f32`.
+    ///
+    /// # Errors
+    ///
+    /// Format-specific.
+    fn serialize_f32(self, v: f32) -> Result<Self::Ok, Self::Error> {
+        self.serialize_f64(f64::from(v))
+    }
+    /// Serializes an `f64`.
+    ///
+    /// # Errors
+    ///
+    /// Format-specific.
+    fn serialize_f64(self, v: f64) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a `char`.
+    ///
+    /// # Errors
+    ///
+    /// Format-specific.
+    fn serialize_char(self, v: char) -> Result<Self::Ok, Self::Error> {
+        self.serialize_str(v.encode_utf8(&mut [0u8; 4]))
+    }
+    /// Serializes a string slice.
+    ///
+    /// # Errors
+    ///
+    /// Format-specific.
+    fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error>;
+    /// Serializes raw bytes.
+    ///
+    /// # Errors
+    ///
+    /// Format-specific.
+    fn serialize_bytes(self, v: &[u8]) -> Result<Self::Ok, Self::Error>;
+    /// Serializes an absent [`Option`].
+    ///
+    /// # Errors
+    ///
+    /// Format-specific.
+    fn serialize_none(self) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a present [`Option`].
+    ///
+    /// # Errors
+    ///
+    /// Format-specific.
+    fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<Self::Ok, Self::Error>;
+    /// Serializes `()`.
+    ///
+    /// # Errors
+    ///
+    /// Format-specific.
+    fn serialize_unit(self) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a unit struct like `struct Unit;`.
+    ///
+    /// # Errors
+    ///
+    /// Format-specific.
+    fn serialize_unit_struct(self, name: &'static str) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a unit enum variant like `E::A`.
+    ///
+    /// # Errors
+    ///
+    /// Format-specific.
+    fn serialize_unit_variant(
+        self,
+        name: &'static str,
+        variant_index: u32,
+        variant: &'static str,
+    ) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a newtype struct like `struct Meters(f64);`.
+    ///
+    /// # Errors
+    ///
+    /// Format-specific.
+    fn serialize_newtype_struct<T: Serialize + ?Sized>(
+        self,
+        name: &'static str,
+        value: &T,
+    ) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a newtype enum variant like `E::N(x)`.
+    ///
+    /// # Errors
+    ///
+    /// Format-specific.
+    fn serialize_newtype_variant<T: Serialize + ?Sized>(
+        self,
+        name: &'static str,
+        variant_index: u32,
+        variant: &'static str,
+        value: &T,
+    ) -> Result<Self::Ok, Self::Error>;
+    /// Begins serializing a variable-length sequence.
+    ///
+    /// # Errors
+    ///
+    /// Format-specific.
+    fn serialize_seq(self, len: Option<usize>) -> Result<Self::SerializeSeq, Self::Error>;
+    /// Begins serializing a fixed-length tuple.
+    ///
+    /// # Errors
+    ///
+    /// Format-specific.
+    fn serialize_tuple(self, len: usize) -> Result<Self::SerializeTuple, Self::Error>;
+    /// Begins serializing a tuple struct like `struct Rgb(u8, u8, u8);`.
+    ///
+    /// # Errors
+    ///
+    /// Format-specific.
+    fn serialize_tuple_struct(
+        self,
+        name: &'static str,
+        len: usize,
+    ) -> Result<Self::SerializeTupleStruct, Self::Error>;
+    /// Begins serializing a tuple enum variant like `E::T(a, b)`.
+    ///
+    /// # Errors
+    ///
+    /// Format-specific.
+    fn serialize_tuple_variant(
+        self,
+        name: &'static str,
+        variant_index: u32,
+        variant: &'static str,
+        len: usize,
+    ) -> Result<Self::SerializeTupleVariant, Self::Error>;
+    /// Begins serializing a map.
+    ///
+    /// # Errors
+    ///
+    /// Format-specific.
+    fn serialize_map(self, len: Option<usize>) -> Result<Self::SerializeMap, Self::Error>;
+    /// Begins serializing a struct with named fields.
+    ///
+    /// # Errors
+    ///
+    /// Format-specific.
+    fn serialize_struct(
+        self,
+        name: &'static str,
+        len: usize,
+    ) -> Result<Self::SerializeStruct, Self::Error>;
+    /// Begins serializing a struct enum variant like `E::S { f }`.
+    ///
+    /// # Errors
+    ///
+    /// Format-specific.
+    fn serialize_struct_variant(
+        self,
+        name: &'static str,
+        variant_index: u32,
+        variant: &'static str,
+        len: usize,
+    ) -> Result<Self::SerializeStructVariant, Self::Error>;
+}
+
+/// Returned by [`Serializer::serialize_seq`].
+pub trait SerializeSeq {
+    /// See [`Serializer::Ok`].
+    type Ok;
+    /// See [`Serializer::Error`].
+    type Error: Error;
+    /// Serializes one element.
+    ///
+    /// # Errors
+    ///
+    /// Format-specific.
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Self::Error>;
+    /// Finishes the sequence.
+    ///
+    /// # Errors
+    ///
+    /// Format-specific.
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+/// Returned by [`Serializer::serialize_tuple`].
+pub trait SerializeTuple {
+    /// See [`Serializer::Ok`].
+    type Ok;
+    /// See [`Serializer::Error`].
+    type Error: Error;
+    /// Serializes one element.
+    ///
+    /// # Errors
+    ///
+    /// Format-specific.
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Self::Error>;
+    /// Finishes the tuple.
+    ///
+    /// # Errors
+    ///
+    /// Format-specific.
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+/// Returned by [`Serializer::serialize_tuple_struct`].
+pub trait SerializeTupleStruct {
+    /// See [`Serializer::Ok`].
+    type Ok;
+    /// See [`Serializer::Error`].
+    type Error: Error;
+    /// Serializes one field.
+    ///
+    /// # Errors
+    ///
+    /// Format-specific.
+    fn serialize_field<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Self::Error>;
+    /// Finishes the tuple struct.
+    ///
+    /// # Errors
+    ///
+    /// Format-specific.
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+/// Returned by [`Serializer::serialize_tuple_variant`].
+pub trait SerializeTupleVariant {
+    /// See [`Serializer::Ok`].
+    type Ok;
+    /// See [`Serializer::Error`].
+    type Error: Error;
+    /// Serializes one field.
+    ///
+    /// # Errors
+    ///
+    /// Format-specific.
+    fn serialize_field<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Self::Error>;
+    /// Finishes the variant.
+    ///
+    /// # Errors
+    ///
+    /// Format-specific.
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+/// Returned by [`Serializer::serialize_map`].
+pub trait SerializeMap {
+    /// See [`Serializer::Ok`].
+    type Ok;
+    /// See [`Serializer::Error`].
+    type Error: Error;
+    /// Serializes one key.
+    ///
+    /// # Errors
+    ///
+    /// Format-specific.
+    fn serialize_key<T: Serialize + ?Sized>(&mut self, key: &T) -> Result<(), Self::Error>;
+    /// Serializes the value of the most recent key.
+    ///
+    /// # Errors
+    ///
+    /// Format-specific.
+    fn serialize_value<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Self::Error>;
+    /// Serializes one key-value entry.
+    ///
+    /// # Errors
+    ///
+    /// Format-specific.
+    fn serialize_entry<K: Serialize + ?Sized, V: Serialize + ?Sized>(
+        &mut self,
+        key: &K,
+        value: &V,
+    ) -> Result<(), Self::Error> {
+        self.serialize_key(key)?;
+        self.serialize_value(value)
+    }
+    /// Finishes the map.
+    ///
+    /// # Errors
+    ///
+    /// Format-specific.
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+/// Returned by [`Serializer::serialize_struct`].
+pub trait SerializeStruct {
+    /// See [`Serializer::Ok`].
+    type Ok;
+    /// See [`Serializer::Error`].
+    type Error: Error;
+    /// Serializes one named field.
+    ///
+    /// # Errors
+    ///
+    /// Format-specific.
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), Self::Error>;
+    /// Omits a field (formats may ignore this).
+    ///
+    /// # Errors
+    ///
+    /// Format-specific.
+    fn skip_field(&mut self, _key: &'static str) -> Result<(), Self::Error> {
+        Ok(())
+    }
+    /// Finishes the struct.
+    ///
+    /// # Errors
+    ///
+    /// Format-specific.
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+/// Returned by [`Serializer::serialize_struct_variant`].
+pub trait SerializeStructVariant {
+    /// See [`Serializer::Ok`].
+    type Ok;
+    /// See [`Serializer::Error`].
+    type Error: Error;
+    /// Serializes one named field.
+    ///
+    /// # Errors
+    ///
+    /// Format-specific.
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), Self::Error>;
+    /// Finishes the variant.
+    ///
+    /// # Errors
+    ///
+    /// Format-specific.
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+/// An uninhabited placeholder for the compound-serializer associated types a
+/// [`Serializer`] can never return (e.g. a map-key serializer that rejects
+/// sequences). Mirrors `serde::ser::Impossible`.
+pub struct Impossible<Ok, E> {
+    void: Void,
+    _marker: std::marker::PhantomData<(Ok, E)>,
+}
+
+enum Void {}
+
+macro_rules! impl_impossible {
+    ($($trait:ident :: $method:ident ( $($key:ty)? )),* $(,)?) => {
+        $(
+            impl<Ok, E: Error> $trait for Impossible<Ok, E> {
+                type Ok = Ok;
+                type Error = E;
+                fn $method<T: Serialize + ?Sized>(
+                    &mut self,
+                    $(_key: $key,)?
+                    _value: &T,
+                ) -> Result<(), E> {
+                    match self.void {}
+                }
+                fn end(self) -> Result<Ok, E> {
+                    match self.void {}
+                }
+            }
+        )*
+    };
+}
+
+impl_impossible!(
+    SerializeSeq::serialize_element(),
+    SerializeTuple::serialize_element(),
+    SerializeTupleStruct::serialize_field(),
+    SerializeTupleVariant::serialize_field(),
+    SerializeStruct::serialize_field(&'static str),
+    SerializeStructVariant::serialize_field(&'static str),
+);
+
+impl<Ok, E: Error> SerializeMap for Impossible<Ok, E> {
+    type Ok = Ok;
+    type Error = E;
+    fn serialize_key<T: Serialize + ?Sized>(&mut self, _key: &T) -> Result<(), E> {
+        match self.void {}
+    }
+    fn serialize_value<T: Serialize + ?Sized>(&mut self, _value: &T) -> Result<(), E> {
+        match self.void {}
+    }
+    fn end(self) -> Result<Ok, E> {
+        match self.void {}
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Serialize impls for std types
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_serialize_primitive {
+    ($($ty:ty => $method:ident),* $(,)?) => {
+        $(
+            impl Serialize for $ty {
+                fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                    serializer.$method(*self)
+                }
+            }
+        )*
+    };
+}
+
+impl_serialize_primitive!(
+    bool => serialize_bool,
+    i8 => serialize_i8,
+    i16 => serialize_i16,
+    i32 => serialize_i32,
+    i64 => serialize_i64,
+    i128 => serialize_i128,
+    u8 => serialize_u8,
+    u16 => serialize_u16,
+    u32 => serialize_u32,
+    u64 => serialize_u64,
+    u128 => serialize_u128,
+    f32 => serialize_f32,
+    f64 => serialize_f64,
+    char => serialize_char,
+);
+
+impl Serialize for isize {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_i64(*self as i64)
+    }
+}
+
+impl Serialize for usize {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_u64(*self as u64)
+    }
+}
+
+impl Serialize for () {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_unit()
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            Some(value) => serializer.serialize_some(value),
+            None => serializer.serialize_none(),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut seq = serializer.serialize_seq(Some(self.len()))?;
+        for element in self {
+            seq.serialize_element(element)?;
+        }
+        seq.end()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(serializer)
+    }
+}
+
+impl<T: Serialize> Serialize for std::collections::VecDeque<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut seq = serializer.serialize_seq(Some(self.len()))?;
+        for element in self {
+            seq.serialize_element(element)?;
+        }
+        seq.end()
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut tuple = serializer.serialize_tuple(N)?;
+        for element in self {
+            tuple.serialize_element(element)?;
+        }
+        tuple.end()
+    }
+}
+
+macro_rules! impl_serialize_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {
+        $(
+            impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+                fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                    let len = impl_serialize_tuple!(@count $($name)+);
+                    let mut tuple = serializer.serialize_tuple(len)?;
+                    $(tuple.serialize_element(&self.$idx)?;)+
+                    tuple.end()
+                }
+            }
+        )*
+    };
+    (@count $($name:ident)+) => { [$(impl_serialize_tuple!(@unit $name)),+].len() };
+    (@unit $name:ident) => { () };
+}
+
+impl_serialize_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut map = serializer.serialize_map(Some(self.len()))?;
+        for (key, value) in self {
+            map.serialize_entry(key, value)?;
+        }
+        map.end()
+    }
+}
+
+impl<K: Serialize, V: Serialize, H: std::hash::BuildHasher> Serialize
+    for std::collections::HashMap<K, V, H>
+{
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut map = serializer.serialize_map(Some(self.len()))?;
+        for (key, value) in self {
+            map.serialize_entry(key, value)?;
+        }
+        map.end()
+    }
+}
+
+impl<T: Serialize + Ord> Serialize for std::collections::BTreeSet<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut seq = serializer.serialize_seq(Some(self.len()))?;
+        for element in self {
+            seq.serialize_element(element)?;
+        }
+        seq.end()
+    }
+}

@@ -1,128 +1,844 @@
-//! Offline stand-in for `serde_derive`.
+//! Vendored, offline implementation of `serde_derive`.
 //!
-//! The vendored `serde` stub defines `Serialize` / `Deserialize` as marker
-//! traits (see `vendor/serde`); these derives emit the corresponding empty
-//! impls so that `#[derive(Serialize, Deserialize)]` in the Sprout crates
-//! compiles unchanged. No serialization code is generated.
+//! Generates *real* `serde::Serialize` / `serde::Deserialize` implementations
+//! (field-by-field serialization, map/seq visitors, externally-tagged enums)
+//! for the vendored `serde` data model — the companion of `vendor/serde`.
 //!
-//! The input is parsed with a token scan instead of `syn` (not available
-//! offline): the type name is the first identifier following the `struct`,
-//! `enum` or `union` keyword, and generic parameters are copied verbatim
-//! from the `<...>` group that follows it, if any.
+//! The input is parsed with a hand-rolled token scan instead of `syn` (not
+//! available offline). Supported shapes — everything the workspace derives:
+//!
+//! * structs with named fields (including generic type and const parameters),
+//! * tuple structs (serialized as newtype for one field, tuple otherwise),
+//! * unit structs,
+//! * enums whose variants are unit, newtype, tuple or struct-like.
+//!
+//! Unsupported (panics with a clear message rather than mis-compiling):
+//! `#[serde(...)]` attributes, lifetime parameters on the derived type, and
+//! unions.
+//!
+//! Deliberate divergence from the registry crate (see `vendor/serde` docs):
+//! derived struct deserializers reject unknown fields, while `Option` fields
+//! default to `None` when absent.
 
-use proc_macro::{TokenStream, TokenTree};
+use proc_macro::{Delimiter, TokenStream, TokenTree};
 
-/// The derived type's name plus its generic parameter list (`<...>` or empty).
-struct Target {
+// ---------------------------------------------------------------------------
+// Parsed shape of the derive input
+// ---------------------------------------------------------------------------
+
+/// One named field: identifier plus whether its type is `Option<_>`.
+struct Field {
     name: String,
-    /// Generic parameter *declarations*, e.g. `<'a, T: Clone>`.
-    decl_generics: String,
-    /// Generic *arguments* for the use site, e.g. `<'a, T>`.
-    use_generics: String,
+    is_option: bool,
 }
 
-fn parse_target(input: TokenStream) -> Target {
-    let mut iter = input.into_iter().peekable();
-    while let Some(tt) = iter.next() {
-        let TokenTree::Ident(kw) = &tt else { continue };
-        let kw = kw.to_string();
-        if kw != "struct" && kw != "enum" && kw != "union" {
+/// The body of a struct or of one enum variant.
+enum Shape {
+    Unit,
+    /// Tuple fields; the count is all codegen needs.
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Body {
+    Struct(Shape),
+    Enum(Vec<Variant>),
+}
+
+struct Input {
+    name: String,
+    /// Generic parameter declarations with bounds, e.g. `<T: Clone, const N: usize>`.
+    decl_generics: String,
+    /// Use-site arguments, e.g. `<T, N>`.
+    use_generics: String,
+    /// Names of the *type* parameters only (bound targets).
+    type_params: Vec<String>,
+    /// Raw `where` clause tokens (without the `where` keyword), if any.
+    where_clause: String,
+    body: Body,
+}
+
+fn is_punct(tt: &TokenTree, ch: char) -> bool {
+    matches!(tt, TokenTree::Punct(p) if p.as_char() == ch)
+}
+
+/// Consumes a run of outer attributes (`#[...]`, including doc comments).
+fn skip_attributes(iter: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    loop {
+        match iter.peek() {
+            Some(tt) if is_punct(tt, '#') => {
+                iter.next();
+                match iter.next() {
+                    Some(TokenTree::Group(_)) => {}
+                    other => panic!("serde derive: malformed attribute near {other:?}"),
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Consumes `pub`, `pub(crate)`, `pub(in ...)` and the like.
+fn skip_visibility(iter: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    if matches!(iter.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        iter.next();
+        if matches!(iter.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            iter.next();
+        }
+    }
+}
+
+/// Splits the comma-separated generic parameter list following the type name.
+/// Returns `(decl_with_bounds, use_site_args, type_param_names)`.
+fn parse_generics(
+    iter: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>,
+) -> (String, String, Vec<String>) {
+    if !matches!(iter.peek(), Some(tt) if is_punct(tt, '<')) {
+        return (String::new(), String::new(), Vec::new());
+    }
+    let mut depth = 0i32;
+    let mut decl = String::new();
+    let mut params: Vec<Vec<String>> = vec![Vec::new()];
+    for tt in iter.by_ref() {
+        let s = tt.to_string();
+        match s.as_str() {
+            "<" => depth += 1,
+            ">" => depth -= 1,
+            _ => {}
+        }
+        decl.push_str(&s);
+        if s != "'" {
+            decl.push(' ');
+        }
+        if depth == 0 {
+            break;
+        }
+        if depth == 1 && s != "<" {
+            if s == "," {
+                params.push(Vec::new());
+            } else {
+                params.last_mut().expect("non-empty").push(s);
+            }
+        }
+    }
+    assert_eq!(depth, 0, "serde derive: unbalanced generics");
+    let mut use_args: Vec<String> = Vec::new();
+    let mut type_params = Vec::new();
+    for param in params.iter().filter(|p| !p.is_empty()) {
+        match param[0].as_str() {
+            "'" => {
+                panic!(
+                    "serde derive: lifetime parameters on derived types are not \
+                     supported by the vendored serde_derive"
+                );
+            }
+            "const" => {
+                let name = param.get(1).expect("const parameter name").clone();
+                use_args.push(name);
+            }
+            first => {
+                let name = first.to_string();
+                use_args.push(name.clone());
+                type_params.push(name);
+            }
+        }
+    }
+    let use_generics = if use_args.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", use_args.join(", "))
+    };
+    (decl, use_generics, type_params)
+}
+
+/// Whether a field type (as scanned tokens) is `Option<...>` under any of the
+/// usual paths.
+fn type_is_option(tokens: &[String]) -> bool {
+    // Strip leading `::` / `std` / `core` path segments up to the first `<`.
+    let mut segments: Vec<&str> = Vec::new();
+    for t in tokens {
+        if t == "<" {
+            break;
+        }
+        if t == ":" {
             continue;
         }
-        let Some(TokenTree::Ident(name)) = iter.next() else {
-            panic!("serde stub derive: expected a type name after `{kw}`");
+        segments.push(t);
+    }
+    matches!(
+        segments.as_slice(),
+        ["Option"] | ["std", "option", "Option"] | ["core", "option", "Option"]
+    ) && tokens.contains(&"<".to_string())
+}
+
+/// Parses the named fields inside a brace group.
+fn parse_named_fields(group: TokenStream) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut iter = group.into_iter().peekable();
+    loop {
+        skip_attributes(&mut iter);
+        skip_visibility(&mut iter);
+        let Some(tt) = iter.next() else { break };
+        let TokenTree::Ident(name) = tt else {
+            panic!("serde derive: expected a field name, found {tt}");
         };
-        let mut decl = String::new();
-        let mut args = String::new();
-        if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
-            // Collect the raw generic declaration up to the matching `>`.
-            let mut depth = 0i32;
-            let mut params: Vec<String> = Vec::new();
-            let mut current = String::new();
-            for tt in iter.by_ref() {
-                let s = tt.to_string();
-                match s.as_str() {
-                    "<" => depth += 1,
-                    ">" => depth -= 1,
-                    _ => {}
+        match iter.next() {
+            Some(tt) if is_punct(&tt, ':') => {}
+            other => panic!("serde derive: expected `:` after field `{name}`, found {other:?}"),
+        }
+        // Scan the type: a comma only terminates it at angle depth zero.
+        let mut angle = 0i32;
+        let mut ty = Vec::new();
+        for tt in iter.by_ref() {
+            match &tt {
+                t if is_punct(t, '<') => angle += 1,
+                t if is_punct(t, '>') => angle -= 1,
+                t if is_punct(t, ',') && angle == 0 => break,
+                _ => {}
+            }
+            ty.push(tt.to_string());
+        }
+        fields.push(Field {
+            name: name.to_string(),
+            is_option: type_is_option(&ty),
+        });
+    }
+    fields
+}
+
+/// Counts the fields of a tuple struct/variant (commas at angle depth zero).
+fn count_tuple_fields(group: TokenStream) -> usize {
+    let mut iter = group.into_iter().peekable();
+    let mut count = 0usize;
+    let mut pending = false;
+    let mut angle = 0i32;
+    loop {
+        skip_attributes(&mut iter);
+        let Some(tt) = iter.next() else { break };
+        pending = true;
+        match &tt {
+            t if is_punct(t, '<') => angle += 1,
+            t if is_punct(t, '>') => angle -= 1,
+            t if is_punct(t, ',') && angle == 0 => {
+                count += 1;
+                pending = false;
+            }
+            _ => {}
+        }
+    }
+    count + usize::from(pending)
+}
+
+fn parse_variants(group: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut iter = group.into_iter().peekable();
+    loop {
+        skip_attributes(&mut iter);
+        let Some(tt) = iter.next() else { break };
+        let TokenTree::Ident(name) = tt else {
+            panic!("serde derive: expected a variant name, found {tt}");
+        };
+        let shape = match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let Some(TokenTree::Group(g)) = iter.next() else {
+                    unreachable!()
+                };
+                Shape::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let Some(TokenTree::Group(g)) = iter.next() else {
+                    unreachable!()
+                };
+                Shape::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => Shape::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) up to the separating comma.
+        for tt in iter.by_ref() {
+            if is_punct(&tt, ',') {
+                break;
+            }
+        }
+        variants.push(Variant {
+            name: name.to_string(),
+            shape,
+        });
+    }
+    variants
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let mut iter = input.into_iter().peekable();
+    skip_attributes(&mut iter);
+    skip_visibility(&mut iter);
+    let kind = loop {
+        match iter.next() {
+            Some(TokenTree::Ident(id)) => {
+                let id = id.to_string();
+                if id == "struct" || id == "enum" {
+                    break id;
                 }
-                decl.push_str(&s);
-                if s != "'" {
-                    // A lifetime tick must stay glued to its identifier.
-                    decl.push(' ');
+                if id == "union" {
+                    panic!("serde derive: unions cannot derive Serialize/Deserialize");
                 }
-                if depth == 0 {
-                    break;
-                }
-                if depth == 1 && s != "<" {
-                    if s == "," {
-                        params.push(std::mem::take(&mut current));
-                    } else {
-                        current.push_str(&s);
-                        if s != "'" {
-                            current.push(' ');
+            }
+            Some(_) => {}
+            None => panic!("serde derive: input does not define a struct or enum"),
+        }
+    };
+    let Some(TokenTree::Ident(name)) = iter.next() else {
+        panic!("serde derive: expected a type name after `{kind}`");
+    };
+    let (decl_generics, use_generics, type_params) = parse_generics(&mut iter);
+
+    // Optional where clause: everything between `where` and the body.
+    let mut where_clause = String::new();
+    if matches!(iter.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "where") {
+        iter.next();
+        while let Some(tt) = iter.peek() {
+            let done = match tt {
+                TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => true,
+                tt if is_punct(tt, ';') => true,
+                _ => false,
+            };
+            if done {
+                break;
+            }
+            let s = iter.next().expect("peeked").to_string();
+            where_clause.push_str(&s);
+            if s != "'" {
+                where_clause.push(' ');
+            }
+        }
+    }
+
+    let body = if kind == "enum" {
+        match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde derive: expected an enum body, found {other:?}"),
+        }
+    } else {
+        match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Struct(Shape::Named(parse_named_fields(g.stream())))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Body::Struct(Shape::Tuple(count_tuple_fields(g.stream())))
+            }
+            Some(tt) if is_punct(&tt, ';') => Body::Struct(Shape::Unit),
+            other => panic!("serde derive: expected a struct body, found {other:?}"),
+        }
+    };
+
+    Input {
+        name: name.to_string(),
+        decl_generics,
+        use_generics,
+        type_params,
+        where_clause,
+        body,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shared codegen helpers
+// ---------------------------------------------------------------------------
+
+impl Input {
+    /// The full type, e.g. `Foo<T, N>`.
+    fn ty(&self) -> String {
+        format!("{}{}", self.name, self.use_generics)
+    }
+
+    /// `impl` generics for Serialize, e.g. `<T: Clone>` (empty when plain).
+    fn ser_impl_generics(&self) -> &str {
+        &self.decl_generics
+    }
+
+    /// `impl` generics for Deserialize: the declared ones plus `'de`.
+    fn de_impl_generics(&self) -> String {
+        if self.decl_generics.is_empty() {
+            "<'de>".to_string()
+        } else {
+            format!("<'de, {}", &self.decl_generics.trim_start()[1..])
+        }
+    }
+
+    /// Combined where clause: the type's own plus a per-type-param bound.
+    fn where_clause(&self, bound: &str) -> String {
+        let mut predicates: Vec<String> = Vec::new();
+        if !self.where_clause.trim().is_empty() {
+            predicates.push(self.where_clause.trim().trim_end_matches(',').to_string());
+        }
+        for param in &self.type_params {
+            predicates.push(format!("{param}: {bound}"));
+        }
+        if predicates.is_empty() {
+            String::new()
+        } else {
+            format!("where {}", predicates.join(", "))
+        }
+    }
+}
+
+/// Generates the body of a map/seq visitor for named fields, constructing
+/// `ctor { field: value, ... }`. `expecting` is the prose for error messages.
+fn named_fields_visitor_methods(
+    ctor: &str,
+    fields: &[Field],
+    fields_const: &str,
+    expecting: &str,
+) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "fn expecting(&self, __f: &mut ::core::fmt::Formatter<'_>) -> ::core::fmt::Result {{ \
+             __f.write_str({expecting:?}) }}\n"
+    ));
+
+    // visit_map: keyed fields in any order; unknown keys are errors; Option
+    // fields default to None.
+    out.push_str(
+        "fn visit_map<__A: ::serde::de::MapAccess<'de>>(self, mut __map: __A) \
+         -> ::core::result::Result<Self::Value, __A::Error> {\n",
+    );
+    for (i, _) in fields.iter().enumerate() {
+        out.push_str(&format!(
+            "let mut __field{i} = ::core::option::Option::None;\n"
+        ));
+    }
+    out.push_str(
+        "while let ::core::option::Option::Some(__key) = \
+         ::serde::de::MapAccess::next_key::<::std::string::String>(&mut __map)? {\n\
+         match __key.as_str() {\n",
+    );
+    for (i, field) in fields.iter().enumerate() {
+        let name = &field.name;
+        out.push_str(&format!(
+            "{name:?} => {{\n\
+             if __field{i}.is_some() {{\n\
+             return ::core::result::Result::Err(\
+             <__A::Error as ::serde::de::Error>::duplicate_field({name:?}));\n\
+             }}\n\
+             __field{i} = ::core::option::Option::Some(\
+             ::serde::de::MapAccess::next_value(&mut __map)?);\n\
+             }}\n"
+        ));
+    }
+    out.push_str(&format!(
+        "__unknown => {{\n\
+         return ::core::result::Result::Err(\
+         <__A::Error as ::serde::de::Error>::unknown_field(__unknown, {fields_const}));\n\
+         }}\n}}\n}}\n"
+    ));
+    out.push_str(&format!("::core::result::Result::Ok({ctor} {{\n"));
+    for (i, field) in fields.iter().enumerate() {
+        let name = &field.name;
+        if field.is_option {
+            out.push_str(&format!(
+                "{name}: match __field{i} {{\n\
+                 ::core::option::Option::Some(__v) => __v,\n\
+                 ::core::option::Option::None => ::core::option::Option::None,\n\
+                 }},\n"
+            ));
+        } else {
+            out.push_str(&format!(
+                "{name}: match __field{i} {{\n\
+                 ::core::option::Option::Some(__v) => __v,\n\
+                 ::core::option::Option::None => return ::core::result::Result::Err(\
+                 <__A::Error as ::serde::de::Error>::missing_field({name:?})),\n\
+                 }},\n"
+            ));
+        }
+    }
+    out.push_str("})\n}\n");
+
+    // visit_seq: positional fields in declaration order.
+    out.push_str(
+        "fn visit_seq<__A: ::serde::de::SeqAccess<'de>>(self, mut __seq: __A) \
+         -> ::core::result::Result<Self::Value, __A::Error> {\n",
+    );
+    for (i, _) in fields.iter().enumerate() {
+        out.push_str(&format!(
+            "let __field{i} = match ::serde::de::SeqAccess::next_element(&mut __seq)? {{\n\
+             ::core::option::Option::Some(__v) => __v,\n\
+             ::core::option::Option::None => return ::core::result::Result::Err(\
+             <__A::Error as ::serde::de::Error>::invalid_length({i}, &self)),\n\
+             }};\n"
+        ));
+    }
+    out.push_str(&format!("::core::result::Result::Ok({ctor} {{\n"));
+    for (i, field) in fields.iter().enumerate() {
+        out.push_str(&format!("{}: __field{i},\n", field.name));
+    }
+    out.push_str("})\n}\n");
+    out
+}
+
+fn fields_const_literal(fields: &[Field]) -> String {
+    let names: Vec<String> = fields.iter().map(|f| format!("{:?}", f.name)).collect();
+    format!("&[{}]", names.join(", "))
+}
+
+// ---------------------------------------------------------------------------
+// Serialize
+// ---------------------------------------------------------------------------
+
+fn derive_serialize_impl(input: &Input) -> String {
+    let ty = input.ty();
+    let name = &input.name;
+    let body = match &input.body {
+        Body::Struct(Shape::Unit) => {
+            format!("::serde::Serializer::serialize_unit_struct(__serializer, {name:?})")
+        }
+        Body::Struct(Shape::Tuple(1)) => format!(
+            "::serde::Serializer::serialize_newtype_struct(__serializer, {name:?}, &self.0)"
+        ),
+        Body::Struct(Shape::Tuple(n)) => {
+            let mut out = format!(
+                "let mut __state = ::serde::Serializer::serialize_tuple_struct(\
+                 __serializer, {name:?}, {n})?;\n"
+            );
+            for i in 0..*n {
+                out.push_str(&format!(
+                    "::serde::ser::SerializeTupleStruct::serialize_field(&mut __state, &self.{i})?;\n"
+                ));
+            }
+            out.push_str("::serde::ser::SerializeTupleStruct::end(__state)");
+            out
+        }
+        Body::Struct(Shape::Named(fields)) => {
+            let mut out = format!(
+                "let mut __state = ::serde::Serializer::serialize_struct(\
+                 __serializer, {name:?}, {})?;\n",
+                fields.len()
+            );
+            for field in fields {
+                out.push_str(&format!(
+                    "::serde::ser::SerializeStruct::serialize_field(\
+                     &mut __state, {:?}, &self.{})?;\n",
+                    field.name, field.name
+                ));
+            }
+            out.push_str("::serde::ser::SerializeStruct::end(__state)");
+            out
+        }
+        Body::Enum(variants) => {
+            assert!(
+                !variants.is_empty(),
+                "serde derive: cannot serialize an empty enum"
+            );
+            let mut out = String::from("match self {\n");
+            for (index, variant) in variants.iter().enumerate() {
+                let vname = &variant.name;
+                match &variant.shape {
+                    Shape::Unit => out.push_str(&format!(
+                        "{name}::{vname} => ::serde::Serializer::serialize_unit_variant(\
+                         __serializer, {name:?}, {index}u32, {vname:?}),\n"
+                    )),
+                    Shape::Tuple(1) => out.push_str(&format!(
+                        "{name}::{vname}(__v0) => \
+                         ::serde::Serializer::serialize_newtype_variant(\
+                         __serializer, {name:?}, {index}u32, {vname:?}, __v0),\n"
+                    )),
+                    Shape::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|i| format!("__v{i}")).collect();
+                        out.push_str(&format!(
+                            "{name}::{vname}({}) => {{\n\
+                             let mut __state = ::serde::Serializer::serialize_tuple_variant(\
+                             __serializer, {name:?}, {index}u32, {vname:?}, {n})?;\n",
+                            binders.join(", ")
+                        ));
+                        for b in &binders {
+                            out.push_str(&format!(
+                                "::serde::ser::SerializeTupleVariant::serialize_field(\
+                                 &mut __state, {b})?;\n"
+                            ));
                         }
+                        out.push_str("::serde::ser::SerializeTupleVariant::end(__state)\n}\n");
+                    }
+                    Shape::Named(fields) => {
+                        let binders: Vec<String> = fields
+                            .iter()
+                            .map(|f| format!("{}: __b_{}", f.name, f.name))
+                            .collect();
+                        out.push_str(&format!(
+                            "{name}::{vname} {{ {} }} => {{\n\
+                             let mut __state = ::serde::Serializer::serialize_struct_variant(\
+                             __serializer, {name:?}, {index}u32, {vname:?}, {})?;\n",
+                            binders.join(", "),
+                            fields.len()
+                        ));
+                        for f in fields {
+                            out.push_str(&format!(
+                                "::serde::ser::SerializeStructVariant::serialize_field(\
+                                 &mut __state, {:?}, __b_{})?;\n",
+                                f.name, f.name
+                            ));
+                        }
+                        out.push_str("::serde::ser::SerializeStructVariant::end(__state)\n}\n");
                     }
                 }
             }
-            if !current.trim().is_empty() {
-                params.push(current);
-            }
-            // Use-site arguments: each parameter name, stripped of bounds
-            // and defaults (`T: Clone = X` -> `T`, `'a: 'b` -> `'a`,
-            // `const N: usize` -> `N`).
-            let names: Vec<String> = params
-                .iter()
-                .map(|p| {
-                    let head = p.split([':', '=']).next().unwrap_or("").trim();
-                    head.strip_prefix("const ")
-                        .unwrap_or(head)
-                        .trim()
-                        .to_string()
-                })
-                .filter(|n| !n.is_empty())
-                .collect();
-            if !names.is_empty() {
-                args = format!("<{}>", names.join(", "));
-            } else {
-                decl.clear();
-            }
+            out.push('}');
+            out
         }
-        return Target {
-            name: name.to_string(),
-            decl_generics: decl,
-            use_generics: args,
-        };
-    }
-    panic!("serde stub derive: input does not define a struct, enum or union");
-}
-
-/// Derives the `serde::Serialize` marker impl.
-#[proc_macro_derive(Serialize)]
-pub fn derive_serialize(input: TokenStream) -> TokenStream {
-    let t = parse_target(input);
-    format!(
-        "impl {} ::serde::Serialize for {} {} {{}}",
-        t.decl_generics, t.name, t.use_generics
-    )
-    .parse()
-    .expect("serde stub derive: generated impl must parse")
-}
-
-/// Derives the `serde::Deserialize` marker impl.
-#[proc_macro_derive(Deserialize)]
-pub fn derive_deserialize(input: TokenStream) -> TokenStream {
-    let t = parse_target(input);
-    let decl = if t.decl_generics.is_empty() {
-        "<'de>".to_string()
-    } else {
-        // Insert 'de ahead of the existing parameters: `<T>` -> `<'de, T>`.
-        format!("<'de, {}", &t.decl_generics.trim_start()[1..])
     };
     format!(
-        "impl {decl} ::serde::Deserialize<'de> for {} {} {{}}",
-        t.name, t.use_generics
+        "#[automatically_derived]\n\
+         impl {impl_generics} ::serde::Serialize for {ty} {where_clause} {{\n\
+         fn serialize<__S: ::serde::Serializer>(&self, __serializer: __S) \
+         -> ::core::result::Result<__S::Ok, __S::Error> {{\n\
+         {body}\n\
+         }}\n\
+         }}\n",
+        impl_generics = input.ser_impl_generics(),
+        where_clause = input.where_clause("::serde::Serialize"),
     )
-    .parse()
-    .expect("serde stub derive: generated impl must parse")
+}
+
+/// Derives a real `serde::Serialize` implementation.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    derive_serialize_impl(&input)
+        .parse()
+        .expect("serde derive: generated Serialize impl must parse")
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize
+// ---------------------------------------------------------------------------
+
+/// Declares a visitor struct + its `Visitor` impl with the given methods,
+/// carrying the derived type's generics through a `PhantomData` marker.
+fn visitor_item(input: &Input, visitor: &str, value_ty: &str, methods: &str) -> String {
+    let decl = &input.decl_generics;
+    let use_g = &input.use_generics;
+    let where_de = input.where_clause("::serde::Deserialize<'de>");
+    format!(
+        "#[allow(non_camel_case_types)]\n\
+         struct {visitor} {decl} {{\n\
+         marker: ::core::marker::PhantomData<fn() -> {value_ty}>,\n\
+         }}\n\
+         impl {de_generics} ::serde::de::Visitor<'de> for {visitor} {use_g} {where_de} {{\n\
+         type Value = {value_ty};\n\
+         {methods}\n\
+         }}\n",
+        de_generics = input.de_impl_generics(),
+    )
+}
+
+fn derive_deserialize_impl(input: &Input) -> String {
+    let ty = input.ty();
+    let name = &input.name;
+    let mut items = String::new();
+
+    let dispatch = match &input.body {
+        Body::Struct(Shape::Unit) => {
+            let methods = format!(
+                "fn expecting(&self, __f: &mut ::core::fmt::Formatter<'_>) -> \
+                 ::core::fmt::Result {{ __f.write_str(\"unit struct {name}\") }}\n\
+                 fn visit_unit<__E: ::serde::de::Error>(self) -> \
+                 ::core::result::Result<Self::Value, __E> {{\n\
+                 ::core::result::Result::Ok({name})\n}}\n"
+            );
+            items.push_str(&visitor_item(input, "__SproutVisitor", &ty, &methods));
+            format!(
+                "::serde::Deserializer::deserialize_unit_struct(__deserializer, {name:?}, \
+                 __SproutVisitor {{ marker: ::core::marker::PhantomData }})"
+            )
+        }
+        Body::Struct(Shape::Tuple(1)) => {
+            let methods = format!(
+                "fn expecting(&self, __f: &mut ::core::fmt::Formatter<'_>) -> \
+                 ::core::fmt::Result {{ __f.write_str(\"newtype struct {name}\") }}\n\
+                 fn visit_newtype_struct<__D: ::serde::Deserializer<'de>>(\
+                 self, __deserializer: __D) -> \
+                 ::core::result::Result<Self::Value, __D::Error> {{\n\
+                 ::core::result::Result::Ok({name}(::serde::Deserialize::deserialize(\
+                 __deserializer)?))\n}}\n\
+                 fn visit_seq<__A: ::serde::de::SeqAccess<'de>>(self, mut __seq: __A) -> \
+                 ::core::result::Result<Self::Value, __A::Error> {{\n\
+                 match ::serde::de::SeqAccess::next_element(&mut __seq)? {{\n\
+                 ::core::option::Option::Some(__v) => \
+                 ::core::result::Result::Ok({name}(__v)),\n\
+                 ::core::option::Option::None => ::core::result::Result::Err(\
+                 <__A::Error as ::serde::de::Error>::invalid_length(0, &self)),\n\
+                 }}\n}}\n"
+            );
+            items.push_str(&visitor_item(input, "__SproutVisitor", &ty, &methods));
+            format!(
+                "::serde::Deserializer::deserialize_newtype_struct(__deserializer, {name:?}, \
+                 __SproutVisitor {{ marker: ::core::marker::PhantomData }})"
+            )
+        }
+        Body::Struct(Shape::Tuple(n)) => {
+            let mut seq = String::new();
+            for i in 0..*n {
+                seq.push_str(&format!(
+                    "let __field{i} = match ::serde::de::SeqAccess::next_element(&mut __seq)? {{\n\
+                     ::core::option::Option::Some(__v) => __v,\n\
+                     ::core::option::Option::None => return ::core::result::Result::Err(\
+                     <__A::Error as ::serde::de::Error>::invalid_length({i}, &self)),\n\
+                     }};\n"
+                ));
+            }
+            let args: Vec<String> = (0..*n).map(|i| format!("__field{i}")).collect();
+            let methods = format!(
+                "fn expecting(&self, __f: &mut ::core::fmt::Formatter<'_>) -> \
+                 ::core::fmt::Result {{ __f.write_str(\"tuple struct {name}\") }}\n\
+                 fn visit_seq<__A: ::serde::de::SeqAccess<'de>>(self, mut __seq: __A) -> \
+                 ::core::result::Result<Self::Value, __A::Error> {{\n\
+                 {seq}\
+                 ::core::result::Result::Ok({name}({args}))\n}}\n",
+                args = args.join(", ")
+            );
+            items.push_str(&visitor_item(input, "__SproutVisitor", &ty, &methods));
+            format!(
+                "::serde::Deserializer::deserialize_tuple_struct(__deserializer, {name:?}, {n}, \
+                 __SproutVisitor {{ marker: ::core::marker::PhantomData }})"
+            )
+        }
+        Body::Struct(Shape::Named(fields)) => {
+            let fields_const = fields_const_literal(fields);
+            items.push_str(&format!("const __FIELDS: &[&str] = {fields_const};\n"));
+            let methods =
+                named_fields_visitor_methods(name, fields, "__FIELDS", &format!("struct {name}"));
+            items.push_str(&visitor_item(input, "__SproutVisitor", &ty, &methods));
+            format!(
+                "::serde::Deserializer::deserialize_struct(__deserializer, {name:?}, __FIELDS, \
+                 __SproutVisitor {{ marker: ::core::marker::PhantomData }})"
+            )
+        }
+        Body::Enum(variants) => {
+            assert!(
+                !variants.is_empty(),
+                "serde derive: cannot deserialize an empty enum"
+            );
+            let vnames: Vec<String> = variants.iter().map(|v| format!("{:?}", v.name)).collect();
+            items.push_str(&format!(
+                "const __VARIANTS: &[&str] = &[{}];\n",
+                vnames.join(", ")
+            ));
+
+            // Per-variant content visitors (tuple and struct variants).
+            let mut arms = String::new();
+            for variant in variants {
+                let vname = &variant.name;
+                match &variant.shape {
+                    Shape::Unit => arms.push_str(&format!(
+                        "{vname:?} => {{\n\
+                         ::serde::de::VariantAccess::unit_variant(__access)?;\n\
+                         ::core::result::Result::Ok({name}::{vname})\n}}\n"
+                    )),
+                    Shape::Tuple(1) => arms.push_str(&format!(
+                        "{vname:?} => ::core::result::Result::Ok({name}::{vname}(\
+                         ::serde::de::VariantAccess::newtype_variant(__access)?)),\n"
+                    )),
+                    Shape::Tuple(n) => {
+                        let visitor = format!("__SproutVariant_{vname}");
+                        let mut seq = String::new();
+                        for i in 0..*n {
+                            seq.push_str(&format!(
+                                "let __field{i} = match \
+                                 ::serde::de::SeqAccess::next_element(&mut __seq)? {{\n\
+                                 ::core::option::Option::Some(__v) => __v,\n\
+                                 ::core::option::Option::None => \
+                                 return ::core::result::Result::Err(\
+                                 <__A::Error as ::serde::de::Error>::invalid_length({i}, &self)),\n\
+                                 }};\n"
+                            ));
+                        }
+                        let args: Vec<String> = (0..*n).map(|i| format!("__field{i}")).collect();
+                        let methods = format!(
+                            "fn expecting(&self, __f: &mut ::core::fmt::Formatter<'_>) -> \
+                             ::core::fmt::Result {{ \
+                             __f.write_str(\"tuple variant {name}::{vname}\") }}\n\
+                             fn visit_seq<__A: ::serde::de::SeqAccess<'de>>(\
+                             self, mut __seq: __A) -> \
+                             ::core::result::Result<Self::Value, __A::Error> {{\n\
+                             {seq}\
+                             ::core::result::Result::Ok({name}::{vname}({args}))\n}}\n",
+                            args = args.join(", ")
+                        );
+                        items.push_str(&visitor_item(input, &visitor, &ty, &methods));
+                        arms.push_str(&format!(
+                            "{vname:?} => ::serde::de::VariantAccess::tuple_variant(\
+                             __access, {n}, \
+                             {visitor} {{ marker: ::core::marker::PhantomData }}),\n"
+                        ));
+                    }
+                    Shape::Named(fields) => {
+                        let visitor = format!("__SproutVariant_{vname}");
+                        let fields_const_name = format!("__FIELDS_{vname}");
+                        items.push_str(&format!(
+                            "const {fields_const_name}: &[&str] = {};\n",
+                            fields_const_literal(fields)
+                        ));
+                        let methods = named_fields_visitor_methods(
+                            &format!("{name}::{vname}"),
+                            fields,
+                            &fields_const_name,
+                            &format!("struct variant {name}::{vname}"),
+                        );
+                        items.push_str(&visitor_item(input, &visitor, &ty, &methods));
+                        arms.push_str(&format!(
+                            "{vname:?} => ::serde::de::VariantAccess::struct_variant(\
+                             __access, {fields_const_name}, \
+                             {visitor} {{ marker: ::core::marker::PhantomData }}),\n"
+                        ));
+                    }
+                }
+            }
+
+            let methods = format!(
+                "fn expecting(&self, __f: &mut ::core::fmt::Formatter<'_>) -> \
+                 ::core::fmt::Result {{ __f.write_str(\"enum {name}\") }}\n\
+                 fn visit_enum<__A: ::serde::de::EnumAccess<'de>>(self, __data: __A) -> \
+                 ::core::result::Result<Self::Value, __A::Error> {{\n\
+                 let (__variant, __access) = ::serde::de::EnumAccess::variant::<\
+                 ::std::string::String>(__data)?;\n\
+                 match __variant.as_str() {{\n\
+                 {arms}\
+                 __other => ::core::result::Result::Err(\
+                 <__A::Error as ::serde::de::Error>::unknown_variant(__other, __VARIANTS)),\n\
+                 }}\n}}\n"
+            );
+            items.push_str(&visitor_item(input, "__SproutVisitor", &ty, &methods));
+            format!(
+                "::serde::Deserializer::deserialize_enum(__deserializer, {name:?}, __VARIANTS, \
+                 __SproutVisitor {{ marker: ::core::marker::PhantomData }})"
+            )
+        }
+    };
+
+    format!(
+        "#[automatically_derived]\n\
+         impl {impl_generics} ::serde::Deserialize<'de> for {ty} {where_clause} {{\n\
+         fn deserialize<__D: ::serde::Deserializer<'de>>(__deserializer: __D) \
+         -> ::core::result::Result<Self, __D::Error> {{\n\
+         {items}\n\
+         {dispatch}\n\
+         }}\n\
+         }}\n",
+        impl_generics = input.de_impl_generics(),
+        where_clause = input.where_clause("::serde::Deserialize<'de>"),
+    )
+}
+
+/// Derives a real `serde::Deserialize` implementation.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    derive_deserialize_impl(&input)
+        .parse()
+        .expect("serde derive: generated Deserialize impl must parse")
 }

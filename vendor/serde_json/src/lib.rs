@@ -1,0 +1,211 @@
+//! Vendored, offline JSON format crate for the vendored `serde` data model.
+//!
+//! Mirrors the registry `serde_json` API for everything the workspace uses:
+//! [`to_string`], [`to_string_pretty`], [`from_str`], [`to_value`],
+//! [`from_value`] and the [`Value`] tree. Parsing reports typed
+//! [`Error`]s with line/column positions; it never panics on malformed
+//! input. Non-finite floats render as `null`, like the registry crate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+
+pub mod de;
+pub mod ser;
+mod value;
+
+pub use ser::{to_string, to_string_pretty, to_value};
+pub use value::{Number, Value};
+
+/// A JSON serialization or deserialization error.
+///
+/// Syntax errors carry the 1-based line and column where parsing failed;
+/// data-model errors (wrong type, unknown field, …) carry position `(0, 0)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+    line: usize,
+    column: usize,
+}
+
+impl Error {
+    pub(crate) fn message(message: impl Into<String>) -> Self {
+        Error {
+            message: message.into(),
+            line: 0,
+            column: 0,
+        }
+    }
+
+    pub(crate) fn syntax(message: impl Into<String>, line: usize, column: usize) -> Self {
+        Error {
+            message: message.into(),
+            line,
+            column,
+        }
+    }
+
+    /// 1-based line of a syntax error, or 0 for data-model errors.
+    #[must_use]
+    pub fn line(&self) -> usize {
+        self.line
+    }
+
+    /// 1-based column of a syntax error, or 0 for data-model errors.
+    #[must_use]
+    pub fn column(&self) -> usize {
+        self.column
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "{}", self.message)
+        } else {
+            write!(
+                f,
+                "{} at line {} column {}",
+                self.message, self.line, self.column
+            )
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl serde::ser::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error::message(msg.to_string())
+    }
+}
+
+impl serde::de::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error::message(msg.to_string())
+    }
+}
+
+/// Deserializes a value from a JSON string.
+///
+/// # Errors
+///
+/// Returns a positional [`Error`] for malformed JSON and a data-model
+/// [`Error`] when the document does not match `T`.
+pub fn from_str<T: for<'de> serde::Deserialize<'de>>(input: &str) -> Result<T, Error> {
+    let value = de::Parser::new(input).parse_document()?;
+    from_value(value)
+}
+
+/// Deserializes a value from an already-parsed [`Value`] tree.
+///
+/// # Errors
+///
+/// Returns a data-model [`Error`] when the value does not match `T`.
+pub fn from_value<T: for<'de> serde::Deserialize<'de>>(value: Value) -> Result<T, Error> {
+    T::deserialize(de::ValueDeserializer::new(value))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::{Deserialize, Serialize};
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Sample {
+        id: u64,
+        scale: f64,
+        label: String,
+        tags: Vec<String>,
+        limit: Option<u32>,
+        mode: Mode,
+    }
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    enum Mode {
+        Fast,
+        Tuned { alpha: f64, beta: f64 },
+        Scaled(f64),
+        Pair(u8, u8),
+    }
+
+    fn sample() -> Sample {
+        Sample {
+            id: 42,
+            scale: 2.5,
+            label: "flash \"crowd\"\n".to_owned(),
+            tags: vec!["a".to_owned(), "b".to_owned()],
+            limit: None,
+            mode: Mode::Tuned {
+                alpha: 0.1,
+                beta: 1e-9,
+            },
+        }
+    }
+
+    #[test]
+    fn round_trips_structs_and_enums() {
+        let original = sample();
+        let text = to_string(&original).unwrap();
+        let back: Sample = from_str(&text).unwrap();
+        assert_eq!(back, original);
+
+        let pretty = to_string_pretty(&original).unwrap();
+        let back: Sample = from_str(&pretty).unwrap();
+        assert_eq!(back, original);
+    }
+
+    #[test]
+    fn round_trips_every_enum_variant_shape() {
+        for mode in [
+            Mode::Fast,
+            Mode::Tuned {
+                alpha: -3.25,
+                beta: 0.0,
+            },
+            Mode::Scaled(8.125),
+            Mode::Pair(3, 9),
+        ] {
+            let text = to_string(&mode).unwrap();
+            let back: Mode = from_str(&text).unwrap();
+            assert_eq!(back, mode);
+        }
+    }
+
+    #[test]
+    fn missing_option_field_defaults_to_none() {
+        let parsed: Sample =
+            from_str(r#"{"id":1,"scale":1.0,"label":"x","tags":[],"mode":"Fast"}"#).unwrap();
+        assert_eq!(parsed.limit, None);
+    }
+
+    #[test]
+    fn unknown_field_is_a_typed_error() {
+        let err = from_str::<Sample>(
+            r#"{"id":1,"scale":1.0,"label":"x","tags":[],"mode":"Fast","bogus":3}"#,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("unknown field `bogus`"));
+    }
+
+    #[test]
+    fn syntax_errors_carry_line_and_column() {
+        let err = from_str::<Vec<u32>>("[1,\n 2,,]").unwrap_err();
+        assert_eq!(err.line(), 2);
+        assert!(err.column() > 0);
+    }
+
+    #[test]
+    fn parses_escapes_and_unicode() {
+        let v: String = from_str(r#""a\n\tA😀""#).unwrap();
+        assert_eq!(v, "a\n\tA\u{1F600}");
+    }
+
+    #[test]
+    fn large_u64_survives() {
+        let big = u64::MAX;
+        let text = to_string(&big).unwrap();
+        assert_eq!(from_str::<u64>(&text).unwrap(), big);
+    }
+}

@@ -1,0 +1,505 @@
+//! Serialization: any `Serialize` value → [`Value`] tree → rendered text.
+
+use std::collections::BTreeMap;
+
+use serde::ser::{
+    self, Serialize, SerializeMap, SerializeSeq, SerializeStruct, SerializeStructVariant,
+    SerializeTuple, SerializeTupleStruct, SerializeTupleVariant, Serializer,
+};
+
+use crate::value::{Number, Value};
+use crate::Error;
+
+/// Serializes a value into a [`Value`] tree.
+///
+/// # Errors
+///
+/// Returns [`Error`] when the value contains shapes JSON cannot express
+/// (e.g. a map with non-string keys, or 128-bit integers).
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Result<Value, Error> {
+    value.serialize(ValueSerializer)
+}
+
+/// A [`Serializer`] whose output is an in-memory [`Value`].
+pub struct ValueSerializer;
+
+impl Serializer for ValueSerializer {
+    type Ok = Value;
+    type Error = Error;
+    type SerializeSeq = SeqSerializer;
+    type SerializeTuple = SeqSerializer;
+    type SerializeTupleStruct = SeqSerializer;
+    type SerializeTupleVariant = VariantSeqSerializer;
+    type SerializeMap = MapSerializer;
+    type SerializeStruct = StructSerializer;
+    type SerializeStructVariant = VariantStructSerializer;
+
+    fn serialize_bool(self, v: bool) -> Result<Value, Error> {
+        Ok(Value::Bool(v))
+    }
+    fn serialize_i64(self, v: i64) -> Result<Value, Error> {
+        Ok(Value::Number(if v < 0 {
+            Number::NegInt(v)
+        } else {
+            Number::PosInt(v as u64)
+        }))
+    }
+    fn serialize_u64(self, v: u64) -> Result<Value, Error> {
+        Ok(Value::Number(Number::PosInt(v)))
+    }
+    fn serialize_f64(self, v: f64) -> Result<Value, Error> {
+        Ok(Value::Number(Number::Float(v)))
+    }
+    fn serialize_str(self, v: &str) -> Result<Value, Error> {
+        Ok(Value::String(v.to_owned()))
+    }
+    fn serialize_bytes(self, v: &[u8]) -> Result<Value, Error> {
+        Ok(Value::Array(
+            v.iter()
+                .map(|b| Value::Number(Number::PosInt(u64::from(*b))))
+                .collect(),
+        ))
+    }
+    fn serialize_none(self) -> Result<Value, Error> {
+        Ok(Value::Null)
+    }
+    fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<Value, Error> {
+        value.serialize(self)
+    }
+    fn serialize_unit(self) -> Result<Value, Error> {
+        Ok(Value::Null)
+    }
+    fn serialize_unit_struct(self, _name: &'static str) -> Result<Value, Error> {
+        Ok(Value::Null)
+    }
+    fn serialize_unit_variant(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+    ) -> Result<Value, Error> {
+        Ok(Value::String(variant.to_owned()))
+    }
+    fn serialize_newtype_struct<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        value: &T,
+    ) -> Result<Value, Error> {
+        value.serialize(self)
+    }
+    fn serialize_newtype_variant<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+        value: &T,
+    ) -> Result<Value, Error> {
+        let mut object = BTreeMap::new();
+        object.insert(variant.to_owned(), value.serialize(ValueSerializer)?);
+        Ok(Value::Object(object))
+    }
+    fn serialize_seq(self, len: Option<usize>) -> Result<SeqSerializer, Error> {
+        Ok(SeqSerializer {
+            items: Vec::with_capacity(len.unwrap_or(0)),
+        })
+    }
+    fn serialize_tuple(self, len: usize) -> Result<SeqSerializer, Error> {
+        self.serialize_seq(Some(len))
+    }
+    fn serialize_tuple_struct(
+        self,
+        _name: &'static str,
+        len: usize,
+    ) -> Result<SeqSerializer, Error> {
+        self.serialize_seq(Some(len))
+    }
+    fn serialize_tuple_variant(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+        len: usize,
+    ) -> Result<VariantSeqSerializer, Error> {
+        Ok(VariantSeqSerializer {
+            variant,
+            items: Vec::with_capacity(len),
+        })
+    }
+    fn serialize_map(self, _len: Option<usize>) -> Result<MapSerializer, Error> {
+        Ok(MapSerializer {
+            entries: BTreeMap::new(),
+            pending_key: None,
+        })
+    }
+    fn serialize_struct(self, _name: &'static str, _len: usize) -> Result<StructSerializer, Error> {
+        Ok(StructSerializer {
+            fields: BTreeMap::new(),
+        })
+    }
+    fn serialize_struct_variant(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+        _len: usize,
+    ) -> Result<VariantStructSerializer, Error> {
+        Ok(VariantStructSerializer {
+            variant,
+            fields: BTreeMap::new(),
+        })
+    }
+}
+
+/// Builds a [`Value::Array`] from sequence/tuple elements.
+pub struct SeqSerializer {
+    items: Vec<Value>,
+}
+
+impl SerializeSeq for SeqSerializer {
+    type Ok = Value;
+    type Error = Error;
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Error> {
+        self.items.push(value.serialize(ValueSerializer)?);
+        Ok(())
+    }
+    fn end(self) -> Result<Value, Error> {
+        Ok(Value::Array(self.items))
+    }
+}
+
+impl SerializeTuple for SeqSerializer {
+    type Ok = Value;
+    type Error = Error;
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Error> {
+        SerializeSeq::serialize_element(self, value)
+    }
+    fn end(self) -> Result<Value, Error> {
+        SerializeSeq::end(self)
+    }
+}
+
+impl SerializeTupleStruct for SeqSerializer {
+    type Ok = Value;
+    type Error = Error;
+    fn serialize_field<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Error> {
+        SerializeSeq::serialize_element(self, value)
+    }
+    fn end(self) -> Result<Value, Error> {
+        SerializeSeq::end(self)
+    }
+}
+
+/// Builds an `{"Variant": [...]}` object for tuple variants.
+pub struct VariantSeqSerializer {
+    variant: &'static str,
+    items: Vec<Value>,
+}
+
+impl SerializeTupleVariant for VariantSeqSerializer {
+    type Ok = Value;
+    type Error = Error;
+    fn serialize_field<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Error> {
+        self.items.push(value.serialize(ValueSerializer)?);
+        Ok(())
+    }
+    fn end(self) -> Result<Value, Error> {
+        let mut object = BTreeMap::new();
+        object.insert(self.variant.to_owned(), Value::Array(self.items));
+        Ok(Value::Object(object))
+    }
+}
+
+/// Builds a [`Value::Object`] from map entries; keys must be strings.
+pub struct MapSerializer {
+    entries: BTreeMap<String, Value>,
+    pending_key: Option<String>,
+}
+
+impl SerializeMap for MapSerializer {
+    type Ok = Value;
+    type Error = Error;
+    fn serialize_key<T: Serialize + ?Sized>(&mut self, key: &T) -> Result<(), Error> {
+        self.pending_key = Some(key.serialize(KeySerializer)?);
+        Ok(())
+    }
+    fn serialize_value<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Error> {
+        let key = self
+            .pending_key
+            .take()
+            .ok_or_else(|| Error::message("serialize_value called before serialize_key"))?;
+        self.entries.insert(key, value.serialize(ValueSerializer)?);
+        Ok(())
+    }
+    fn end(self) -> Result<Value, Error> {
+        Ok(Value::Object(self.entries))
+    }
+}
+
+/// Builds a [`Value::Object`] from struct fields.
+pub struct StructSerializer {
+    fields: BTreeMap<String, Value>,
+}
+
+impl SerializeStruct for StructSerializer {
+    type Ok = Value;
+    type Error = Error;
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), Error> {
+        self.fields
+            .insert(key.to_owned(), value.serialize(ValueSerializer)?);
+        Ok(())
+    }
+    fn end(self) -> Result<Value, Error> {
+        Ok(Value::Object(self.fields))
+    }
+}
+
+/// Builds an `{"Variant": {...}}` object for struct variants.
+pub struct VariantStructSerializer {
+    variant: &'static str,
+    fields: BTreeMap<String, Value>,
+}
+
+impl SerializeStructVariant for VariantStructSerializer {
+    type Ok = Value;
+    type Error = Error;
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), Error> {
+        self.fields
+            .insert(key.to_owned(), value.serialize(ValueSerializer)?);
+        Ok(())
+    }
+    fn end(self) -> Result<Value, Error> {
+        let mut object = BTreeMap::new();
+        object.insert(self.variant.to_owned(), Value::Object(self.fields));
+        Ok(Value::Object(object))
+    }
+}
+
+/// Serializes map keys, which JSON requires to be strings. Integer and
+/// boolean keys are stringified the way the registry crate does.
+struct KeySerializer;
+
+macro_rules! key_from_display {
+    ($($method:ident : $ty:ty),* $(,)?) => {
+        $(
+            fn $method(self, v: $ty) -> Result<String, Error> {
+                Ok(v.to_string())
+            }
+        )*
+    };
+}
+
+impl Serializer for KeySerializer {
+    type Ok = String;
+    type Error = Error;
+    type SerializeSeq = ser::Impossible<String, Error>;
+    type SerializeTuple = ser::Impossible<String, Error>;
+    type SerializeTupleStruct = ser::Impossible<String, Error>;
+    type SerializeTupleVariant = ser::Impossible<String, Error>;
+    type SerializeMap = ser::Impossible<String, Error>;
+    type SerializeStruct = ser::Impossible<String, Error>;
+    type SerializeStructVariant = ser::Impossible<String, Error>;
+
+    key_from_display! {
+        serialize_bool: bool,
+        serialize_i64: i64,
+        serialize_u64: u64,
+    }
+
+    fn serialize_f64(self, _v: f64) -> Result<String, Error> {
+        Err(Error::message("a JSON map key must not be a float"))
+    }
+    fn serialize_str(self, v: &str) -> Result<String, Error> {
+        Ok(v.to_owned())
+    }
+    fn serialize_bytes(self, _v: &[u8]) -> Result<String, Error> {
+        Err(Error::message("a JSON map key must be a string"))
+    }
+    fn serialize_none(self) -> Result<String, Error> {
+        Err(Error::message("a JSON map key must be a string"))
+    }
+    fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<String, Error> {
+        value.serialize(self)
+    }
+    fn serialize_unit(self) -> Result<String, Error> {
+        Err(Error::message("a JSON map key must be a string"))
+    }
+    fn serialize_unit_struct(self, _name: &'static str) -> Result<String, Error> {
+        Err(Error::message("a JSON map key must be a string"))
+    }
+    fn serialize_unit_variant(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+    ) -> Result<String, Error> {
+        Ok(variant.to_owned())
+    }
+    fn serialize_newtype_struct<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        value: &T,
+    ) -> Result<String, Error> {
+        value.serialize(self)
+    }
+    fn serialize_newtype_variant<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        _variant: &'static str,
+        _value: &T,
+    ) -> Result<String, Error> {
+        Err(Error::message("a JSON map key must be a string"))
+    }
+    fn serialize_seq(self, _len: Option<usize>) -> Result<Self::SerializeSeq, Error> {
+        Err(Error::message("a JSON map key must be a string"))
+    }
+    fn serialize_tuple(self, _len: usize) -> Result<Self::SerializeTuple, Error> {
+        Err(Error::message("a JSON map key must be a string"))
+    }
+    fn serialize_tuple_struct(
+        self,
+        _name: &'static str,
+        _len: usize,
+    ) -> Result<Self::SerializeTupleStruct, Error> {
+        Err(Error::message("a JSON map key must be a string"))
+    }
+    fn serialize_tuple_variant(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        _variant: &'static str,
+        _len: usize,
+    ) -> Result<Self::SerializeTupleVariant, Error> {
+        Err(Error::message("a JSON map key must be a string"))
+    }
+    fn serialize_map(self, _len: Option<usize>) -> Result<Self::SerializeMap, Error> {
+        Err(Error::message("a JSON map key must be a string"))
+    }
+    fn serialize_struct(
+        self,
+        _name: &'static str,
+        _len: usize,
+    ) -> Result<Self::SerializeStruct, Error> {
+        Err(Error::message("a JSON map key must be a string"))
+    }
+    fn serialize_struct_variant(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        _variant: &'static str,
+        _len: usize,
+    ) -> Result<Self::SerializeStructVariant, Error> {
+        Err(Error::message("a JSON map key must be a string"))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rendering
+// ---------------------------------------------------------------------------
+
+/// Writes `s` as a JSON string literal (with escapes) into `out`.
+pub(crate) fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn render(value: &Value, out: &mut String, pretty: bool, indent: usize) {
+    let pad = |out: &mut String, level: usize| {
+        if pretty {
+            out.push('\n');
+            for _ in 0..level {
+                out.push_str("  ");
+            }
+        }
+    };
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(v) => out.push_str(if *v { "true" } else { "false" }),
+        Value::Number(n) => out.push_str(&n.to_string()),
+        Value::String(s) => write_escaped(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                pad(out, indent + 1);
+                render(item, out, pretty, indent + 1);
+            }
+            pad(out, indent);
+            out.push(']');
+        }
+        Value::Object(map) => {
+            if map.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (key, item)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                pad(out, indent + 1);
+                write_escaped(out, key);
+                out.push(':');
+                if pretty {
+                    out.push(' ');
+                }
+                render(item, out, pretty, indent + 1);
+            }
+            pad(out, indent);
+            out.push('}');
+        }
+    }
+}
+
+/// Renders a value as compact JSON.
+///
+/// # Errors
+///
+/// Returns [`Error`] when the value cannot be expressed as JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let tree = to_value(value)?;
+    let mut out = String::new();
+    render(&tree, &mut out, false, 0);
+    Ok(out)
+}
+
+/// Renders a value as two-space-indented JSON.
+///
+/// # Errors
+///
+/// Returns [`Error`] when the value cannot be expressed as JSON.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let tree = to_value(value)?;
+    let mut out = String::new();
+    render(&tree, &mut out, true, 0);
+    Ok(out)
+}

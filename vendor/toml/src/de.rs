@@ -1,0 +1,262 @@
+//! Deserialization: TOML text → [`Value`] tree → any `Deserialize` value.
+
+use std::collections::btree_map;
+use std::fmt;
+
+use serde::de::{DeserializeSeed, EnumAccess, MapAccess, SeqAccess, VariantAccess, Visitor};
+use serde::forward_to_deserialize_any;
+
+use crate::value::Value;
+
+/// A TOML deserialization error.
+///
+/// Syntax errors carry the 1-based line and column where parsing failed;
+/// data-model errors (wrong type, unknown field, …) carry position `(0, 0)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+    line: usize,
+    column: usize,
+}
+
+impl Error {
+    pub(crate) fn message(message: impl Into<String>) -> Self {
+        Error {
+            message: message.into(),
+            line: 0,
+            column: 0,
+        }
+    }
+
+    pub(crate) fn syntax(message: impl Into<String>, line: usize, column: usize) -> Self {
+        Error {
+            message: message.into(),
+            line,
+            column,
+        }
+    }
+
+    /// 1-based line of a syntax error, or 0 for data-model errors.
+    #[must_use]
+    pub fn line(&self) -> usize {
+        self.line
+    }
+
+    /// 1-based column of a syntax error, or 0 for data-model errors.
+    #[must_use]
+    pub fn column(&self) -> usize {
+        self.column
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "{}", self.message)
+        } else {
+            write!(
+                f,
+                "{} at line {} column {}",
+                self.message, self.line, self.column
+            )
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl serde::de::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error::message(msg.to_string())
+    }
+}
+
+/// A [`serde::Deserializer`] reading from an owned [`Value`] tree.
+pub struct ValueDeserializer {
+    value: Value,
+}
+
+impl ValueDeserializer {
+    /// Wraps a parsed [`Value`].
+    #[must_use]
+    pub fn new(value: Value) -> Self {
+        ValueDeserializer { value }
+    }
+}
+
+impl<'de> serde::Deserializer<'de> for ValueDeserializer {
+    type Error = Error;
+
+    fn deserialize_any<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
+        match self.value {
+            Value::String(v) => visitor.visit_string(v),
+            Value::Integer(v) => visitor.visit_i64(v),
+            Value::Float(v) => visitor.visit_f64(v),
+            Value::Boolean(v) => visitor.visit_bool(v),
+            Value::Array(items) => visitor.visit_seq(SeqDeserializer {
+                iter: items.into_iter(),
+            }),
+            Value::Table(table) => visitor.visit_map(MapDeserializer {
+                iter: table.into_iter(),
+                pending: None,
+            }),
+        }
+    }
+
+    // TOML has no null: a present value is always `Some`. Missing keys never
+    // reach the deserializer — the derive's map visitor defaults them.
+    fn deserialize_option<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Error> {
+        visitor.visit_some(self)
+    }
+
+    fn deserialize_newtype_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value, Error> {
+        visitor.visit_newtype_struct(self)
+    }
+
+    fn deserialize_enum<V: Visitor<'de>>(
+        self,
+        name: &'static str,
+        _variants: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, Error> {
+        let (variant, content) = match self.value {
+            Value::String(variant) => (variant, None),
+            Value::Table(table) if table.len() == 1 => {
+                let (variant, content) = table.into_iter().next().expect("len checked");
+                (variant, Some(content))
+            }
+            other => {
+                return Err(Error::message(format!(
+                    "expected enum {name} as a string or single-key table, found a {}",
+                    other.type_name()
+                )));
+            }
+        };
+        visitor.visit_enum(EnumDeserializer { variant, content })
+    }
+
+    forward_to_deserialize_any! {
+        bool i8 i16 i32 i64 u8 u16 u32 u64 f32 f64 char str string bytes
+        byte_buf unit unit_struct seq tuple tuple_struct map struct
+        identifier ignored_any
+    }
+}
+
+struct SeqDeserializer {
+    iter: std::vec::IntoIter<Value>,
+}
+
+impl<'de> SeqAccess<'de> for SeqDeserializer {
+    type Error = Error;
+    fn next_element_seed<T: DeserializeSeed<'de>>(
+        &mut self,
+        seed: T,
+    ) -> Result<Option<T::Value>, Error> {
+        match self.iter.next() {
+            Some(value) => seed.deserialize(ValueDeserializer::new(value)).map(Some),
+            None => Ok(None),
+        }
+    }
+    fn size_hint(&self) -> Option<usize> {
+        Some(self.iter.len())
+    }
+}
+
+struct MapDeserializer {
+    iter: btree_map::IntoIter<String, Value>,
+    pending: Option<Value>,
+}
+
+impl<'de> MapAccess<'de> for MapDeserializer {
+    type Error = Error;
+    fn next_key_seed<K: DeserializeSeed<'de>>(
+        &mut self,
+        seed: K,
+    ) -> Result<Option<K::Value>, Error> {
+        match self.iter.next() {
+            Some((key, value)) => {
+                self.pending = Some(value);
+                seed.deserialize(ValueDeserializer::new(Value::String(key)))
+                    .map(Some)
+            }
+            None => Ok(None),
+        }
+    }
+    fn next_value_seed<V: DeserializeSeed<'de>>(&mut self, seed: V) -> Result<V::Value, Error> {
+        let value = self
+            .pending
+            .take()
+            .ok_or_else(|| Error::message("next_value called before next_key"))?;
+        seed.deserialize(ValueDeserializer::new(value))
+    }
+    fn size_hint(&self) -> Option<usize> {
+        Some(self.iter.len())
+    }
+}
+
+struct EnumDeserializer {
+    variant: String,
+    content: Option<Value>,
+}
+
+impl<'de> EnumAccess<'de> for EnumDeserializer {
+    type Error = Error;
+    type Variant = VariantDeserializer;
+    fn variant_seed<V: DeserializeSeed<'de>>(
+        self,
+        seed: V,
+    ) -> Result<(V::Value, VariantDeserializer), Error> {
+        let variant = seed.deserialize(ValueDeserializer::new(Value::String(self.variant)))?;
+        Ok((
+            variant,
+            VariantDeserializer {
+                content: self.content,
+            },
+        ))
+    }
+}
+
+struct VariantDeserializer {
+    content: Option<Value>,
+}
+
+impl<'de> VariantAccess<'de> for VariantDeserializer {
+    type Error = Error;
+    fn unit_variant(self) -> Result<(), Error> {
+        match self.content {
+            None => Ok(()),
+            Some(_) => Err(Error::message("unexpected data for unit variant")),
+        }
+    }
+    fn newtype_variant_seed<T: DeserializeSeed<'de>>(self, seed: T) -> Result<T::Value, Error> {
+        match self.content {
+            Some(value) => seed.deserialize(ValueDeserializer::new(value)),
+            None => Err(Error::message("expected data for newtype variant")),
+        }
+    }
+    fn tuple_variant<V: Visitor<'de>>(self, _len: usize, visitor: V) -> Result<V::Value, Error> {
+        match self.content {
+            Some(Value::Array(items)) => visitor.visit_seq(SeqDeserializer {
+                iter: items.into_iter(),
+            }),
+            _ => Err(Error::message("expected an array for tuple variant")),
+        }
+    }
+    fn struct_variant<V: Visitor<'de>>(
+        self,
+        _fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, Error> {
+        match self.content {
+            Some(Value::Table(table)) => visitor.visit_map(MapDeserializer {
+                iter: table.into_iter(),
+                pending: None,
+            }),
+            _ => Err(Error::message("expected a table for struct variant")),
+        }
+    }
+}

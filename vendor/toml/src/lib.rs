@@ -1,0 +1,184 @@
+//! Vendored, offline TOML format crate for the vendored `serde` data model.
+//!
+//! Mirrors the registry `toml` API for everything the workspace uses:
+//! [`to_string`], [`to_string_pretty`], [`from_str`] and the [`Value`] tree.
+//! The parser reports typed [`de::Error`]s with line/column positions and
+//! never panics on malformed input. Unsupported TOML constructs (datetimes)
+//! are typed errors, not silent misparses.
+//!
+//! Serialization nuance: `Option::None` struct fields are *omitted* (TOML has
+//! no null), and the derive's deserializer defaults missing `Option` fields
+//! to `None`, so `value → TOML → value` is identity for the workspace types.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod de;
+mod parse;
+pub mod ser;
+mod value;
+
+pub use ser::{to_string, to_string_pretty};
+pub use value::{Table, Value};
+
+/// Deserializes a value from a TOML document.
+///
+/// # Errors
+///
+/// Returns a positional [`de::Error`] for malformed TOML and a data-model
+/// error when the document does not match `T`.
+pub fn from_str<T: for<'d> serde::Deserialize<'d>>(input: &str) -> Result<T, de::Error> {
+    let table = parse::Parser::new(input).parse_document()?;
+    T::deserialize(de::ValueDeserializer::new(Value::Table(table)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::{Deserialize, Serialize};
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Config {
+        name: String,
+        replicas: u32,
+        rates: Vec<f64>,
+        cache: Option<u64>,
+        mode: Mode,
+        nodes: Vec<Node>,
+    }
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Node {
+        id: usize,
+        rate: f64,
+    }
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    enum Mode {
+        Plain,
+        Weighted { alpha: f64 },
+        Scaled(f64),
+    }
+
+    fn config() -> Config {
+        Config {
+            name: "flash crowd".to_owned(),
+            replicas: 3,
+            rates: vec![0.5, 1.25, 2.0],
+            cache: None,
+            mode: Mode::Weighted { alpha: 0.125 },
+            nodes: vec![Node { id: 0, rate: 1.0 }, Node { id: 1, rate: 2.5 }],
+        }
+    }
+
+    #[test]
+    fn round_trips_nested_structs() {
+        let original = config();
+        let text = to_string(&original).unwrap();
+        let back: Config = from_str(&text).unwrap();
+        assert_eq!(back, original);
+    }
+
+    #[test]
+    fn parses_handwritten_documents() {
+        let text = r#"
+# scenario description
+name = "diurnal wave"
+replicas = 2
+rates = [
+    0.25,
+    1.5, # midday peak
+]
+cache = 4096
+
+[mode]
+Weighted = { alpha = 0.5 }
+
+[[nodes]]
+id = 0
+rate = 1.0
+
+[[nodes]]
+id = 1
+rate = 0x10
+"#;
+        let parsed: Config = from_str(text).unwrap();
+        assert_eq!(parsed.name, "diurnal wave");
+        assert_eq!(parsed.cache, Some(4096));
+        assert_eq!(parsed.mode, Mode::Weighted { alpha: 0.5 });
+        assert_eq!(parsed.nodes[1].rate, 16.0);
+    }
+
+    #[test]
+    fn integer_literals_fill_float_fields() {
+        let parsed: Node = from_str("id = 3\nrate = 100\n").unwrap();
+        assert_eq!(parsed.rate, 100.0);
+    }
+
+    #[test]
+    fn unknown_keys_are_typed_errors() {
+        let err = from_str::<Node>("id = 3\nrate = 1.0\nbogus = 1\n").unwrap_err();
+        assert!(err.to_string().contains("unknown field `bogus`"));
+    }
+
+    #[test]
+    fn syntax_errors_carry_position() {
+        let err = from_str::<Node>("id = 3\nrate = = 1.0\n").unwrap_err();
+        assert_eq!(err.line(), 2);
+        assert!(err.column() > 0);
+    }
+
+    #[test]
+    fn datetimes_are_rejected_not_misparsed() {
+        let err = from_str::<Table>("when = 1979-05-27T07:32:00Z\n").unwrap_err();
+        assert!(err.to_string().contains("datetime"));
+    }
+
+    #[test]
+    fn duplicate_keys_are_rejected() {
+        let err = from_str::<Table>("a = 1\na = 2\n").unwrap_err();
+        assert!(err.to_string().contains("duplicate key"));
+    }
+
+    #[test]
+    fn strings_round_trip_escapes() {
+        let original = Config {
+            name: "line\nbreak\t\"quoted\" \\ \u{1F600}".to_owned(),
+            ..config()
+        };
+        let text = to_string(&original).unwrap();
+        let back: Config = from_str(&text).unwrap();
+        assert_eq!(back.name, original.name);
+    }
+
+    #[test]
+    fn special_floats_round_trip() {
+        #[derive(Debug, Serialize, Deserialize)]
+        struct Floats {
+            a: f64,
+            b: f64,
+            c: f64,
+            d: f64,
+        }
+        let text = to_string(&Floats {
+            a: f64::INFINITY,
+            b: f64::NEG_INFINITY,
+            c: f64::NAN,
+            d: 1e-300,
+        })
+        .unwrap();
+        let back: Floats = from_str(&text).unwrap();
+        assert!(back.a.is_infinite() && back.a > 0.0);
+        assert!(back.b.is_infinite() && back.b < 0.0);
+        assert!(back.c.is_nan());
+        assert_eq!(back.d, 1e-300);
+    }
+
+    #[test]
+    fn multiline_strings_parse() {
+        let parsed: Table =
+            from_str("a = \"\"\"\nfirst\nsecond\"\"\"\nb = '''raw \\ text'''\n").unwrap();
+        assert_eq!(parsed["a"], Value::String("first\nsecond".to_owned()));
+        assert_eq!(parsed["b"], Value::String("raw \\ text".to_owned()));
+    }
+}

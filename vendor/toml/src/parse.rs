@@ -1,0 +1,561 @@
+//! Hand-rolled TOML parser producing a [`Table`] tree.
+//!
+//! Covers the subset the workspace's scenario files use: bare/quoted/dotted
+//! keys, `[table]` and `[[array-of-tables]]` headers, basic and literal
+//! strings (single- and multi-line), integers (decimal/hex/octal/binary,
+//! underscores), floats (including `inf`/`nan`), booleans, arrays and inline
+//! tables. Datetimes are rejected with a typed error. All errors carry a
+//! 1-based line/column position; the parser never panics on malformed input.
+
+use crate::de::Error;
+use crate::value::{Table, Value};
+
+pub(crate) struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    pub(crate) fn new(input: &'a str) -> Self {
+        Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn error(&self, message: impl Into<String>) -> Error {
+        self.error_at(self.pos, message)
+    }
+
+    fn error_at(&self, pos: usize, message: impl Into<String>) -> Error {
+        let mut line = 1;
+        let mut column = 1;
+        for &b in &self.bytes[..pos.min(self.bytes.len())] {
+            if b == b'\n' {
+                line += 1;
+                column = 1;
+            } else {
+                column += 1;
+            }
+        }
+        Error::syntax(message, line, column)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, offset: usize) -> Option<u8> {
+        self.bytes.get(self.pos + offset).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    /// Skips spaces and tabs (not newlines).
+    fn skip_spaces(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t')) {
+            self.pos += 1;
+        }
+    }
+
+    /// Skips whitespace, newlines and comments (inside multiline arrays).
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek() {
+                Some(b' ' | b'\t' | b'\n' | b'\r') => self.pos += 1,
+                Some(b'#') => {
+                    while !matches!(self.peek(), None | Some(b'\n')) {
+                        self.pos += 1;
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+
+    /// Consumes an optional comment and the end of the current line.
+    fn expect_line_end(&mut self) -> Result<(), Error> {
+        self.skip_spaces();
+        if self.peek() == Some(b'#') {
+            while !matches!(self.peek(), None | Some(b'\n')) {
+                self.pos += 1;
+            }
+        }
+        match self.peek() {
+            None => Ok(()),
+            Some(b'\n') => {
+                self.pos += 1;
+                Ok(())
+            }
+            Some(b'\r') if self.peek_at(1) == Some(b'\n') => {
+                self.pos += 2;
+                Ok(())
+            }
+            Some(b) => Err(self.error(format!("expected end of line, found `{}`", b as char))),
+        }
+    }
+
+    pub(crate) fn parse_document(&mut self) -> Result<Table, Error> {
+        let mut root = Table::new();
+        // Path of the [table] / [[array-of-tables]] header currently open.
+        let mut current_path: Vec<String> = Vec::new();
+        loop {
+            self.skip_spaces();
+            match self.peek() {
+                None => return Ok(root),
+                Some(b'\n') => {
+                    self.pos += 1;
+                }
+                Some(b'\r') if self.peek_at(1) == Some(b'\n') => {
+                    self.pos += 2;
+                }
+                Some(b'#') => {
+                    while !matches!(self.peek(), None | Some(b'\n')) {
+                        self.pos += 1;
+                    }
+                }
+                Some(b'[') => {
+                    current_path = self.parse_header(&mut root)?;
+                    self.expect_line_end()?;
+                }
+                Some(_) => {
+                    self.parse_key_value(&mut root, &current_path)?;
+                    self.expect_line_end()?;
+                }
+            }
+        }
+    }
+
+    /// Parses `[a.b]` or `[[a.b]]`, creating the target, and returns its path.
+    fn parse_header(&mut self, root: &mut Table) -> Result<Vec<String>, Error> {
+        let header_pos = self.pos;
+        self.pos += 1;
+        let is_array = self.peek() == Some(b'[');
+        if is_array {
+            self.pos += 1;
+        }
+        self.skip_spaces();
+        let path = self.parse_dotted_key()?;
+        self.skip_spaces();
+        if is_array {
+            if self.bump() != Some(b']') || self.bump() != Some(b']') {
+                return Err(self.error("expected `]]` closing the array-of-tables header"));
+            }
+            let (parent, last) = path.split_at(path.len() - 1);
+            let table = self.table_at(root, parent, header_pos)?;
+            let entry = table
+                .entry(last[0].clone())
+                .or_insert_with(|| Value::Array(Vec::new()));
+            match entry {
+                Value::Array(items) => items.push(Value::Table(Table::new())),
+                other => {
+                    return Err(self.error_at(
+                        header_pos,
+                        format!(
+                            "cannot extend `{}`: it is a {}, not an array of tables",
+                            path.join("."),
+                            other.type_name()
+                        ),
+                    ));
+                }
+            }
+        } else {
+            if self.bump() != Some(b']') {
+                return Err(self.error("expected `]` closing the table header"));
+            }
+            self.table_at(root, &path, header_pos)?;
+        }
+        Ok(path)
+    }
+
+    /// Parses `key = value` (with optional dotted key) into the open table.
+    fn parse_key_value(&mut self, root: &mut Table, current_path: &[String]) -> Result<(), Error> {
+        let key_pos = self.pos;
+        let key_path = self.parse_dotted_key()?;
+        self.skip_spaces();
+        if self.bump() != Some(b'=') {
+            return Err(self.error("expected `=` after key"));
+        }
+        self.skip_spaces();
+        let value = self.parse_value()?;
+
+        let mut full_path = current_path.to_vec();
+        full_path.extend_from_slice(&key_path[..key_path.len() - 1]);
+        let last = key_path.last().expect("dotted key is non-empty").clone();
+        let table = self.table_at(root, &full_path, key_pos)?;
+        if table.contains_key(&last) {
+            return Err(self.error_at(key_pos, format!("duplicate key `{last}`")));
+        }
+        table.insert(last, value);
+        Ok(())
+    }
+
+    /// Walks (and creates) the table at `path`, stepping into the last
+    /// element of any array-of-tables along the way.
+    fn table_at<'t>(
+        &self,
+        root: &'t mut Table,
+        path: &[String],
+        pos: usize,
+    ) -> Result<&'t mut Table, Error> {
+        let mut current = root;
+        for segment in path {
+            let entry = current
+                .entry(segment.clone())
+                .or_insert_with(|| Value::Table(Table::new()));
+            current = match entry {
+                Value::Table(table) => table,
+                Value::Array(items) => match items.last_mut() {
+                    Some(Value::Table(table)) => table,
+                    _ => {
+                        return Err(
+                            self.error_at(pos, format!("`{segment}` is not an array of tables"))
+                        );
+                    }
+                },
+                other => {
+                    return Err(self.error_at(
+                        pos,
+                        format!(
+                            "`{segment}` is already a {}, not a table",
+                            other.type_name()
+                        ),
+                    ));
+                }
+            };
+        }
+        Ok(current)
+    }
+
+    /// Parses `a.b."c d"` into its segments.
+    fn parse_dotted_key(&mut self) -> Result<Vec<String>, Error> {
+        let mut segments = vec![self.parse_key_segment()?];
+        loop {
+            self.skip_spaces();
+            if self.peek() == Some(b'.') {
+                self.pos += 1;
+                self.skip_spaces();
+                segments.push(self.parse_key_segment()?);
+            } else {
+                return Ok(segments);
+            }
+        }
+    }
+
+    fn parse_key_segment(&mut self) -> Result<String, Error> {
+        match self.peek() {
+            Some(b'"') => self.parse_basic_string(),
+            Some(b'\'') => self.parse_literal_string(),
+            Some(b) if b.is_ascii_alphanumeric() || b == b'_' || b == b'-' => {
+                let start = self.pos;
+                while matches!(
+                    self.peek(),
+                    Some(b) if b.is_ascii_alphanumeric() || b == b'_' || b == b'-'
+                ) {
+                    self.pos += 1;
+                }
+                Ok(std::str::from_utf8(&self.bytes[start..self.pos])
+                    .expect("bare keys are ASCII")
+                    .to_owned())
+            }
+            Some(b) => Err(self.error(format!("expected a key, found `{}`", b as char))),
+            None => Err(self.error("expected a key, found end of input")),
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'"') => {
+                if self.lookahead(b"\"\"\"") {
+                    self.parse_multiline_basic_string().map(Value::String)
+                } else {
+                    self.parse_basic_string().map(Value::String)
+                }
+            }
+            Some(b'\'') => {
+                if self.lookahead(b"'''") {
+                    self.parse_multiline_literal_string().map(Value::String)
+                } else {
+                    self.parse_literal_string().map(Value::String)
+                }
+            }
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_inline_table(),
+            Some(b't') if self.lookahead(b"true") => {
+                self.pos += 4;
+                Ok(Value::Boolean(true))
+            }
+            Some(b'f') if self.lookahead(b"false") => {
+                self.pos += 5;
+                Ok(Value::Boolean(false))
+            }
+            Some(_) => self.parse_number(),
+            None => Err(self.error("expected a value, found end of input")),
+        }
+    }
+
+    fn lookahead(&self, prefix: &[u8]) -> bool {
+        self.bytes[self.pos..].starts_with(prefix)
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.pos += 1;
+        let mut items = Vec::new();
+        loop {
+            self.skip_trivia();
+            if self.peek() == Some(b']') {
+                self.pos += 1;
+                return Ok(Value::Array(items));
+            }
+            items.push(self.parse_value()?);
+            self.skip_trivia();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.error("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn parse_inline_table(&mut self) -> Result<Value, Error> {
+        self.pos += 1;
+        let mut table = Table::new();
+        self.skip_spaces();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Table(table));
+        }
+        loop {
+            self.skip_spaces();
+            let key_pos = self.pos;
+            let key = self.parse_key_segment()?;
+            self.skip_spaces();
+            if self.bump() != Some(b'=') {
+                return Err(self.error("expected `=` in inline table"));
+            }
+            self.skip_spaces();
+            let value = self.parse_value()?;
+            if table.insert(key.clone(), value).is_some() {
+                return Err(self.error_at(key_pos, format!("duplicate key `{key}`")));
+            }
+            self.skip_spaces();
+            match self.bump() {
+                Some(b',') => {}
+                Some(b'}') => return Ok(Value::Table(table)),
+                _ => return Err(self.error("expected `,` or `}` in inline table")),
+            }
+        }
+    }
+
+    fn parse_basic_string(&mut self) -> Result<String, Error> {
+        self.pos += 1;
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => self.parse_escape(&mut out)?,
+                Some(b'\n') | None => return Err(self.error("unterminated string")),
+                Some(b) => self.push_utf8(&mut out, b)?,
+            }
+        }
+    }
+
+    fn parse_literal_string(&mut self) -> Result<String, Error> {
+        self.pos += 1;
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                Some(b'\'') => return Ok(out),
+                Some(b'\n') | None => return Err(self.error("unterminated literal string")),
+                Some(b) => self.push_utf8(&mut out, b)?,
+            }
+        }
+    }
+
+    fn parse_multiline_basic_string(&mut self) -> Result<String, Error> {
+        self.pos += 3;
+        // A newline immediately after the opening delimiter is trimmed.
+        if self.peek() == Some(b'\n') {
+            self.pos += 1;
+        } else if self.lookahead(b"\r\n") {
+            self.pos += 2;
+        }
+        let mut out = String::new();
+        loop {
+            if self.lookahead(b"\"\"\"") {
+                self.pos += 3;
+                return Ok(out);
+            }
+            match self.bump() {
+                Some(b'\\') => {
+                    // A backslash at the end of a line elides the newline and
+                    // all leading whitespace of the next line.
+                    if matches!(self.peek(), Some(b'\n' | b'\r' | b' ' | b'\t')) {
+                        self.skip_trivia_no_comment();
+                    } else {
+                        self.parse_escape(&mut out)?;
+                    }
+                }
+                Some(b) => self.push_utf8(&mut out, b)?,
+                None => return Err(self.error("unterminated multiline string")),
+            }
+        }
+    }
+
+    fn skip_trivia_no_comment(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn parse_multiline_literal_string(&mut self) -> Result<String, Error> {
+        self.pos += 3;
+        if self.peek() == Some(b'\n') {
+            self.pos += 1;
+        } else if self.lookahead(b"\r\n") {
+            self.pos += 2;
+        }
+        let mut out = String::new();
+        loop {
+            if self.lookahead(b"'''") {
+                self.pos += 3;
+                return Ok(out);
+            }
+            match self.bump() {
+                Some(b) => self.push_utf8(&mut out, b)?,
+                None => return Err(self.error("unterminated multiline literal string")),
+            }
+        }
+    }
+
+    /// Pushes one input byte (plus any UTF-8 continuation bytes) onto `out`.
+    fn push_utf8(&mut self, out: &mut String, first: u8) -> Result<(), Error> {
+        if first < 0x80 {
+            out.push(first as char);
+            return Ok(());
+        }
+        let start = self.pos - 1;
+        let width = match first {
+            0xc0..=0xdf => 2,
+            0xe0..=0xef => 3,
+            _ => 4,
+        };
+        self.pos = start + width;
+        let s = std::str::from_utf8(
+            self.bytes
+                .get(start..self.pos)
+                .ok_or_else(|| self.error("truncated UTF-8 sequence"))?,
+        )
+        .map_err(|_| self.error("invalid UTF-8 in string"))?;
+        out.push_str(s);
+        Ok(())
+    }
+
+    fn parse_escape(&mut self, out: &mut String) -> Result<(), Error> {
+        match self.bump() {
+            Some(b'"') => out.push('"'),
+            Some(b'\\') => out.push('\\'),
+            Some(b'b') => out.push('\u{08}'),
+            Some(b'f') => out.push('\u{0c}'),
+            Some(b'n') => out.push('\n'),
+            Some(b'r') => out.push('\r'),
+            Some(b't') => out.push('\t'),
+            Some(b'u') => {
+                let code = self.parse_hex(4)?;
+                out.push(char::from_u32(code).ok_or_else(|| self.error("invalid \\u escape"))?);
+            }
+            Some(b'U') => {
+                let code = self.parse_hex(8)?;
+                out.push(char::from_u32(code).ok_or_else(|| self.error("invalid \\U escape"))?);
+            }
+            _ => return Err(self.error("invalid escape sequence")),
+        }
+        Ok(())
+    }
+
+    fn parse_hex(&mut self, digits: usize) -> Result<u32, Error> {
+        let mut code = 0u32;
+        for _ in 0..digits {
+            let digit = match self.bump() {
+                Some(b @ b'0'..=b'9') => u32::from(b - b'0'),
+                Some(b @ b'a'..=b'f') => u32::from(b - b'a') + 10,
+                Some(b @ b'A'..=b'F') => u32::from(b - b'A') + 10,
+                _ => return Err(self.error("invalid hex digit in unicode escape")),
+            };
+            code = code * 16 + digit;
+        }
+        Ok(code)
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        while matches!(
+            self.peek(),
+            Some(b) if b.is_ascii_alphanumeric() || matches!(b, b'+' | b'-' | b'_' | b'.' | b':')
+        ) {
+            self.pos += 1;
+        }
+        let token =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number tokens are ASCII");
+        if token.is_empty() {
+            return Err(self.error("expected a value"));
+        }
+
+        // Datetimes (RFC 3339) contain `:` or a date-like `-` between digits;
+        // this vendored subset rejects them with a typed error.
+        let looks_like_date = token.contains(':')
+            || token.char_indices().any(|(i, c)| {
+                c == '-'
+                    && i > 0
+                    && token.as_bytes()[i - 1].is_ascii_digit()
+                    && !token[..i].contains(['e', 'E'])
+            });
+        if looks_like_date {
+            return Err(self.error_at(
+                start,
+                "datetime values are not supported by this vendored TOML parser",
+            ));
+        }
+
+        let (sign, magnitude) = match token.as_bytes()[0] {
+            b'+' => (1i64, &token[1..]),
+            b'-' => (-1i64, &token[1..]),
+            _ => (1i64, token),
+        };
+        if magnitude == "inf" {
+            return Ok(Value::Float(f64::INFINITY * sign as f64));
+        }
+        if magnitude == "nan" {
+            return Ok(Value::Float(f64::NAN));
+        }
+        for (prefix, radix) in [("0x", 16), ("0o", 8), ("0b", 2)] {
+            if let Some(rest) = magnitude.strip_prefix(prefix) {
+                let cleaned: String = rest.chars().filter(|c| *c != '_').collect();
+                return i64::from_str_radix(&cleaned, radix)
+                    .map(|v| Value::Integer(sign * v))
+                    .map_err(|_| self.error_at(start, format!("invalid integer `{token}`")));
+            }
+        }
+        let cleaned: String = token.chars().filter(|c| *c != '_').collect();
+        if cleaned.contains(['.', 'e', 'E']) {
+            cleaned
+                .parse::<f64>()
+                .map(Value::Float)
+                .map_err(|_| self.error_at(start, format!("invalid float `{token}`")))
+        } else {
+            cleaned
+                .parse::<i64>()
+                .map(Value::Integer)
+                .map_err(|_| self.error_at(start, format!("invalid integer `{token}`")))
+        }
+    }
+}

@@ -1,0 +1,612 @@
+//! Serialization: any `Serialize` value → [`Value`] tree → rendered TOML.
+//!
+//! The serializer's `Ok` type is `Option<Value>`: `None` is the sentinel for
+//! a serialized `Option::None`. Struct and map serializers *skip* `None`
+//! fields (TOML has no null, and the deserializer defaults missing `Option`
+//! fields to `None`, so the round trip is identity); arrays reject `None`
+//! elements with a typed error.
+
+use std::fmt;
+
+use serde::ser::{
+    Impossible, Serialize, SerializeMap, SerializeSeq, SerializeStruct, SerializeStructVariant,
+    SerializeTuple, SerializeTupleStruct, SerializeTupleVariant, Serializer,
+};
+
+use crate::value::{Table, Value};
+
+/// A TOML serialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    pub(crate) fn message(message: impl Into<String>) -> Self {
+        Error {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl serde::ser::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error::message(msg.to_string())
+    }
+}
+
+/// Serializes a value into a [`Value`] tree; `Ok(None)` means the value was
+/// a bare `Option::None`.
+///
+/// # Errors
+///
+/// Returns [`Error`] for shapes TOML cannot express (null array elements,
+/// out-of-range integers, non-string keys).
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Result<Option<Value>, Error> {
+    value.serialize(ValueSerializer)
+}
+
+/// Renders a value as a TOML document. The top level must be a struct, map
+/// or externally-tagged enum variant with data — anything that forms a table.
+///
+/// # Errors
+///
+/// Returns [`Error`] when the value is not a table at the top level or
+/// contains shapes TOML cannot express.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    match to_value(value)? {
+        Some(Value::Table(table)) => {
+            let mut out = String::new();
+            render_table(&mut out, &[], &table);
+            Ok(out)
+        }
+        Some(other) => Err(Error::message(format!(
+            "the top level of a TOML document must be a table, not a {}",
+            other.type_name()
+        ))),
+        None => Err(Error::message(
+            "cannot serialize a bare None at the top level of a TOML document",
+        )),
+    }
+}
+
+/// Alias of [`to_string`] — this renderer always emits the multi-line form.
+///
+/// # Errors
+///
+/// See [`to_string`].
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    to_string(value)
+}
+
+struct ValueSerializer;
+
+fn integer(v: i64) -> Option<Value> {
+    Some(Value::Integer(v))
+}
+
+impl Serializer for ValueSerializer {
+    type Ok = Option<Value>;
+    type Error = Error;
+    type SerializeSeq = SeqSerializer;
+    type SerializeTuple = SeqSerializer;
+    type SerializeTupleStruct = SeqSerializer;
+    type SerializeTupleVariant = VariantSeqSerializer;
+    type SerializeMap = MapSerializer;
+    type SerializeStruct = StructSerializer;
+    type SerializeStructVariant = VariantStructSerializer;
+
+    fn serialize_bool(self, v: bool) -> Result<Option<Value>, Error> {
+        Ok(Some(Value::Boolean(v)))
+    }
+    fn serialize_i64(self, v: i64) -> Result<Option<Value>, Error> {
+        Ok(integer(v))
+    }
+    fn serialize_u64(self, v: u64) -> Result<Option<Value>, Error> {
+        i64::try_from(v)
+            .map(integer)
+            .map_err(|_| Error::message(format!("integer `{v}` does not fit in TOML's i64 range")))
+    }
+    fn serialize_f64(self, v: f64) -> Result<Option<Value>, Error> {
+        Ok(Some(Value::Float(v)))
+    }
+    fn serialize_str(self, v: &str) -> Result<Option<Value>, Error> {
+        Ok(Some(Value::String(v.to_owned())))
+    }
+    fn serialize_bytes(self, _v: &[u8]) -> Result<Option<Value>, Error> {
+        Err(Error::message("TOML does not support raw byte strings"))
+    }
+    fn serialize_none(self) -> Result<Option<Value>, Error> {
+        Ok(None)
+    }
+    fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<Option<Value>, Error> {
+        value.serialize(self)
+    }
+    fn serialize_unit(self) -> Result<Option<Value>, Error> {
+        Err(Error::message("TOML does not support unit values"))
+    }
+    fn serialize_unit_struct(self, name: &'static str) -> Result<Option<Value>, Error> {
+        Err(Error::message(format!(
+            "TOML does not support unit structs (`{name}`)"
+        )))
+    }
+    fn serialize_unit_variant(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+    ) -> Result<Option<Value>, Error> {
+        Ok(Some(Value::String(variant.to_owned())))
+    }
+    fn serialize_newtype_struct<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        value: &T,
+    ) -> Result<Option<Value>, Error> {
+        value.serialize(self)
+    }
+    fn serialize_newtype_variant<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+        value: &T,
+    ) -> Result<Option<Value>, Error> {
+        let inner = value.serialize(ValueSerializer)?.ok_or_else(|| {
+            Error::message(format!("variant `{variant}` cannot carry None in TOML"))
+        })?;
+        let mut table = Table::new();
+        table.insert(variant.to_owned(), inner);
+        Ok(Some(Value::Table(table)))
+    }
+    fn serialize_seq(self, len: Option<usize>) -> Result<SeqSerializer, Error> {
+        Ok(SeqSerializer {
+            items: Vec::with_capacity(len.unwrap_or(0)),
+        })
+    }
+    fn serialize_tuple(self, len: usize) -> Result<SeqSerializer, Error> {
+        self.serialize_seq(Some(len))
+    }
+    fn serialize_tuple_struct(
+        self,
+        _name: &'static str,
+        len: usize,
+    ) -> Result<SeqSerializer, Error> {
+        self.serialize_seq(Some(len))
+    }
+    fn serialize_tuple_variant(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+        len: usize,
+    ) -> Result<VariantSeqSerializer, Error> {
+        Ok(VariantSeqSerializer {
+            variant,
+            items: Vec::with_capacity(len),
+        })
+    }
+    fn serialize_map(self, _len: Option<usize>) -> Result<MapSerializer, Error> {
+        Ok(MapSerializer {
+            entries: Table::new(),
+            pending_key: None,
+        })
+    }
+    fn serialize_struct(self, _name: &'static str, _len: usize) -> Result<StructSerializer, Error> {
+        Ok(StructSerializer {
+            fields: Table::new(),
+        })
+    }
+    fn serialize_struct_variant(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+        _len: usize,
+    ) -> Result<VariantStructSerializer, Error> {
+        Ok(VariantStructSerializer {
+            variant,
+            fields: Table::new(),
+        })
+    }
+}
+
+fn require_element(value: Option<Value>) -> Result<Value, Error> {
+    value.ok_or_else(|| Error::message("TOML arrays cannot contain None (TOML has no null value)"))
+}
+
+struct SeqSerializer {
+    items: Vec<Value>,
+}
+
+impl SerializeSeq for SeqSerializer {
+    type Ok = Option<Value>;
+    type Error = Error;
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Error> {
+        self.items
+            .push(require_element(value.serialize(ValueSerializer)?)?);
+        Ok(())
+    }
+    fn end(self) -> Result<Option<Value>, Error> {
+        Ok(Some(Value::Array(self.items)))
+    }
+}
+
+impl SerializeTuple for SeqSerializer {
+    type Ok = Option<Value>;
+    type Error = Error;
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Error> {
+        SerializeSeq::serialize_element(self, value)
+    }
+    fn end(self) -> Result<Option<Value>, Error> {
+        SerializeSeq::end(self)
+    }
+}
+
+impl SerializeTupleStruct for SeqSerializer {
+    type Ok = Option<Value>;
+    type Error = Error;
+    fn serialize_field<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Error> {
+        SerializeSeq::serialize_element(self, value)
+    }
+    fn end(self) -> Result<Option<Value>, Error> {
+        SerializeSeq::end(self)
+    }
+}
+
+struct VariantSeqSerializer {
+    variant: &'static str,
+    items: Vec<Value>,
+}
+
+impl SerializeTupleVariant for VariantSeqSerializer {
+    type Ok = Option<Value>;
+    type Error = Error;
+    fn serialize_field<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Error> {
+        self.items
+            .push(require_element(value.serialize(ValueSerializer)?)?);
+        Ok(())
+    }
+    fn end(self) -> Result<Option<Value>, Error> {
+        let mut table = Table::new();
+        table.insert(self.variant.to_owned(), Value::Array(self.items));
+        Ok(Some(Value::Table(table)))
+    }
+}
+
+struct MapSerializer {
+    entries: Table,
+    pending_key: Option<String>,
+}
+
+impl SerializeMap for MapSerializer {
+    type Ok = Option<Value>;
+    type Error = Error;
+    fn serialize_key<T: Serialize + ?Sized>(&mut self, key: &T) -> Result<(), Error> {
+        self.pending_key = Some(key.serialize(KeySerializer)?);
+        Ok(())
+    }
+    fn serialize_value<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Error> {
+        let key = self
+            .pending_key
+            .take()
+            .ok_or_else(|| Error::message("serialize_value called before serialize_key"))?;
+        if let Some(value) = value.serialize(ValueSerializer)? {
+            self.entries.insert(key, value);
+        }
+        Ok(())
+    }
+    fn end(self) -> Result<Option<Value>, Error> {
+        Ok(Some(Value::Table(self.entries)))
+    }
+}
+
+struct StructSerializer {
+    fields: Table,
+}
+
+impl SerializeStruct for StructSerializer {
+    type Ok = Option<Value>;
+    type Error = Error;
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), Error> {
+        if let Some(value) = value.serialize(ValueSerializer)? {
+            self.fields.insert(key.to_owned(), value);
+        }
+        Ok(())
+    }
+    fn end(self) -> Result<Option<Value>, Error> {
+        Ok(Some(Value::Table(self.fields)))
+    }
+}
+
+struct VariantStructSerializer {
+    variant: &'static str,
+    fields: Table,
+}
+
+impl SerializeStructVariant for VariantStructSerializer {
+    type Ok = Option<Value>;
+    type Error = Error;
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), Error> {
+        if let Some(value) = value.serialize(ValueSerializer)? {
+            self.fields.insert(key.to_owned(), value);
+        }
+        Ok(())
+    }
+    fn end(self) -> Result<Option<Value>, Error> {
+        let mut table = Table::new();
+        table.insert(self.variant.to_owned(), Value::Table(self.fields));
+        Ok(Some(Value::Table(table)))
+    }
+}
+
+/// Serializes map keys, which TOML requires to be strings.
+struct KeySerializer;
+
+impl Serializer for KeySerializer {
+    type Ok = String;
+    type Error = Error;
+    type SerializeSeq = Impossible<String, Error>;
+    type SerializeTuple = Impossible<String, Error>;
+    type SerializeTupleStruct = Impossible<String, Error>;
+    type SerializeTupleVariant = Impossible<String, Error>;
+    type SerializeMap = Impossible<String, Error>;
+    type SerializeStruct = Impossible<String, Error>;
+    type SerializeStructVariant = Impossible<String, Error>;
+
+    fn serialize_bool(self, v: bool) -> Result<String, Error> {
+        Ok(v.to_string())
+    }
+    fn serialize_i64(self, v: i64) -> Result<String, Error> {
+        Ok(v.to_string())
+    }
+    fn serialize_u64(self, v: u64) -> Result<String, Error> {
+        Ok(v.to_string())
+    }
+    fn serialize_f64(self, _v: f64) -> Result<String, Error> {
+        Err(Error::message("a TOML key must not be a float"))
+    }
+    fn serialize_str(self, v: &str) -> Result<String, Error> {
+        Ok(v.to_owned())
+    }
+    fn serialize_bytes(self, _v: &[u8]) -> Result<String, Error> {
+        Err(Error::message("a TOML key must be a string"))
+    }
+    fn serialize_none(self) -> Result<String, Error> {
+        Err(Error::message("a TOML key must be a string"))
+    }
+    fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<String, Error> {
+        value.serialize(self)
+    }
+    fn serialize_unit(self) -> Result<String, Error> {
+        Err(Error::message("a TOML key must be a string"))
+    }
+    fn serialize_unit_struct(self, _name: &'static str) -> Result<String, Error> {
+        Err(Error::message("a TOML key must be a string"))
+    }
+    fn serialize_unit_variant(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+    ) -> Result<String, Error> {
+        Ok(variant.to_owned())
+    }
+    fn serialize_newtype_struct<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        value: &T,
+    ) -> Result<String, Error> {
+        value.serialize(self)
+    }
+    fn serialize_newtype_variant<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        _variant: &'static str,
+        _value: &T,
+    ) -> Result<String, Error> {
+        Err(Error::message("a TOML key must be a string"))
+    }
+    fn serialize_seq(self, _len: Option<usize>) -> Result<Self::SerializeSeq, Error> {
+        Err(Error::message("a TOML key must be a string"))
+    }
+    fn serialize_tuple(self, _len: usize) -> Result<Self::SerializeTuple, Error> {
+        Err(Error::message("a TOML key must be a string"))
+    }
+    fn serialize_tuple_struct(
+        self,
+        _name: &'static str,
+        _len: usize,
+    ) -> Result<Self::SerializeTupleStruct, Error> {
+        Err(Error::message("a TOML key must be a string"))
+    }
+    fn serialize_tuple_variant(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        _variant: &'static str,
+        _len: usize,
+    ) -> Result<Self::SerializeTupleVariant, Error> {
+        Err(Error::message("a TOML key must be a string"))
+    }
+    fn serialize_map(self, _len: Option<usize>) -> Result<Self::SerializeMap, Error> {
+        Err(Error::message("a TOML key must be a string"))
+    }
+    fn serialize_struct(
+        self,
+        _name: &'static str,
+        _len: usize,
+    ) -> Result<Self::SerializeStruct, Error> {
+        Err(Error::message("a TOML key must be a string"))
+    }
+    fn serialize_struct_variant(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        _variant: &'static str,
+        _len: usize,
+    ) -> Result<Self::SerializeStructVariant, Error> {
+        Err(Error::message("a TOML key must be a string"))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rendering
+// ---------------------------------------------------------------------------
+
+fn key_needs_quoting(key: &str) -> bool {
+    key.is_empty()
+        || !key
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+}
+
+fn write_key(out: &mut String, key: &str) {
+    if key_needs_quoting(key) {
+        write_escaped(out, key);
+    } else {
+        out.push_str(key);
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04X}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_float(out: &mut String, v: f64) {
+    if v.is_nan() {
+        out.push_str("nan");
+    } else if v.is_infinite() {
+        out.push_str(if v > 0.0 { "inf" } else { "-inf" });
+    } else {
+        // `{:?}` is shortest-round-trip; TOML requires a `.` or exponent to
+        // distinguish floats from integers.
+        let text = format!("{v:?}");
+        out.push_str(&text);
+        if !text.contains(['.', 'e', 'E']) {
+            out.push_str(".0");
+        }
+    }
+}
+
+fn write_inline(out: &mut String, value: &Value) {
+    match value {
+        Value::String(s) => write_escaped(out, s),
+        Value::Integer(v) => out.push_str(&v.to_string()),
+        Value::Float(v) => write_float(out, *v),
+        Value::Boolean(v) => out.push_str(if *v { "true" } else { "false" }),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_inline(out, item);
+            }
+            out.push(']');
+        }
+        Value::Table(table) => {
+            if table.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push_str("{ ");
+            for (i, (key, item)) in table.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_key(out, key);
+                out.push_str(" = ");
+                write_inline(out, item);
+            }
+            out.push_str(" }");
+        }
+    }
+}
+
+fn is_array_of_tables(value: &Value) -> bool {
+    match value {
+        Value::Array(items) => {
+            !items.is_empty() && items.iter().all(|v| matches!(v, Value::Table(_)))
+        }
+        _ => false,
+    }
+}
+
+fn write_header(out: &mut String, path: &[&str], array: bool) {
+    if !out.is_empty() {
+        out.push('\n');
+    }
+    out.push_str(if array { "[[" } else { "[" });
+    for (i, segment) in path.iter().enumerate() {
+        if i > 0 {
+            out.push('.');
+        }
+        write_key(out, segment);
+    }
+    out.push_str(if array { "]]\n" } else { "]\n" });
+}
+
+/// Renders a table: inline-able entries first (`key = value` lines), then
+/// `[sub.table]` sections, then `[[array.of.tables]]` sections — sidestepping
+/// TOML's scalars-before-tables ordering requirement.
+fn render_table(out: &mut String, path: &[&str], table: &Table) {
+    for (key, value) in table {
+        let is_section = matches!(value, Value::Table(_)) || is_array_of_tables(value);
+        if !is_section {
+            write_key(out, key);
+            out.push_str(" = ");
+            write_inline(out, value);
+            out.push('\n');
+        }
+    }
+    for (key, value) in table {
+        let child_path: Vec<&str> = path.iter().copied().chain([key.as_str()]).collect();
+        match value {
+            Value::Table(sub) => {
+                write_header(out, &child_path, false);
+                render_table(out, &child_path, sub);
+            }
+            Value::Array(items) if is_array_of_tables(value) => {
+                for item in items {
+                    if let Value::Table(sub) = item {
+                        write_header(out, &child_path, true);
+                        render_table(out, &child_path, sub);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}

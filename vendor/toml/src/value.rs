@@ -1,0 +1,145 @@
+//! The TOML value tree.
+
+use std::collections::BTreeMap;
+
+/// A TOML table: string keys to values, deterministically ordered.
+pub type Table = BTreeMap<String, Value>;
+
+/// Any TOML value. Datetimes are not supported by this vendored subset —
+/// the parser reports a typed error for them.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A string.
+    String(String),
+    /// A 64-bit signed integer (TOML's only integer type).
+    Integer(i64),
+    /// A 64-bit float.
+    Float(f64),
+    /// `true` / `false`.
+    Boolean(bool),
+    /// An array.
+    Array(Vec<Value>),
+    /// A table.
+    Table(Table),
+}
+
+impl Value {
+    /// Member access for tables; `None` for other shapes or missing keys.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Table(table) => table.get(key),
+            _ => None,
+        }
+    }
+
+    /// The value as `&str`, when it is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as `i64`, when it is an integer.
+    #[must_use]
+    pub fn as_integer(&self) -> Option<i64> {
+        match self {
+            Value::Integer(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as `f64`, when it is a float or integer.
+    #[must_use]
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Float(v) => Some(*v),
+            Value::Integer(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    /// A short name for the value's type, for error messages.
+    #[must_use]
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::String(_) => "string",
+            Value::Integer(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Boolean(_) => "boolean",
+            Value::Array(_) => "array",
+            Value::Table(_) => "table",
+        }
+    }
+}
+
+impl serde::Serialize for Value {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            Value::String(v) => serializer.serialize_str(v),
+            Value::Integer(v) => serializer.serialize_i64(*v),
+            Value::Float(v) => serializer.serialize_f64(*v),
+            Value::Boolean(v) => serializer.serialize_bool(*v),
+            Value::Array(items) => items.serialize(serializer),
+            Value::Table(table) => table.serialize(serializer),
+        }
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for Value {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct ValueVisitor;
+        impl<'de> serde::de::Visitor<'de> for ValueVisitor {
+            type Value = Value;
+            fn expecting(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                f.write_str("any TOML value")
+            }
+            fn visit_bool<E: serde::de::Error>(self, v: bool) -> Result<Value, E> {
+                Ok(Value::Boolean(v))
+            }
+            fn visit_i64<E: serde::de::Error>(self, v: i64) -> Result<Value, E> {
+                Ok(Value::Integer(v))
+            }
+            fn visit_u64<E: serde::de::Error>(self, v: u64) -> Result<Value, E> {
+                i64::try_from(v).map(Value::Integer).map_err(|_| {
+                    E::invalid_value(
+                        serde::de::Unexpected::Unsigned(v),
+                        &"an integer in TOML's i64 range",
+                    )
+                })
+            }
+            fn visit_f64<E: serde::de::Error>(self, v: f64) -> Result<Value, E> {
+                Ok(Value::Float(v))
+            }
+            fn visit_str<E: serde::de::Error>(self, v: &str) -> Result<Value, E> {
+                Ok(Value::String(v.to_owned()))
+            }
+            fn visit_string<E: serde::de::Error>(self, v: String) -> Result<Value, E> {
+                Ok(Value::String(v))
+            }
+            fn visit_seq<A: serde::de::SeqAccess<'de>>(
+                self,
+                mut seq: A,
+            ) -> Result<Value, A::Error> {
+                let mut items = Vec::with_capacity(seq.size_hint().unwrap_or(0).min(4096));
+                while let Some(item) = seq.next_element()? {
+                    items.push(item);
+                }
+                Ok(Value::Array(items))
+            }
+            fn visit_map<A: serde::de::MapAccess<'de>>(
+                self,
+                mut map: A,
+            ) -> Result<Value, A::Error> {
+                let mut table = Table::new();
+                while let Some((key, value)) = map.next_entry::<String, Value>()? {
+                    table.insert(key, value);
+                }
+                Ok(Value::Table(table))
+            }
+        }
+        deserializer.deserialize_any(ValueVisitor)
+    }
+}
