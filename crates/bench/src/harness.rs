@@ -47,6 +47,44 @@ impl FigureCli {
         Self::from_args(std::env::args().skip(1))
     }
 
+    /// Like [`FigureCli::parse`], but bins with bin-specific value flags
+    /// (e.g. `bench_serving --workers 4`) list them in `extra_value_flags`;
+    /// each occurrence consumes one value and is returned as a
+    /// `(flag, value)` pair instead of panicking as unknown.
+    ///
+    /// # Panics
+    ///
+    /// See [`FigureCli::parse`]; a listed extra flag missing its value also
+    /// panics.
+    pub fn parse_with_extras(extra_value_flags: &[&str]) -> (Self, Vec<(String, String)>) {
+        Self::from_args_with_extras(std::env::args().skip(1), extra_value_flags)
+    }
+
+    /// Testable core of [`FigureCli::parse_with_extras`].
+    ///
+    /// # Panics
+    ///
+    /// See [`FigureCli::parse_with_extras`].
+    pub fn from_args_with_extras(
+        args: impl IntoIterator<Item = String>,
+        extra_value_flags: &[&str],
+    ) -> (Self, Vec<(String, String)>) {
+        let mut extras = Vec::new();
+        let mut plain = Vec::new();
+        let mut args = args.into_iter();
+        while let Some(arg) = args.next() {
+            if extra_value_flags.contains(&arg.as_str()) {
+                let value = args
+                    .next()
+                    .unwrap_or_else(|| panic!("{arg} requires a value"));
+                extras.push((arg, value));
+            } else {
+                plain.push(arg);
+            }
+        }
+        (Self::from_args(plain), extras)
+    }
+
     /// Parses an explicit argument list (testable core of [`FigureCli::parse`]).
     ///
     /// # Panics
@@ -249,6 +287,23 @@ mod tests {
     #[should_panic(expected = "unknown argument")]
     fn unknown_flag_panics() {
         let _ = FigureCli::from_args(args(&["--qick"]));
+    }
+
+    #[test]
+    fn extra_value_flags_are_split_out() {
+        let (cli, extras) = FigureCli::from_args_with_extras(
+            args(&["--quick", "--workers", "4", "--out", "x.json"]),
+            &["--workers"],
+        );
+        assert!(cli.quick);
+        assert_eq!(cli.out.as_deref(), Some("x.json"));
+        assert_eq!(extras, vec![("--workers".to_string(), "4".to_string())]);
+    }
+
+    #[test]
+    #[should_panic(expected = "--workers requires a value")]
+    fn extra_flag_without_value_panics() {
+        let _ = FigureCli::from_args_with_extras(args(&["--workers"]), &["--workers"]);
     }
 
     #[test]

@@ -61,6 +61,7 @@
 pub mod cache;
 pub mod device;
 pub mod error;
+pub mod handle;
 pub mod node;
 pub mod placement;
 pub mod store;
@@ -69,6 +70,7 @@ pub mod tier;
 pub use cache::CachePolicy;
 pub use device::DeviceModel;
 pub use error::ClusterError;
+pub use handle::StoreHandle;
 pub use placement::{
     ClusterView, ObjectDesc, Placement, PlacementChoice, PlacementMap, RebalanceReport,
 };

@@ -1,15 +1,16 @@
 //! The erasure-coded object store: write and read paths over the node,
 //! placement and cache substrates.
 
-use std::collections::HashMap;
+use std::sync::{MutexGuard, RwLockReadGuard};
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use sprout_erasure::{Chunk, CodeParams, FunctionalCacheCodec, Kernel, StripeOpts};
+use sprout_erasure::{Chunk, CodeParams, Kernel, StripeOpts};
 
 use crate::cache::{Cache, CachePolicy, CacheStats};
 use crate::device::DeviceModel;
 use crate::error::ClusterError;
+use crate::handle::StoreHandle;
 use crate::node::StorageNode;
 use crate::placement::{ClusterView, ObjectDesc, Placement, PlacementChoice};
 
@@ -184,24 +185,6 @@ impl ClusterConfigBuilder {
     }
 }
 
-/// Metadata kept per stored object.
-#[derive(Debug, Clone)]
-struct ObjectMeta {
-    len: usize,
-    placement: Vec<usize>,
-}
-
-/// Splits decoded object bytes into the `k` data chunks a cache-tier
-/// promotion installs (generator rows `0..k` of the systematic code).
-fn data_chunks_of(data: &[u8], k: usize) -> Vec<Chunk> {
-    let (data_chunks, _) = sprout_erasure::stripe::split(data, k);
-    data_chunks
-        .into_iter()
-        .enumerate()
-        .map(|(i, payload)| Chunk::new(sprout_erasure::ChunkId::cache(i), payload))
-        .collect()
-}
-
 /// The result of a read.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ReadOutcome {
@@ -218,15 +201,17 @@ pub struct ReadOutcome {
 }
 
 /// An in-memory erasure-coded object store with a pluggable cache tier.
+///
+/// Since the serving-path refactor this type is a thin single-threaded
+/// wrapper over [`StoreHandle`], the lock-sharded `Send + Sync` core: it
+/// adds a private seeded RNG and threads it through every sampling path in
+/// the store's historical draw order, so deterministic single-owner callers
+/// (the simulation engine, the figure suite) see byte-identical latencies
+/// and contents, while concurrent callers grab [`Self::handle`] and share
+/// the same cluster across threads.
 #[derive(Debug)]
 pub struct ErasureCodedStore {
-    config: ClusterConfig,
-    codec: FunctionalCacheCodec,
-    nodes: Vec<StorageNode>,
-    placement: Box<dyn Placement>,
-    view: ClusterView,
-    cache: Cache,
-    objects: HashMap<u64, ObjectMeta>,
+    handle: StoreHandle,
     rng: StdRng,
 }
 
@@ -239,112 +224,78 @@ impl ErasureCodedStore {
     /// (no nodes, `n > num_nodes`, device-list length mismatch) and
     /// propagates invalid `(n, k)` pairs as [`ClusterError::Coding`].
     pub fn new(config: ClusterConfig) -> Result<Self, ClusterError> {
-        if config.num_nodes == 0 {
-            return Err(ClusterError::InvalidConfig("no storage nodes".into()));
-        }
-        if config.n > config.num_nodes {
-            return Err(ClusterError::InvalidConfig(format!(
-                "n = {} exceeds the number of nodes {}",
-                config.n, config.num_nodes
-            )));
-        }
-        if config.devices.len() != config.num_nodes {
-            return Err(ClusterError::InvalidConfig(format!(
-                "expected {} device models, got {}",
-                config.num_nodes,
-                config.devices.len()
-            )));
-        }
-        let params = CodeParams::new(config.n, config.k)?;
-        // The codec rides the best kernel the CPU supports (unless pinned)
-        // and stripes large objects across threads; both choices affect
-        // throughput only — coded bytes are kernel- and stripe-invariant.
-        let codec = FunctionalCacheCodec::with_kernel(
-            params,
-            config.coding_kernel.unwrap_or_else(Kernel::auto),
-        )?
-        .with_striping(config.striping);
-        let nodes = config
-            .devices
-            .iter()
-            .enumerate()
-            .map(|(id, &device)| StorageNode::new(id, device))
-            .collect();
-        let placement = config.placement.build(config.num_nodes, config.seed);
-        let view = ClusterView::all_online(config.num_nodes);
-        let cache = Cache::new(config.cache_policy, config.cache_capacity_bytes);
-        let rng = StdRng::seed_from_u64(config.seed ^ 0xC0FF_EE00);
+        let seed = config.seed;
+        let handle = StoreHandle::new(config)?;
         Ok(ErasureCodedStore {
-            config,
-            codec,
-            nodes,
-            placement,
-            view,
-            cache,
-            objects: HashMap::new(),
-            rng,
+            handle,
+            rng: StdRng::seed_from_u64(seed ^ 0xC0FF_EE00),
         })
+    }
+
+    /// A `Send + Sync` handle sharing this store's state — the entry point
+    /// for concurrent callers (cloning is an `Arc` bump). Reads through the
+    /// handle's own [`StoreHandle::get`] draw from per-request RNG streams
+    /// and do not perturb this wrapper's deterministic sequence.
+    pub fn handle(&self) -> StoreHandle {
+        self.handle.clone()
     }
 
     /// The cluster configuration.
     pub fn config(&self) -> &ClusterConfig {
-        &self.config
+        self.handle.config()
     }
 
     /// The erasure-code parameters.
     pub fn code_params(&self) -> CodeParams {
-        self.codec.params()
+        self.handle.code_params()
     }
 
     /// The GF(2^8) slice kernel the store's codec resolved to (the config's
     /// pin, or [`Kernel::auto`]'s pick for this CPU).
     pub fn coding_kernel(&self) -> Kernel {
-        self.codec.kernel()
+        self.handle.coding_kernel()
     }
 
     /// Number of stored objects.
     pub fn num_objects(&self) -> usize {
-        self.objects.len()
+        self.handle.num_objects()
     }
 
-    /// Immutable access to a storage node.
+    /// Read access to a storage node (a lock guard; hold it briefly).
     ///
     /// # Panics
     ///
     /// Panics if the node id is out of range.
-    pub fn node(&self, id: usize) -> &StorageNode {
-        &self.nodes[id]
+    pub fn node(&self, id: usize) -> RwLockReadGuard<'_, StorageNode> {
+        self.handle.node(id)
     }
 
-    /// Immutable access to the cache tier.
-    pub fn cache(&self) -> &Cache {
-        &self.cache
+    /// Access to the cache tier (a lock guard; hold it briefly).
+    pub fn cache(&self) -> MutexGuard<'_, Cache> {
+        self.handle.cache()
     }
 
     /// Cache statistics.
     pub fn cache_stats(&self) -> CacheStats {
-        self.cache.stats()
+        self.handle.cache_stats()
     }
 
     /// The nodes hosting an object's chunks (chunk row `i` on entry `i`).
-    pub fn object_placement(&self, object: u64) -> Option<&[usize]> {
-        self.objects.get(&object).map(|m| m.placement.as_slice())
+    pub fn object_placement(&self, object: u64) -> Option<Vec<usize>> {
+        self.handle.object_placement(object)
     }
 
     /// The stored length of an object in bytes.
     pub fn object_len(&self, object: u64) -> Option<usize> {
-        self.objects.get(&object).map(|m| m.len)
+        self.handle.object_len(object)
     }
 
-    /// Borrows the chunk of `object` hosted on `node` (the row the placement
+    /// The chunk of `object` hosted on `node` (the row the placement
     /// assigns to that node), if the node holds it. Management path: no
-    /// queueing or latency accounting — external schedulers (the simulation
-    /// engine's byte-accurate backend) fetch bytes this way after deciding
-    /// the timing themselves.
-    pub fn chunk_on_node(&self, object: u64, node: usize) -> Option<&Chunk> {
-        let meta = self.objects.get(&object)?;
-        let row = meta.placement.iter().position(|&n| n == node)?;
-        self.nodes[node].chunk(object, row)
+    /// queueing or latency accounting. The returned chunk shares the stored
+    /// payload (`Bytes` is refcounted), so this copies nothing.
+    pub fn chunk_on_node(&self, object: u64, node: usize) -> Option<Chunk> {
+        self.handle.chunk_on_node(object, node)
     }
 
     /// Decodes an object from caller-gathered chunks (any `k` distinct rows
@@ -359,11 +310,7 @@ impl ErasureCodedStore {
         object: u64,
         chunks: &[Chunk],
     ) -> Result<Vec<u8>, ClusterError> {
-        let meta = self
-            .objects
-            .get(&object)
-            .ok_or(ClusterError::UnknownObject(object))?;
-        Ok(self.codec.decode(chunks, meta.len)?)
+        self.handle.decode_with_chunks(object, chunks)
     }
 
     /// Writes an object, placing its `n` coded chunks via the placement map.
@@ -372,8 +319,7 @@ impl ErasureCodedStore {
     ///
     /// Propagates coding errors.
     pub fn put(&mut self, object: u64, data: &[u8]) -> Result<(), ClusterError> {
-        let placement = self.placement.place(object, self.config.n, &self.view);
-        self.put_with_placement(object, data, placement)
+        self.handle.put(object, data)
     }
 
     /// Writes an object onto an explicit list of `n` distinct nodes (used by
@@ -389,48 +335,12 @@ impl ErasureCodedStore {
         data: &[u8],
         placement: Vec<usize>,
     ) -> Result<(), ClusterError> {
-        if placement.len() != self.config.n {
-            return Err(ClusterError::InvalidConfig(format!(
-                "placement lists {} nodes but the code stores n = {} chunks",
-                placement.len(),
-                self.config.n
-            )));
-        }
-        let mut seen = std::collections::HashSet::new();
-        for &node in &placement {
-            if node >= self.config.num_nodes || !seen.insert(node) {
-                return Err(ClusterError::InvalidConfig(format!(
-                    "invalid or duplicate node {node} in placement"
-                )));
-            }
-        }
-        // Remove any previous version of the object.
-        self.delete(object);
-        // Chunks are *moved* onto their nodes: payloads are `Bytes`
-        // (`Arc`-backed since PR 2), so no byte is copied and no refcount is
-        // even touched on this path.
-        let encoded = self.codec.encode(data)?;
-        for (chunk, &node) in encoded.into_chunks().into_iter().zip(&placement) {
-            self.nodes[node].store_chunk(object, chunk);
-        }
-        self.objects.insert(
-            object,
-            ObjectMeta {
-                len: data.len(),
-                placement,
-            },
-        );
-        Ok(())
+        self.handle.put_with_placement(object, data, placement)
     }
 
     /// Deletes an object from the storage nodes and the cache.
     pub fn delete(&mut self, object: u64) {
-        if let Some(meta) = self.objects.remove(&object) {
-            for &node in &meta.placement {
-                self.nodes[node].remove_object(object);
-            }
-        }
-        self.cache.remove(object);
+        self.handle.delete(object);
     }
 
     /// Marks a storage node failed (offline) or recovered.
@@ -439,35 +349,24 @@ impl ErasureCodedStore {
     ///
     /// Panics if the node id is out of range.
     pub fn set_node_online(&mut self, node: usize, online: bool) {
-        self.nodes[node].set_online(online);
-        self.view = self.view.with_node_online(node, online);
+        self.handle.set_node_online(node, online);
     }
 
     /// The placement strategy writes route through.
     pub fn placement_strategy(&self) -> &dyn Placement {
-        self.placement.as_ref()
+        self.handle.placement_strategy()
     }
 
-    /// The store's current membership view (updated by
+    /// A snapshot of the store's current membership view (updated by
     /// [`set_node_online`](Self::set_node_online)).
-    pub fn cluster_view(&self) -> &ClusterView {
-        &self.view
+    pub fn cluster_view(&self) -> ClusterView {
+        self.handle.cluster_view()
     }
 
     /// Descriptors of every stored object, sorted by id — the input
     /// [`Placement::on_membership_change`] prices a rebalance against.
     pub fn object_descs(&self) -> Vec<ObjectDesc> {
-        let mut descs: Vec<ObjectDesc> = self
-            .objects
-            .iter()
-            .map(|(&id, meta)| ObjectDesc {
-                id,
-                n: meta.placement.len(),
-                chunk_bytes: (meta.len as u64).div_ceil(self.config.k as u64),
-            })
-            .collect();
-        descs.sort_by_key(|d| d.id);
-        descs
+        self.handle.object_descs()
     }
 
     /// Installs `d` planner-chosen chunks of an object into the cache
@@ -482,62 +381,13 @@ impl ErasureCodedStore {
     /// * [`ClusterError::UnknownObject`] if the object does not exist.
     /// * Propagated coding errors (e.g. `d > k`).
     pub fn set_cached_chunks(&mut self, object: u64, d: usize) -> Result<(), ClusterError> {
-        if !self.config.cache_policy.is_planned() {
-            return Err(ClusterError::InvalidConfig(
-                "set_cached_chunks requires the functional or exact cache policy".into(),
-            ));
-        }
-        let meta = self
-            .objects
-            .get(&object)
-            .ok_or(ClusterError::UnknownObject(object))?;
-        if d == 0 {
-            self.cache.remove(object);
-            return Ok(());
-        }
-        // Gather every available storage chunk (management path: no latency
-        // accounting, mirroring off-peak prefetch in the paper). Chunk
-        // payloads are reference-counted, so these clones copy no data.
-        let mut available = Vec::new();
-        for &node in &meta.placement {
-            for index in self.nodes[node].chunk_indices(object) {
-                if let Some(chunk) = self.nodes[node].chunk(object, index) {
-                    available.push(chunk.clone());
-                }
-            }
-        }
-        let chunks = match self.config.cache_policy {
-            CachePolicy::Functional => self.codec.cache_chunks_from_chunks(&available, d)?,
-            CachePolicy::Exact => {
-                // Copy the first d storage chunks verbatim.
-                let mut copies: Vec<Chunk> = available
-                    .into_iter()
-                    .filter(|c| c.id.index < d.min(self.config.n))
-                    .collect();
-                copies.sort_by_key(|c| c.id.index);
-                copies.truncate(d);
-                if copies.len() < d {
-                    return Err(ClusterError::NotEnoughReplicas {
-                        object,
-                        available: copies.len(),
-                        required: d,
-                    });
-                }
-                copies
-            }
-            _ => unreachable!("checked is_planned above"),
-        };
-        if self.cache.install_planned(object, chunks) {
-            Ok(())
-        } else {
-            Err(ClusterError::InvalidConfig(format!(
-                "cache capacity exceeded while installing {d} chunks of object {object}"
-            )))
-        }
+        self.handle.set_cached_chunks(object, d)
     }
 
     /// Reads an object at virtual time `now`, honouring the cache policy, and
     /// returns the reconstructed bytes together with the request latency.
+    /// Samples from the store's own seeded RNG, in the same draw order as
+    /// before the handle refactor.
     ///
     /// # Errors
     ///
@@ -546,151 +396,34 @@ impl ErasureCodedStore {
     ///   than `k` chunks reachable.
     /// * Propagated coding errors on reconstruction.
     pub fn get(&mut self, object: u64, now: f64) -> Result<ReadOutcome, ClusterError> {
-        let meta = self
-            .objects
-            .get(&object)
-            .cloned()
-            .ok_or(ClusterError::UnknownObject(object))?;
-        let k = self.config.k;
-
-        // 1. Chunks available from the cache.
-        let cached: Vec<Chunk> = match self.config.cache_policy {
-            CachePolicy::None => Vec::new(),
-            _ => self.cache.lookup(object),
-        };
-        let lru = matches!(self.config.cache_policy, CachePolicy::LruReplicated { .. });
-
-        // Cache-resident LRU objects (or fully functional-cached objects) are
-        // served without touching storage.
-        if cached.len() >= k {
-            let cache_latency = self.cache_read_latency(&cached[..k]);
-            let data = self.codec.decode(&cached, meta.len)?;
-            return Ok(ReadOutcome {
-                data,
-                latency: cache_latency,
-                storage_chunks_used: 0,
-                cache_chunks_used: k,
-                nodes_used: Vec::new(),
-            });
-        }
-
-        let needed_from_storage = k - cached.len();
-
-        // 2. Candidate storage chunks: for exact caching the cached rows are
-        // copies of storage rows, so their hosts cannot contribute new rows.
-        let cached_rows: std::collections::HashSet<usize> =
-            cached.iter().map(|c| c.id.index).collect();
-        let mut candidates: Vec<(f64, usize, usize)> = Vec::new(); // (queue delay, node, row)
-        for (row, &node) in meta.placement.iter().enumerate() {
-            if !self.nodes[node].is_online() || !self.nodes[node].has_chunk(object, row) {
-                continue;
-            }
-            if self.config.cache_policy == CachePolicy::Exact && cached_rows.contains(&row) {
-                continue;
-            }
-            candidates.push((self.nodes[node].queue_delay(now), node, row));
-        }
-        if candidates.len() < needed_from_storage {
-            return Err(ClusterError::NotEnoughReplicas {
-                object,
-                available: candidates.len() + cached.len(),
-                required: k,
-            });
-        }
-        // Least-busy-first selection (the "optimal request scheduling" the
-        // functional-caching example in §III argues for).
-        candidates.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
-        candidates.truncate(needed_from_storage);
-
-        // 3. Issue the storage reads and take the fork-join maximum.
-        let mut storage_chunks = Vec::with_capacity(needed_from_storage);
-        let mut nodes_used = Vec::with_capacity(needed_from_storage);
-        let mut finish = now;
-        for &(_, node, row) in &candidates {
-            let (chunk, done) = self.nodes[node]
-                .read(object, row, now, &mut self.rng)
-                .expect("candidate chunks were verified present and online");
-            finish = finish.max(done);
-            storage_chunks.push(chunk);
-            nodes_used.push(node);
-        }
-        let storage_latency = finish - now;
-        let cache_latency = self.cache_read_latency(&cached);
-        let latency = storage_latency.max(cache_latency);
-
-        // 4. Reconstruct and verify.
-        let cache_chunks_used = cached.len();
-        let mut all = cached;
-        all.extend(storage_chunks);
-        let data = self.codec.decode(&all, meta.len)?;
-
-        // 5. LRU promotion on a miss: the whole object enters the cache tier.
-        if lru {
-            let chunks = data_chunks_of(&data, k);
-            self.cache.promote_lru(object, chunks);
-        }
-
-        Ok(ReadOutcome {
-            data,
-            latency,
-            storage_chunks_used: needed_from_storage,
-            cache_chunks_used,
-            nodes_used,
-        })
+        self.handle.get_with_rng(object, now, &mut self.rng)
     }
 
     /// Promotes a whole object into the cache tier *unconditionally* — the
     /// mirror of an admission decided by an external [`CacheTier`] (the
-    /// simulation engine's; see [`crate::tier`]). The object's `k` data
-    /// chunks are rebuilt from whatever storage chunks are present
-    /// (management path: no queueing or latency accounting) and installed
-    /// without consulting this cache's own admission policy.
+    /// simulation engine's; see [`crate::tier`]).
     ///
     /// # Errors
     ///
     /// Returns [`ClusterError::UnknownObject`] for unknown objects and
     /// propagates decode errors when too few chunks survive.
+    ///
+    /// [`CacheTier`]: crate::CacheTier
     pub fn promote_object(&mut self, object: u64) -> Result<(), ClusterError> {
-        let meta = self
-            .objects
-            .get(&object)
-            .ok_or(ClusterError::UnknownObject(object))?;
-        let mut available = Vec::new();
-        for &node in &meta.placement {
-            for index in self.nodes[node].chunk_indices(object) {
-                if let Some(chunk) = self.nodes[node].chunk(object, index) {
-                    available.push(chunk.clone());
-                }
-            }
-        }
-        let data = self.codec.decode(&available, meta.len)?;
-        let chunks = data_chunks_of(&data, self.config.k);
-        self.cache.mirror_promote(object, chunks);
-        Ok(())
+        self.handle.promote_object(object)
     }
 
     /// Evicts an object from the cache tier — the mirror of an eviction
-    /// decided by an external [`CacheTier`]. Returns whether it was resident.
+    /// decided by an external [`CacheTier`](crate::CacheTier). Returns
+    /// whether it was resident.
     pub fn evict_cached(&mut self, object: u64) -> bool {
-        self.cache.mirror_evict(object)
+        self.handle.evict_cached(object)
     }
 
     /// Drops every cache entry (e.g. when a scenario swaps the cache scheme
     /// mid-run and the tier restarts cold).
     pub fn reset_cache(&mut self) {
-        self.cache.clear();
-    }
-
-    fn cache_read_latency(&mut self, chunks: &[Chunk]) -> f64 {
-        chunks
-            .iter()
-            .map(|c| {
-                self.config
-                    .cache_device
-                    .service_distribution(c.len() as u64)
-                    .sample(&mut self.rng)
-            })
-            .fold(0.0, f64::max)
+        self.handle.reset_cache();
     }
 }
 
@@ -754,8 +487,8 @@ mod tests {
         slow.put(9, &data).unwrap();
         for node in 0..8 {
             assert_eq!(
-                fast.chunk_on_node(9, node).map(|c| c.data.as_ref()),
-                slow.chunk_on_node(9, node).map(|c| c.data.as_ref()),
+                fast.chunk_on_node(9, node).map(|c| c.data),
+                slow.chunk_on_node(9, node).map(|c| c.data),
                 "chunk bytes must be kernel- and stripe-invariant (node {node})"
             );
         }
@@ -967,7 +700,7 @@ mod tests {
         // Gather rows 3..7 (parity-heavy subset) by node.
         let chunks: Vec<Chunk> = placement[3..7]
             .iter()
-            .map(|&n| s.chunk_on_node(6, n).unwrap().clone())
+            .map(|&n| s.chunk_on_node(6, n).unwrap())
             .collect();
         assert_eq!(s.decode_with_chunks(6, &chunks).unwrap(), data);
         assert!(matches!(
@@ -987,8 +720,10 @@ mod tests {
         // Exact caching copies storage rows 0 and 1 into the cache: the cache
         // entry must alias the node's allocation, not duplicate it.
         let node_chunk_ptr = s.chunk_on_node(8, placement[0]).unwrap().data.as_ptr();
-        let cached = s.cache().peek(8).unwrap();
-        let cache_ptr = cached
+        let cache = s.cache();
+        let cache_ptr = cache
+            .peek(8)
+            .unwrap()
             .iter()
             .find(|c| c.id.index == 0)
             .expect("row 0 is cached")

@@ -170,14 +170,15 @@ impl StoreBackend {
         let mut chunks: Vec<Chunk> =
             Vec::with_capacity(request.cache_chunks + request.storage_nodes.len());
         if request.cache_chunks > 0 {
-            let cached = self.store.cache().peek(object)?;
+            let cache = self.store.cache();
+            let cached = cache.peek(object)?;
             if cached.len() < request.cache_chunks {
                 return None;
             }
             chunks.extend(cached.iter().take(request.cache_chunks).cloned());
         }
         for &node in request.storage_nodes {
-            chunks.push(self.store.chunk_on_node(object, node)?.clone());
+            chunks.push(self.store.chunk_on_node(object, node)?);
         }
         Some(chunks)
     }

@@ -2,8 +2,10 @@
 //! checked against the engine's invariants on every run.
 //!
 //! Each case draws a small random system (nodes, service rates, a uniform
-//! `(n, k)` code, arrival rates well inside the stability region, a
-//! placement strategy, a cache policy) and a bounded random scenario
+//! `(n, k)` code, object sizes from odd-padded 1 KB up to multi-stripe
+//! 128 KB, a cache tier sized anywhere from thrashing to oversized, arrival
+//! rates well inside the stability region, a placement strategy, a cache
+//! policy) and a bounded random scenario
 //! (failures/recoveries that never take more than `nodes - n` hosts down at
 //! once, load waves, single-file spikes, re-optimization points), then runs
 //! it four ways: on the analytic backend at shard counts 1, 2 and 4, and on
@@ -183,7 +185,9 @@ impl ScenarioFuzzer {
         let k: usize = rng.gen_range(1..=3);
         let n: usize = rng.gen_range(k..=(k + 3).min(num_nodes));
         let num_files: usize = rng.gen_range(3..=12);
-        let size_bytes = *pick(&mut rng, &[4_096u64, 16_384, 65_536]);
+        // Byte-backend object-size axis: odd sizes exercise chunk padding
+        // (`size % k != 0`), the large end exercises multi-stripe payloads.
+        let size_bytes = *pick(&mut rng, &[1_000u64, 3_177, 4_096, 16_384, 65_536, 131_072]);
         // Aggregate chunk load well inside stability, so degraded phases and
         // load waves stay optimizable.
         let target_utilization = rng.gen_range(0.05..0.22);
@@ -194,7 +198,15 @@ impl ScenarioFuzzer {
                 FileConfig::new(per_file_chunk_rate * jitter / k as f64, n, k, size_bytes)
             })
             .collect();
-        let cache_chunks = rng.gen_range(1..=num_files * k);
+        // LRU-tier-capacity axis, in three deliberate regimes: a thrashing
+        // tier that can hold at most one object's chunks, the historical
+        // contended range, and an oversized tier where everything fits and
+        // eviction never fires.
+        let cache_chunks = match rng.gen_range(0..3) {
+            0 => rng.gen_range(1..=k),
+            1 => rng.gen_range(1..=num_files * k),
+            _ => num_files * n + rng.gen_range(0..=n),
+        };
         let placement = match rng.gen_range(0..5) {
             0 => PlacementChoice::RandomGroups { groups: None },
             1 => PlacementChoice::ConsistentHash {
@@ -440,6 +452,8 @@ mod tests {
     #[test]
     fn case_generation_is_deterministic_and_bounded() {
         let fuzzer = ScenarioFuzzer::new(42);
+        let mut sizes = std::collections::BTreeSet::new();
+        let mut tier_regimes = [false; 3];
         for index in 0..32 {
             let a = fuzzer.case(index);
             let b = fuzzer.case(index);
@@ -448,10 +462,32 @@ mod tests {
             assert!((4..=10).contains(&nodes));
             assert!((3..=12).contains(&a.spec.files.len()));
             let n = a.spec.files[0].n;
+            let k = a.spec.files[0].k;
             assert!(a.spec.files.iter().all(|f| f.n == n), "uniform (n, k)");
             assert!(n <= nodes);
             assert!(a.scenario.events.len() <= 5);
+            sizes.insert(a.spec.files[0].size_bytes);
+            let cap = a.spec.cache_capacity_chunks;
+            let num_files = a.spec.files.len();
+            if cap <= k {
+                tier_regimes[0] = true;
+            } else if cap <= num_files * k {
+                tier_regimes[1] = true;
+            } else {
+                tier_regimes[2] = true;
+            }
         }
+        // The object-size and tier-capacity axes both get real coverage in a
+        // small batch: several distinct sizes, and tiers from thrashing
+        // through contended to oversized.
+        assert!(
+            sizes.len() >= 3,
+            "expected >= 3 object sizes, got {sizes:?}"
+        );
+        assert!(
+            tier_regimes.iter().all(|&hit| hit),
+            "all three tier-capacity regimes must appear: {tier_regimes:?}"
+        );
         // Different bases give different cases.
         assert_ne!(
             ScenarioFuzzer::new(1).case(0),

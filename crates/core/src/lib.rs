@@ -63,6 +63,7 @@ pub mod error;
 pub mod fuzz;
 pub mod loader;
 pub mod scenario;
+pub mod serve;
 pub mod spec;
 pub mod sweep;
 pub mod system;
@@ -73,6 +74,7 @@ pub use error::SproutError;
 pub use fuzz::{fuzz_case_seed, FuzzCase, FuzzFailure, FuzzStats, ScenarioFuzzer};
 pub use loader::{LoadError, RunSpec, SimKnobs, SweepKnobs, SystemKnobs, TraceKnobs};
 pub use scenario::{ScenarioActionSpec, ScenarioEventSpec, ScenarioSpec};
+pub use serve::{LatencyHistogram, ServeOpts, ServePlan, ServeReport, Sproutd};
 pub use spec::{FileConfig, SystemSpec, SystemSpecBuilder};
 pub use sprout_cluster::{ClusterView, Placement, PlacementChoice, RebalanceReport};
 pub use sweep::{policy_label, SimSweep, SweepBackend};

@@ -22,7 +22,7 @@ fn scenario_files() -> Vec<PathBuf> {
 }
 
 #[test]
-fn the_library_contains_the_five_committed_scenarios() {
+fn the_library_contains_the_six_committed_scenarios() {
     let names: Vec<String> = scenario_files()
         .iter()
         .map(|p| p.file_stem().unwrap().to_string_lossy().into_owned())
@@ -30,6 +30,7 @@ fn the_library_contains_the_five_committed_scenarios() {
     for expected in [
         "cascading_failures",
         "churn_storm",
+        "correlated_zone_failures",
         "diurnal_wave",
         "flash_crowd",
         "regional_outage",
